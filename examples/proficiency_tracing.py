@@ -1,0 +1,60 @@
+"""Concept proficiency tracing — the paper's Fig. 5 scenario.
+
+An instructor wants a per-concept learning curve for a student, with each
+point *explained* by the responses that produced it.  RCKT probes a
+"virtual question" per concept (the average embedding of that concept's
+questions, Eq. 30) and decomposes every probe into response influences.
+
+Usage::
+
+    python examples/proficiency_tracing.py
+"""
+
+from collections import Counter
+
+from repro.core import RCKT, RCKTConfig, fit_rckt
+from repro.data import make_assist12, train_test_split
+from repro.interpret import (influence_bars, line_chart, related_questions,
+                             trace_proficiency)
+
+
+def main() -> None:
+    print("training RCKT-DKT on an ASSIST12-style corpus ...")
+    dataset = make_assist12(scale=0.2, seed=3)
+    fold = train_test_split(dataset, seed=0)
+    config = RCKTConfig(encoder="dkt", dim=16, layers=1, epochs=6,
+                        batch_size=32, lr=1e-3, lambda_balance=0.1, seed=0)
+    model = RCKT(dataset.num_questions, dataset.num_concepts, config)
+    fit_rckt(model, fold.train, fold.validation, eval_stride=3)
+
+    student = max(fold.test, key=len)[:16]
+    concept_counts = Counter(cid for i in student for cid in i.concept_ids)
+    concepts = [cid for cid, _ in concept_counts.most_common(3)]
+    print(f"\nstudent {student.student_id}: {len(student)} responses, "
+          f"tracing concepts {concepts}")
+
+    series = {}
+    traces = {}
+    for cid in concepts:
+        pool = related_questions(dataset, cid)
+        trace = trace_proficiency(model, student, cid, pool)
+        traces[cid] = trace
+        series[f"concept {cid}"] = trace.proficiencies
+        print(f"  concept {cid}: start {trace.proficiencies[0]:.3f} "
+              f"-> final {trace.final_proficiency:.3f} "
+              f"({concept_counts[cid]} practiced)")
+
+    print("\n" + line_chart(series, height=10,
+                            title="proficiency after each response"))
+
+    best = concepts[0]
+    print("\nresponse influences on the final proficiency of "
+          f"concept {best} (Fig. 5 bottom panel):")
+    print(influence_bars(traces[best].final_influences,
+                         [i.correct for i in student]))
+    print("\nreading guide: [+] rows are correct responses (push proficiency "
+          "up), [-] rows incorrect; bar length = counterfactual influence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Question recommendation — the teaching application the paper motivates.
+
+"These insights can aid educators in improving their teaching activities,
+such as question recommendation and question bank construction" (Sec. I).
+This example trains RCKT, then ranks a pool of candidate next questions for
+one student by (a) predicted success probability near a productive-struggle
+target and (b) counterfactual *question value*: how much the answer to the
+candidate would tell us about the student.
+
+Usage::
+
+    python examples/question_recommendation.py
+"""
+
+from collections import Counter
+
+from repro.core import RCKT, RCKTConfig, fit_rckt
+from repro.data import Interaction, make_assist09, train_test_split
+from repro.interpret import recommend_questions
+
+
+def main() -> None:
+    print("training RCKT-DKT on an ASSIST09-style corpus ...")
+    dataset = make_assist09(scale=0.2, seed=5)
+    fold = train_test_split(dataset, seed=0)
+    config = RCKTConfig(encoder="dkt", dim=16, layers=1, epochs=5,
+                        batch_size=32, lr=2e-3, seed=0)
+    model = RCKT(dataset.num_questions, dataset.num_concepts, config)
+    fit_rckt(model, fold.train, fold.validation, eval_stride=3)
+
+    student = next(s for s in fold.test if len(s) >= 10)[:10]
+    seen = {i.question_id for i in student}
+    print(f"\nstudent {student.student_id}: {len(student)} responses, "
+          f"{sum(student.responses)} correct")
+
+    # Candidate pool: unseen questions covering the student's concepts.
+    concept_counts = Counter(c for i in student for c in i.concept_ids)
+    candidates = []
+    for sequence in fold.train:
+        for interaction in sequence:
+            if interaction.question_id in seen:
+                continue
+            if not (set(interaction.concept_ids) & set(concept_counts)):
+                continue
+            seen.add(interaction.question_id)
+            candidates.append(Interaction(interaction.question_id, 1,
+                                          interaction.concept_ids))
+            if len(candidates) >= 12:
+                break
+        if len(candidates) >= 12:
+            break
+
+    print(f"ranking {len(candidates)} candidate questions ...\n")
+    recommendations = recommend_questions(model, student, candidates,
+                                          top_k=5)
+    print("top recommendations (productive difficulty + information value):")
+    for rank, rec in enumerate(recommendations, start=1):
+        print(f"  {rank}. {rec.describe()}  concepts={rec.concept_ids}")
+
+    print("\ninterpretation: p(correct) near 0.6 = productive struggle; "
+          "value = how far the two counterfactual futures (answered right "
+          "vs wrong) diverge on re-probes of recent material.")
+
+
+if __name__ == "__main__":
+    main()

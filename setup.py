@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package
+that PEP 660 editable installs require, so `pip install -e .` goes through
+setup.py develop instead.  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

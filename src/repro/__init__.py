@@ -1,0 +1,26 @@
+"""repro — reproduction of RCKT (ICDE 2024).
+
+RCKT: *Interpretable Knowledge Tracing via Response Influence-based
+Counterfactual Reasoning* (Cui et al.).
+
+Subpackages
+-----------
+``repro.tensor`` / ``repro.nn`` / ``repro.optim``
+    From-scratch NumPy deep-learning substrate (autodiff, layers, Adam).
+``repro.data``
+    Sequence preprocessing, 5-fold CV, and the IRT-based student simulator
+    standing in for the ASSIST09/ASSIST12/Slepemapy/Eedi corpora.
+``repro.models``
+    Baselines: DKT, SAKT(+), AKT, DIMKT, IKT, QIKT, BKT.
+``repro.core``
+    The paper's contribution: counterfactual sequence construction,
+    bidirectional encoders, response-influence reasoning and joint training.
+``repro.eval`` / ``repro.interpret`` / ``repro.experiments``
+    Metrics and CV harness, explanation tooling, and one callable per paper
+    table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["tensor", "nn", "optim", "data", "models", "core", "eval",
+           "interpret", "experiments", "utils"]

@@ -1,0 +1,169 @@
+"""Bidirectional knowledge-state encoders (Eq. 25, Sec. V-A4).
+
+The response influence approximation requires the encoder to see both past
+and future context while *strictly excluding the position being predicted*:
+
+    h_i = fwdEnc(A_{1:i-1}) + bwdEnc(A_{i+1:t+1})                  (Eq. 25)
+
+Multi-layer subtlety: naively stacking a bidirectional layer leaks the
+excluded position — the layer-1 state at ``i-1`` would already contain
+backward information flowing through position ``i``.  We therefore keep two
+*independent directional streams* through every layer (forward layers only
+ever read forward-stream states, backward layers only backward-stream
+states, as in ELMo's bidirectional LM) and combine them with a one-step
+shift only at the very end.  A perturbation test in the suite verifies that
+``h_i`` is exactly invariant to the input at position ``i``.
+
+Three adapters mirror the paper's Sec. V-A4:
+
+* ``BiDKTEncoder``  — stacked LSTMs (BiLSTM).
+* ``BiSAKTEncoder`` — transformer blocks with directional masks, responses
+  as queries.
+* ``BiAKTEncoder``  — the same with AKT's monotonic (distance-decay)
+  attention, "bi-directional due to the duality of distance".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, concat
+
+MAX_ENCODED_LENGTH = 128
+
+
+def shift_and_combine(forward_stream: Tensor, backward_stream: Tensor) -> Tensor:
+    """``h_i = forward[i-1] + backward[i+1]`` with zeros past the edges.
+
+    The zero contribution at the boundary realizes the paper's rule that
+    the first response "directly uses" the backward encoder output (adding
+    a zero forward part is the same thing), and symmetrically for the last.
+    """
+    batch, length, dim = forward_stream.shape
+    zeros = Tensor(np.zeros((batch, 1, dim)))
+    past = concat([zeros, forward_stream[:, :length - 1, :]], axis=1)
+    future = concat([backward_stream[:, 1:, :], zeros], axis=1)
+    return past + future
+
+
+class BidirectionalEncoder(nn.Module, abc.ABC):
+    """Maps interaction embeddings ``(B, L, d)`` to hidden states ``h_i``."""
+
+    @abc.abstractmethod
+    def forward(self, interactions: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """``mask`` is ``(B, L)`` with True at real positions."""
+
+
+class BiDKTEncoder(BidirectionalEncoder):
+    """Stacked bidirectional LSTM (the RCKT-DKT backbone)."""
+
+    def __init__(self, dim: int, layers: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.forward_layers = nn.ModuleList(
+            [nn.LSTM(dim, dim, rng) for _ in range(layers)])
+        self.backward_layers = nn.ModuleList(
+            [nn.LSTM(dim, dim, rng, reverse=True) for _ in range(layers)])
+        self.dropout = nn.Dropout(dropout, rng) if dropout > 0 else None
+
+    def _run_stack(self, layers: nn.ModuleList, x: Tensor) -> Tensor:
+        for i, layer in enumerate(layers):
+            x = layer(x)
+            if self.dropout is not None and i + 1 < len(layers):
+                x = self.dropout(x)
+        return x
+
+    def forward(self, interactions: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        forward_stream = self._run_stack(self.forward_layers, interactions)
+        backward_stream = self._run_stack(self.backward_layers, interactions)
+        return shift_and_combine(forward_stream, backward_stream)
+
+
+class _DirectionalTransformer(nn.Module):
+    """A stack of transformer blocks restricted to one direction.
+
+    The mask is *non-strict* within the stream (a position may attend to
+    itself): stream state at ``j`` summarizes inputs ``<= j`` (forward) or
+    ``>= j`` (backward), and the final one-step shift in
+    :func:`shift_and_combine` provides the strict exclusion of Eq. 25.
+    """
+
+    def __init__(self, dim: int, heads: int, layers: int,
+                 rng: np.random.Generator, dropout: float,
+                 monotonic: bool, reverse: bool):
+        super().__init__()
+        self.reverse = reverse
+        self.positions = nn.PositionalEncoding(MAX_ENCODED_LENGTH, dim)
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(dim, heads, rng, dropout=dropout,
+                                monotonic=monotonic)
+            for _ in range(layers)
+        ])
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray]) -> Tensor:
+        length = x.shape[1]
+        if self.reverse:
+            direction = nn.anti_causal_mask(length, strict=False)
+        else:
+            direction = nn.causal_mask(length, strict=False)
+        allowed = direction[None, None]
+        if mask is not None:
+            allowed = allowed & mask[:, None, None, :]
+        x = self.positions(x)
+        for block in self.blocks:
+            x = block(x, mask=allowed)
+        return x
+
+
+class BiSAKTEncoder(BidirectionalEncoder):
+    """Directional transformer pair (the RCKT-SAKT backbone).
+
+    Per Sec. V-A4 the queries are the *responses* (interaction embeddings)
+    rather than target questions, i.e. plain directional self-attention
+    over the interaction stream.
+    """
+
+    monotonic = False
+
+    def __init__(self, dim: int, layers: int, rng: np.random.Generator,
+                 heads: int = 2, dropout: float = 0.0):
+        super().__init__()
+        self.forward_stack = _DirectionalTransformer(
+            dim, heads, layers, rng, dropout, self.monotonic, reverse=False)
+        self.backward_stack = _DirectionalTransformer(
+            dim, heads, layers, rng, dropout, self.monotonic, reverse=True)
+
+    def forward(self, interactions: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        forward_stream = self.forward_stack(interactions, mask)
+        backward_stream = self.backward_stack(interactions, mask)
+        return shift_and_combine(forward_stream, backward_stream)
+
+
+class BiAKTEncoder(BiSAKTEncoder):
+    """Monotonic-attention variant (the RCKT-AKT backbone).
+
+    The exponential decay acts on ``|i - j|``, which is symmetric, so the
+    same mechanism serves both directions — the "duality of distance" the
+    paper invokes.
+    """
+
+    monotonic = True
+
+
+def build_encoder(name: str, dim: int, layers: int, rng: np.random.Generator,
+                  heads: int = 2, dropout: float = 0.0) -> BidirectionalEncoder:
+    """Factory keyed by the paper's encoder names (dkt | sakt | akt)."""
+    if name == "dkt":
+        return BiDKTEncoder(dim, layers, rng, dropout=dropout)
+    if name == "sakt":
+        return BiSAKTEncoder(dim, layers, rng, heads=heads, dropout=dropout)
+    if name == "akt":
+        return BiAKTEncoder(dim, layers, rng, heads=heads, dropout=dropout)
+    raise ValueError(f"unknown encoder '{name}' (expected dkt|sakt|akt)")

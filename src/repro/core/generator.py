@@ -1,0 +1,72 @@
+"""Adaptive response probability generator (Sec. IV-D1, Eq. 23-26).
+
+Encoder-MLP structure: the fused question/concept/response embeddings run
+through a bidirectional knowledge-state encoder, and an MLP combines each
+hidden state ``h_i`` with the question embedding ``e_i`` to produce the
+probability of answering ``q_i`` correctly:
+
+    p_i = sigma(ReLU([h_i ⊕ e_i] W1 + b1) W2 + b2)                (Eq. 26)
+
+The generator is *variant-agnostic*: callers pass any response-category
+array (factual, masked, counterfactual) over the same question batch, which
+is how one stacked forward pass serves all seven sequence variants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.data import Batch
+from repro.models import InteractionEmbedder
+from repro.tensor import Tensor, concat
+
+from .encoders import BidirectionalEncoder
+
+
+class ResponseProbabilityGenerator(nn.Module):
+    """Bidirectional encoder + Eq. 26 MLP head."""
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 encoder: BidirectionalEncoder, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.dim = dim
+        self.embedder = InteractionEmbedder(num_questions, num_concepts,
+                                            dim, rng)
+        self.encoder = encoder
+        self.head = nn.MLP([2 * dim, dim, 1], rng, dropout=dropout)
+
+    def forward(self, batch: Batch, responses: Optional[np.ndarray] = None,
+                question_override: Optional[Tensor] = None,
+                override_cols: Optional[np.ndarray] = None) -> Tensor:
+        """Per-position correct-answer probabilities, shape ``(B, L)``.
+
+        Parameters
+        ----------
+        responses:
+            Response-category array (0/1/2) overriding ``batch.responses``;
+            this is where counterfactual variants plug in.
+        question_override / override_cols:
+            Replace the question embedding ``e`` at one column per row with
+            a caller-supplied vector — used by concept-proficiency tracing
+            (Eq. 30), where the probed "virtual question" is the average of
+            the concept's question embeddings.
+        """
+        questions = self.embedder.question_vectors(batch)
+        if question_override is not None:
+            if override_cols is None:
+                raise ValueError("question_override requires override_cols")
+            from repro.tensor import where
+            keep = np.ones(questions.shape, dtype=bool)
+            keep[np.arange(len(override_cols)), override_cols, :] = False
+            questions = where(keep, questions, question_override.expand_dims(1))
+        if responses is None:
+            responses = batch.responses
+        response_vectors = self.embedder.response_embedding(responses)
+        interactions = questions + response_vectors
+        hidden = self.encoder(interactions, mask=batch.mask)
+        logits = self.head(concat([hidden, questions], axis=-1)).squeeze(-1)
+        return logits.sigmoid()

@@ -1,0 +1,134 @@
+"""Response influence measurement (Sec. IV-C).
+
+After the approximation (Eq. 18-22), the influence of past response ``i``
+on the target is estimated *backward*: intervene on the assumed target
+response and observe the change in the predicted probability of the past
+response keeping its own correctness:
+
+    Δ_(t+1)+→i+ = p(r_i=1 | F, target=correct) − p(r_i=1 | CF, target=incorrect)
+    Δ_(t+1)−→i− = p(r_i=0 | F, target=incorrect) − p(r_i=0 | CF, target=correct)
+
+Totals ``Δ+ = Σ_i+ Δ_i`` and ``Δ− = Σ_i− Δ_i`` drive both the prediction
+rule (Eq. 13: answer correct iff ``Δ+ − Δ− ≥ 0``) and the counterfactual
+loss (Eq. 16).  All quantities here are differentiable Tensors so the same
+code path serves training and inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.data import Batch
+from repro.tensor import Tensor
+
+from .masking import COUNTERFACTUAL_VARIANTS, VariantSet
+
+
+@dataclass
+class InfluenceComputation:
+    """Differentiable influence quantities for one batch of targets.
+
+    All fields are Tensors; ``(B, L)`` per-position or ``(B,)`` totals.
+    ``correct_deltas[b, i]`` is zero unless position ``i`` is a factual
+    *correct* history position of row ``b`` (mirrors Eq. 12's index sets).
+    """
+
+    correct_deltas: Tensor
+    incorrect_deltas: Tensor
+    delta_plus: Tensor
+    delta_minus: Tensor
+    history_lengths: np.ndarray   # (B,) number of past responses t
+    scores: np.ndarray            # (B,) in (0, 1): (Δ+-Δ-)/(2t) + 1/2
+
+    def decision(self) -> np.ndarray:
+        """Eq. 13 binary predictions (threshold at score 0.5 ⇔ Δ+−Δ− ≥ 0)."""
+        return (self.scores >= 0.5).astype(np.int64)
+
+
+SCORE_NORMALIZATIONS = ("t", "sum", "raw")
+
+
+def compute_influences(probabilities: Dict[str, Tensor],
+                       variants: VariantSet,
+                       normalization: str = "t") -> InfluenceComputation:
+    """Combine the four variant probability grids into influences.
+
+    ``probabilities`` maps variant name -> ``(B, L)`` Tensor of
+    p(correct); the caller obtains them from one stacked generator pass.
+
+    ``normalization`` shapes the continuous *score* only (the Eq. 13 sign
+    decision is identical under all three since each maps Δ+−Δ− through an
+    odd monotone transform):
+
+    * ``"t"``   — the paper's Eq. 16 scaling, (Δ+−Δ−)/(2t) + 1/2;
+    * ``"sum"`` — (Δ+−Δ−)/(Δ+ + Δ− + ε) mapped into (0, 1): scale-free
+      across history lengths (an extension; helps ranking when prefix
+      lengths vary widely);
+    * ``"raw"`` — sigmoid of the unnormalized gap.
+    """
+    if normalization not in SCORE_NORMALIZATIONS:
+        raise ValueError(f"normalization must be one of "
+                         f"{SCORE_NORMALIZATIONS}, got '{normalization}'")
+    missing = set(COUNTERFACTUAL_VARIANTS) - set(probabilities)
+    if missing:
+        raise KeyError(f"missing variant probabilities: {sorted(missing)}")
+
+    correct = Tensor(variants.correct_mask.astype(np.float64))
+    incorrect = Tensor(variants.incorrect_mask.astype(np.float64))
+
+    # Correct response influences: drop in P(r_i = 1) when the assumed
+    # correct target is flipped to incorrect.
+    correct_deltas = (probabilities["f_plus"]
+                      - probabilities["cf_minus"]) * correct
+    # Incorrect response influences: drop in P(r_i = 0); with
+    # p = P(correct), P(incorrect) = 1 - p, so the difference flips sign.
+    incorrect_deltas = (probabilities["cf_plus"]
+                        - probabilities["f_minus"]) * incorrect
+
+    delta_plus = correct_deltas.sum(axis=1)
+    delta_minus = incorrect_deltas.sum(axis=1)
+
+    history_lengths = variants.history_mask.sum(axis=1).astype(np.float64)
+    safe_t = np.maximum(history_lengths, 1.0)
+    gap = delta_plus.data - delta_minus.data
+    if normalization == "t":
+        scores = gap / (2.0 * safe_t) + 0.5
+    elif normalization == "sum":
+        total = np.abs(delta_plus.data) + np.abs(delta_minus.data) + 1e-9
+        scores = gap / total / 2.0 + 0.5
+    else:  # raw
+        scores = 1.0 / (1.0 + np.exp(-np.clip(gap, -30, 30)))
+    # Rows with no history carry no influence evidence: neutral score.
+    scores = np.where(history_lengths == 0, 0.5, scores)
+
+    return InfluenceComputation(
+        correct_deltas=correct_deltas,
+        incorrect_deltas=incorrect_deltas,
+        delta_plus=delta_plus,
+        delta_minus=delta_minus,
+        history_lengths=history_lengths,
+        scores=scores,
+    )
+
+
+@dataclass
+class ExactInfluenceResult:
+    """Forward (pre-approximation) influences for a single sequence.
+
+    ``deltas[i]`` is the influence of past response ``i`` on the target,
+    signed by Eq. 9/11 (correct influences from P(correct) drops, incorrect
+    influences from P(incorrect) drops); entries at the target itself are 0.
+    """
+
+    deltas: np.ndarray
+    correct_positions: np.ndarray
+    incorrect_positions: np.ndarray
+    delta_plus: float
+    delta_minus: float
+    score: float
+
+    def decision(self) -> int:
+        return int(self.score >= 0.5)

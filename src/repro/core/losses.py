@@ -1,0 +1,76 @@
+"""RCKT training objectives (Sec. IV-C3 and IV-D2).
+
+* ``counterfactual_loss`` — Eq. 16: maximize the label-aligned gap between
+  the total correct and incorrect response influences, in negative-log form
+  so near-zero gaps are punished hardest, plus the Eq. 17 constraint ``L*``
+  that every individual influence be non-negative.
+* ``joint_bce_losses`` — Eq. 27-28: standard BCE of the probability
+  generator on the factual sequence (``L_F``) and the two masked
+  augmentations (``L_M+`` with incorrect responses hidden, ``L_M-`` with
+  correct responses hidden), which regularize the generator so the
+  counterfactual variants (all-correct-masked / all-incorrect-masked) stay
+  in-distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.tensor import Tensor, binary_cross_entropy
+
+from .influence import InfluenceComputation
+
+_EPS = 1e-7
+
+
+def counterfactual_loss(influences: InfluenceComputation,
+                        target_labels: np.ndarray, alpha: float = 1.0,
+                        use_constraint: bool = True) -> Tensor:
+    """Mean Eq. 16 loss over the batch.
+
+    ``target_labels`` are the ground-truth correctness bits of each row's
+    target.  Rows without history (t = 0) carry no counterfactual signal
+    and are weighted out.
+    """
+    target_labels = np.asarray(target_labels, dtype=np.float64)
+    t = np.maximum(influences.history_lengths, 1.0)
+    # (-1)^{r} (Δ- - Δ+): negative of the label-aligned gap.
+    sign = np.where(target_labels == 1, -1.0, 1.0)
+    gap = (influences.delta_minus - influences.delta_plus) * Tensor(sign)
+    # Scale into (0, 1) for the logarithm: each |Δ_i| <= 1 so |gap| <= t.
+    scaled = gap * Tensor(1.0 / (2.0 * t)) + 0.5
+    log_term = -(scaled.clip(_EPS, 1.0 - _EPS).log())
+
+    weights = (influences.history_lengths > 0).astype(np.float64)
+    total_weight = max(weights.sum(), 1.0)
+    loss = (log_term * Tensor(weights)).sum() * (1.0 / total_weight)
+
+    if use_constraint and alpha > 0:
+        # L*: hinge on negative influences (Eq. 17), averaged per row.
+        zero = Tensor(np.zeros(influences.correct_deltas.shape))
+        negative_part = ((-influences.correct_deltas).maximum(zero)
+                         + (-influences.incorrect_deltas).maximum(zero))
+        constraint = negative_part.sum(axis=1) * Tensor(weights)
+        loss = loss + alpha * constraint.sum() * (1.0 / total_weight)
+    return loss
+
+
+def joint_bce_losses(probabilities: Dict[str, Tensor], responses: np.ndarray,
+                     history_mask: np.ndarray) -> Dict[str, Tensor]:
+    """``L_F``, ``L_M+`` and ``L_M-`` (Eq. 27-28).
+
+    Every loss supervises the *true* correctness of the past responses
+    (positions in ``history_mask``, i.e. ``i = 1..t`` as in the paper);
+    only the visible context differs between the three variants.
+    """
+    labels = responses.astype(np.float64)
+    weights = history_mask.astype(np.float64)
+    losses = {}
+    for name in ("factual", "m_plus", "m_minus"):
+        if name not in probabilities:
+            raise KeyError(f"missing probabilities for '{name}'")
+        losses[name] = binary_cross_entropy(probabilities[name], labels,
+                                            weights=weights)
+    return losses

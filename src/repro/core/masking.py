@@ -1,0 +1,157 @@
+"""Counterfactual sequence construction (Sec. IV-B, Eq. 3-6 / Eq. 19).
+
+Given a response row and a target position, this module builds the response
+*category* arrays (0 = incorrect, 1 = correct, 2 = masked) that feed the
+adaptive probability generator:
+
+After the response influence approximation all interventions happen at the
+**target** question, so only four variants are needed per sample:
+
+* ``F+``  — target assumed correct, every past response factual.
+* ``CF-`` — target intervened to incorrect; by the monotonicity assumption
+  the drop in proficiency cannot flip past *incorrect* responses, so they
+  are **retained**, while past *correct* responses become unreliable and
+  are **masked**.
+* ``F-`` / ``CF+`` — the mirror image for the incorrect-side influences.
+
+Three more variants support joint training (Sec. IV-D2):
+
+* ``FACTUAL`` — all past responses as recorded, target masked (unknown).
+* ``M+`` — incorrect responses masked (context for ``L_M+``).
+* ``M-`` — correct responses masked (context for ``L_M-``).
+
+The "-mono" ablation (Table V) disables the retain/mask logic: the
+counterfactual sequences keep every non-intervened response factual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+MASKED = 2
+
+VARIANT_ORDER = ("f_plus", "cf_minus", "f_minus", "cf_plus",
+                 "factual", "m_plus", "m_minus")
+COUNTERFACTUAL_VARIANTS = VARIANT_ORDER[:4]
+JOINT_VARIANTS = VARIANT_ORDER[4:]
+
+
+@dataclass
+class VariantSet:
+    """The seven response-category arrays for one batch.
+
+    Every array has the batch's ``(B, L)`` shape.  ``target_cols`` holds the
+    per-row target position; ``history_mask`` marks valid *past* positions
+    (real, before the target); ``correct_mask`` / ``incorrect_mask``
+    partition the history by factual correctness.
+    """
+
+    variants: Dict[str, np.ndarray]
+    target_cols: np.ndarray
+    history_mask: np.ndarray
+    correct_mask: np.ndarray
+    incorrect_mask: np.ndarray
+
+    def stacked(self, names=VARIANT_ORDER) -> np.ndarray:
+        """Concatenate the requested variants along the batch axis."""
+        return np.concatenate([self.variants[n] for n in names], axis=0)
+
+
+def build_variants(responses: np.ndarray, mask: np.ndarray,
+                   target_cols: np.ndarray,
+                   use_monotonicity: bool = True) -> VariantSet:
+    """Build all seven variants for a batch.
+
+    Parameters
+    ----------
+    responses:
+        ``(B, L)`` recorded 0/1 correctness.
+    mask:
+        ``(B, L)`` True at real positions.
+    target_cols:
+        ``(B,)`` the target position of each row (the question being
+        predicted).  Positions after the target are expected to be padding
+        (the caller slices prefixes), but any are excluded defensively.
+    use_monotonicity:
+        False reproduces the "-mono" ablation: interventions no longer
+        mask the rest of the sequence.
+    """
+    responses = np.asarray(responses)
+    mask = np.asarray(mask, dtype=bool)
+    target_cols = np.asarray(target_cols)
+    batch, length = responses.shape
+    if target_cols.shape != (batch,):
+        raise ValueError("target_cols must have one entry per row")
+    if np.any(target_cols < 0) or np.any(target_cols >= length):
+        raise ValueError("target_cols out of range")
+    rows = np.arange(batch)
+    if not mask[rows, target_cols].all():
+        raise ValueError("every target position must be a real response")
+
+    columns = np.arange(length)[None, :]
+    history = mask & (columns < target_cols[:, None])
+    correct = history & (responses == 1)
+    incorrect = history & (responses == 0)
+
+    def with_target(base: np.ndarray, target_value: int) -> np.ndarray:
+        out = base.copy()
+        out[rows, target_cols] = target_value
+        return out
+
+    factual = responses.copy()
+    if use_monotonicity:
+        # Monotonicity retention: flipping the target down (CF-) keeps the
+        # incorrect past and masks the correct past; flipping up (CF+)
+        # mirrors it (Sec. IV-B).
+        cf_minus_base = np.where(correct, MASKED, factual)
+        cf_plus_base = np.where(incorrect, MASKED, factual)
+    else:
+        cf_minus_base = factual
+        cf_plus_base = factual
+
+    variants = {
+        "f_plus": with_target(factual, 1),
+        "cf_minus": with_target(cf_minus_base, 0),
+        "f_minus": with_target(factual, 0),
+        "cf_plus": with_target(cf_plus_base, 1),
+        "factual": with_target(factual, MASKED),
+        "m_plus": with_target(np.where(incorrect, MASKED, factual), MASKED),
+        "m_minus": with_target(np.where(correct, MASKED, factual), MASKED),
+    }
+    return VariantSet(variants, target_cols, history, correct, incorrect)
+
+
+def build_exact_counterfactual(responses: np.ndarray, mask: np.ndarray,
+                               target_col: int, flip_col: int,
+                               use_monotonicity: bool = True) -> np.ndarray:
+    """One *forward* (pre-approximation) counterfactual row (Eq. 4-5).
+
+    Flips the response at ``flip_col`` and applies monotonicity
+    retention/masking to the other past responses; the target's response is
+    masked (it is the unknown being predicted).  Used by the Table VI
+    "before approximation" path, which needs one such row per past
+    response.
+    """
+    responses = np.asarray(responses)
+    if responses.ndim != 1:
+        raise ValueError("expects a single sequence row")
+    if not (0 <= flip_col < target_col):
+        raise ValueError("flip_col must precede target_col")
+    out = responses.copy()
+    original = responses[flip_col]
+    flipped = 1 - original
+    if use_monotonicity:
+        history = np.asarray(mask, dtype=bool) & (np.arange(len(out)) < target_col)
+        if original == 1:
+            # Correct -> incorrect: proficiency drops; correct answers are
+            # no longer reliable evidence, incorrect ones still are.
+            unreliable = history & (responses == 1)
+        else:
+            unreliable = history & (responses == 0)
+        out = np.where(unreliable, MASKED, out)
+    out[flip_col] = flipped
+    out[target_col] = MASKED
+    return out

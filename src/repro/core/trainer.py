@@ -1,0 +1,147 @@
+"""Joint training loop for RCKT (Sec. IV-D2).
+
+Each training sample is a (prefix, target) pair: the counterfactual loss
+needs a concrete target question at the end of the sequence, so every epoch
+samples ``targets_per_sequence`` target positions per subsequence, slices
+the prefixes, and buckets them by identical length (exact bidirectional
+LSTMs — no padding enters the reversed stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data import KTDataset, StudentSequence, collate
+from repro.eval import EarlyStopping, accuracy_score, auc_score
+from repro.optim import Adam, clip_grad_norm
+
+from .rckt import RCKT
+
+
+@dataclass
+class RCKTTrainResult:
+    train_losses: List[float] = field(default_factory=list)
+    val_aucs: List[float] = field(default_factory=list)
+    best_val_auc: float = 0.0
+    best_epoch: int = -1
+
+
+def _sample_targets(dataset: KTDataset, per_sequence: int, min_history: int,
+                    rng: np.random.Generator,
+                    balanced: bool = True) -> List[Tuple[StudentSequence, int]]:
+    """Pick target positions for this epoch's counterfactual samples.
+
+    With ``balanced=True`` the correct/incorrect target labels are sampled
+    evenly per sequence (when both exist): KT corpora are 63-78% correct,
+    and an unbalanced sample lets Eq. 16 collapse into "Δ+ always wins".
+    """
+    specs: List[Tuple[StudentSequence, int]] = []
+    for sequence in dataset:
+        candidates = np.arange(min_history, len(sequence))
+        if candidates.size == 0:
+            continue
+        count = min(per_sequence, candidates.size)
+        if not balanced:
+            chosen = rng.choice(candidates, size=count, replace=False)
+        else:
+            labels = np.array([sequence[int(c)].correct for c in candidates])
+            positives = candidates[labels == 1]
+            negatives = candidates[labels == 0]
+            chosen_list = []
+            take_neg = min(len(negatives), (count + 1) // 2)
+            take_pos = min(len(positives), count - take_neg)
+            if take_neg:
+                chosen_list.extend(rng.choice(negatives, size=take_neg,
+                                              replace=False))
+            if take_pos:
+                chosen_list.extend(rng.choice(positives, size=take_pos,
+                                              replace=False))
+            remaining = count - len(chosen_list)
+            if remaining > 0:
+                leftover = np.setdiff1d(candidates, np.array(chosen_list))
+                if leftover.size:
+                    chosen_list.extend(rng.choice(
+                        leftover, size=min(remaining, leftover.size),
+                        replace=False))
+            chosen = np.array(chosen_list, dtype=np.int64)
+        for col in chosen:
+            specs.append((sequence, int(col)))
+    return specs
+
+
+def _bucketed_batches(specs: List[Tuple[StudentSequence, int]],
+                      batch_size: int, rng: np.random.Generator):
+    """Shuffle specs, group by prefix length, yield collated batches."""
+    order = rng.permutation(len(specs))
+    buckets: Dict[int, List[Tuple[StudentSequence, int]]] = {}
+    for index in order:
+        sequence, col = specs[index]
+        buckets.setdefault(col + 1, []).append((sequence, col))
+    lengths = list(buckets)
+    rng.shuffle(lengths)
+    for length in lengths:
+        group = buckets[length]
+        for start in range(0, len(group), batch_size):
+            chunk = group[start:start + batch_size]
+            batch = collate([seq[:col + 1] for seq, col in chunk])
+            cols = np.array([col for _, col in chunk])
+            yield batch, cols
+
+
+def evaluate_rckt(model: RCKT, dataset: KTDataset, batch_size: int = 32,
+                  stride: int = 1) -> Dict[str, float]:
+    """AUC/ACC over every evaluated target position."""
+    labels, scores = model.predict_dataset(dataset, batch_size=batch_size,
+                                           stride=stride)
+    return {"auc": auc_score(labels, scores),
+            "acc": accuracy_score(labels, scores)}
+
+
+def fit_rckt(model: RCKT, train: KTDataset, validation: KTDataset = None,
+             eval_stride: int = 1, verbose: bool = False) -> RCKTTrainResult:
+    """Train with Adam + early stopping on validation AUC (10-epoch patience)."""
+    config = model.config
+    optimizer = Adam(model.parameters(), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    stopper = EarlyStopping(patience=config.patience)
+    result = RCKTTrainResult()
+    rng = np.random.default_rng(config.seed)
+
+    for epoch in range(config.epochs):
+        model.train()
+        specs = _sample_targets(train, config.targets_per_sequence,
+                                config.min_history, rng,
+                                balanced=config.balanced_targets)
+        epoch_losses = []
+        for batch, cols in _bucketed_batches(specs, config.batch_size, rng):
+            optimizer.zero_grad()
+            loss = model.loss(batch, cols)
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        result.train_losses.append(float(np.mean(epoch_losses)))
+
+        if validation is not None and len(validation):
+            metrics = evaluate_rckt(model, validation,
+                                    batch_size=config.batch_size,
+                                    stride=eval_stride)
+            result.val_aucs.append(metrics["auc"])
+            if verbose:
+                print(f"epoch {epoch:3d}  loss {result.train_losses[-1]:.4f}  "
+                      f"val auc {metrics['auc']:.4f}")
+            if stopper.update(metrics["auc"], epoch, model.state_dict()):
+                break
+
+    if stopper.should_restore:
+        model.load_state_dict(stopper.best_state)
+        result.best_val_auc = stopper.best_value
+        result.best_epoch = stopper.best_epoch
+    elif result.val_aucs:
+        result.best_val_auc = max(result.val_aucs)
+        result.best_epoch = int(np.argmax(result.val_aucs))
+    return result

@@ -1,0 +1,28 @@
+"""Data substrate: event types, preprocessing, folds, simulator, profiles."""
+
+from .batch import Batch, collate, iterate_batches
+from .dataset import (MAX_SUBSEQUENCE_LENGTH, MIN_SUBSEQUENCE_LENGTH,
+                      KTDataset, build_dataset, preprocess)
+from .events import PAD_ID, Interaction, StudentSequence
+from .folds import Fold, k_fold_splits, train_test_split
+from .io import load_csv, save_csv
+from .profiles import (DATASET_FACTORIES, PAPER_TABLE2, make_assist09,
+                       make_assist12, make_dataset, make_eedi, make_slepemapy)
+from .stats import DatasetStats, compute_stats
+from .synthetic import (QuestionBank, SimulationConfig, StudentSimulator,
+                        build_concept_graph, build_question_bank,
+                        leaf_concepts)
+
+__all__ = [
+    "PAD_ID", "Interaction", "StudentSequence",
+    "KTDataset", "build_dataset", "preprocess",
+    "MAX_SUBSEQUENCE_LENGTH", "MIN_SUBSEQUENCE_LENGTH",
+    "Batch", "collate", "iterate_batches",
+    "Fold", "k_fold_splits", "train_test_split",
+    "save_csv", "load_csv",
+    "SimulationConfig", "StudentSimulator", "QuestionBank",
+    "build_concept_graph", "build_question_bank", "leaf_concepts",
+    "make_assist09", "make_assist12", "make_slepemapy", "make_eedi",
+    "make_dataset", "DATASET_FACTORIES", "PAPER_TABLE2",
+    "DatasetStats", "compute_stats",
+]

@@ -1,0 +1,96 @@
+"""Batching: pad variable-length subsequences into dense NumPy arrays.
+
+Question and concept ids use 0 as padding; ``mask`` marks real positions.
+Concept sets are ragged (ASSIST09 averages 1.22 concepts per question), so
+they are stored as a ``(B, L, C_max)`` id array plus a count matrix used to
+average concept embeddings (Eq. 23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .events import PAD_ID, StudentSequence
+
+
+@dataclass
+class Batch:
+    """Dense arrays for a batch of subsequences.
+
+    Attributes
+    ----------
+    questions : ``(B, L)`` int — question ids, 0-padded.
+    responses : ``(B, L)`` int — 0/1 correctness, 0 at padding.
+    concepts : ``(B, L, C)`` int — concept ids, 0-padded.
+    concept_counts : ``(B, L)`` int — number of real concepts per step
+        (minimum 1 at padded steps so divisions are safe).
+    mask : ``(B, L)`` bool — True at real (non-padding) steps.
+    """
+
+    questions: np.ndarray
+    responses: np.ndarray
+    concepts: np.ndarray
+    concept_counts: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.questions.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.questions.shape[1]
+
+    def lengths(self) -> np.ndarray:
+        return self.mask.sum(axis=1)
+
+
+def collate(sequences: Sequence[StudentSequence],
+            pad_to: Optional[int] = None) -> Batch:
+    """Pad ``sequences`` to a rectangular batch.
+
+    ``pad_to`` forces a fixed length (the paper pads to 50); by default the
+    batch is padded to its own longest sequence.
+    """
+    if not sequences:
+        raise ValueError("cannot collate an empty list of sequences")
+    longest = max(len(s) for s in sequences)
+    length = pad_to or longest
+    if longest > length:
+        raise ValueError(f"sequence of length {longest} exceeds pad_to={length}")
+    max_concepts = max((len(i.concept_ids) for s in sequences for i in s),
+                       default=1)
+
+    batch = len(sequences)
+    questions = np.full((batch, length), PAD_ID, dtype=np.int64)
+    responses = np.zeros((batch, length), dtype=np.int64)
+    concepts = np.full((batch, length, max_concepts), PAD_ID, dtype=np.int64)
+    counts = np.ones((batch, length), dtype=np.int64)
+    mask = np.zeros((batch, length), dtype=bool)
+
+    for row, sequence in enumerate(sequences):
+        for col, interaction in enumerate(sequence):
+            questions[row, col] = interaction.question_id
+            responses[row, col] = interaction.correct
+            ids = interaction.concept_ids
+            concepts[row, col, :len(ids)] = ids
+            counts[row, col] = len(ids)
+            mask[row, col] = True
+    return Batch(questions, responses, concepts, counts, mask)
+
+
+def iterate_batches(sequences: List[StudentSequence], batch_size: int,
+                    rng: Optional[np.random.Generator] = None,
+                    pad_to: Optional[int] = None) -> Iterator[Batch]:
+    """Yield shuffled (if ``rng`` given) batches over ``sequences``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(sequences))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(sequences), batch_size):
+        chunk = [sequences[i] for i in order[start:start + batch_size]]
+        yield collate(chunk, pad_to=pad_to)

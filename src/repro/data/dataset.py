@@ -1,0 +1,104 @@
+"""Dataset container and the paper's preprocessing pipeline.
+
+Sec. V-A1: *"For each dataset, we split every student's response sequence
+into subsequences of 50 responses each.  Subsequences with fewer than 5
+responses are removed, and those with fewer than 50 responses are padded
+with zeros."*  Padding is applied at batching time (``repro.data.batch``);
+the dataset itself stores the variable-length subsequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .events import Interaction, StudentSequence
+
+MAX_SUBSEQUENCE_LENGTH = 50
+MIN_SUBSEQUENCE_LENGTH = 5
+
+
+@dataclass
+class KTDataset:
+    """A set of (sub)sequences plus ID-space sizes.
+
+    ``num_questions`` / ``num_concepts`` are vocabulary sizes *excluding*
+    the padding id 0, i.e. valid ids are ``1..num_questions``.
+    """
+
+    name: str
+    sequences: List[StudentSequence]
+    num_questions: int
+    num_concepts: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self) -> Iterator[StudentSequence]:
+        return iter(self.sequences)
+
+    def __getitem__(self, index: int) -> StudentSequence:
+        return self.sequences[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_responses(self) -> int:
+        return sum(len(s) for s in self.sequences)
+
+    @property
+    def correct_rate(self) -> float:
+        total = self.num_responses
+        if total == 0:
+            return 0.0
+        return sum(sum(s.responses) for s in self.sequences) / total
+
+    def validate(self) -> None:
+        """Check every id is inside the declared vocabulary."""
+        for sequence in self.sequences:
+            for interaction in sequence:
+                if interaction.question_id > self.num_questions:
+                    raise ValueError(
+                        f"question id {interaction.question_id} exceeds "
+                        f"num_questions={self.num_questions}")
+                for concept in interaction.concept_ids:
+                    if concept > self.num_concepts:
+                        raise ValueError(
+                            f"concept id {concept} exceeds "
+                            f"num_concepts={self.num_concepts}")
+
+    def subset(self, indices: Iterable[int], name: Optional[str] = None) -> "KTDataset":
+        """New dataset view over the selected sequence indices."""
+        picked = [self.sequences[i] for i in indices]
+        return KTDataset(name or self.name, picked,
+                         self.num_questions, self.num_concepts,
+                         dict(self.metadata))
+
+
+def preprocess(sequences: List[StudentSequence],
+               max_length: int = MAX_SUBSEQUENCE_LENGTH,
+               min_length: int = MIN_SUBSEQUENCE_LENGTH) -> List[StudentSequence]:
+    """Apply the paper's split-then-filter preprocessing.
+
+    Every student sequence is split into consecutive chunks of at most
+    ``max_length`` responses and chunks shorter than ``min_length`` are
+    dropped.
+    """
+    result: List[StudentSequence] = []
+    for sequence in sequences:
+        for chunk in sequence.split(max_length):
+            if len(chunk) >= min_length:
+                result.append(chunk)
+    return result
+
+
+def build_dataset(name: str, sequences: List[StudentSequence],
+                  num_questions: int, num_concepts: int,
+                  max_length: int = MAX_SUBSEQUENCE_LENGTH,
+                  min_length: int = MIN_SUBSEQUENCE_LENGTH,
+                  **metadata) -> KTDataset:
+    """Preprocess raw sequences and wrap them in a validated dataset."""
+    processed = preprocess(sequences, max_length=max_length, min_length=min_length)
+    dataset = KTDataset(name, processed, num_questions, num_concepts, metadata)
+    dataset.validate()
+    return dataset

@@ -1,0 +1,84 @@
+"""Core data types: a single response and a student's response sequence.
+
+The paper (Sec. III-A) denotes a history as
+``H_t = {(q_1, r_1, K_1), ..., (q_t, r_t, K_t)}`` where ``q`` is a question
+id, ``r`` binary correctness, and ``K`` the set of knowledge concepts the
+question exercises.  These dataclasses are the in-memory form of that
+notation; IDs are 1-based, with 0 reserved for padding everywhere in the
+repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+PAD_ID = 0
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One response record ``(q, r, K)`` plus an integer timestamp.
+
+    ``timestamp`` is a step counter (not wall-clock); the simulator uses it
+    for forgetting decay and the models ignore it, matching the paper's
+    preprocessing which keeps only order.
+    """
+
+    question_id: int
+    correct: int
+    concept_ids: Tuple[int, ...]
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.question_id <= PAD_ID:
+            raise ValueError(f"question_id must be positive, got {self.question_id}")
+        if self.correct not in (0, 1):
+            raise ValueError(f"correct must be 0 or 1, got {self.correct}")
+        if not self.concept_ids:
+            raise ValueError("an interaction needs at least one concept")
+        if any(c <= PAD_ID for c in self.concept_ids):
+            raise ValueError("concept ids must be positive")
+
+
+@dataclass
+class StudentSequence:
+    """An ordered response record for one student (or one subsequence)."""
+
+    student_id: int
+    interactions: List[Interaction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        return iter(self.interactions)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return StudentSequence(self.student_id, self.interactions[index])
+        return self.interactions[index]
+
+    def append(self, interaction: Interaction) -> None:
+        self.interactions.append(interaction)
+
+    @property
+    def question_ids(self) -> List[int]:
+        return [i.question_id for i in self.interactions]
+
+    @property
+    def responses(self) -> List[int]:
+        return [i.correct for i in self.interactions]
+
+    @property
+    def correct_rate(self) -> float:
+        if not self.interactions:
+            return 0.0
+        return sum(i.correct for i in self.interactions) / len(self.interactions)
+
+    def split(self, max_length: int) -> List["StudentSequence"]:
+        """Chop into consecutive subsequences of at most ``max_length``."""
+        if max_length <= 0:
+            raise ValueError("max_length must be positive")
+        return [StudentSequence(self.student_id, self.interactions[i:i + max_length])
+                for i in range(0, len(self.interactions), max_length)]

@@ -1,0 +1,78 @@
+"""Cross-validation splits matching the paper's evaluation protocol.
+
+Sec. V-A2: five-fold cross validation over (sub)sequences; within each
+fold, 10% of the non-test sequences are held out as the validation set for
+early stopping and hyper-parameter tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .dataset import KTDataset
+
+
+@dataclass
+class Fold:
+    """One train/validation/test split (datasets share the ID spaces)."""
+
+    index: int
+    train: KTDataset
+    validation: KTDataset
+    test: KTDataset
+
+
+def k_fold_splits(dataset: KTDataset, k: int = 5, validation_fraction: float = 0.1,
+                  seed: int = 0) -> Iterator[Fold]:
+    """Yield ``k`` folds with disjoint test sets covering the dataset.
+
+    Sequences are shuffled once with ``seed`` so that folds are stable for a
+    given seed regardless of how many folds the caller consumes.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    count = len(dataset)
+    if count < k:
+        raise ValueError(f"cannot make {k} folds from {count} sequences")
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(count)
+    boundaries = np.linspace(0, count, k + 1).astype(int)
+
+    for fold_index in range(k):
+        test_idx = order[boundaries[fold_index]:boundaries[fold_index + 1]]
+        rest = np.concatenate([order[:boundaries[fold_index]],
+                               order[boundaries[fold_index + 1]:]])
+        # Validation comes from the tail of the shuffled remainder.
+        val_count = max(1, int(round(len(rest) * validation_fraction)))
+        val_idx, train_idx = rest[:val_count], rest[val_count:]
+        yield Fold(
+            index=fold_index,
+            train=dataset.subset(train_idx, f"{dataset.name}/fold{fold_index}/train"),
+            validation=dataset.subset(val_idx, f"{dataset.name}/fold{fold_index}/val"),
+            test=dataset.subset(test_idx, f"{dataset.name}/fold{fold_index}/test"),
+        )
+
+
+def train_test_split(dataset: KTDataset, test_fraction: float = 0.2,
+                     validation_fraction: float = 0.1, seed: int = 0) -> Fold:
+    """Single split convenience wrapper (used by quick examples/benches)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    test_count = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx, rest = order[:test_count], order[test_count:]
+    val_count = max(1, int(round(len(rest) * validation_fraction)))
+    val_idx, train_idx = rest[:val_count], rest[val_count:]
+    return Fold(
+        index=0,
+        train=dataset.subset(train_idx, f"{dataset.name}/train"),
+        validation=dataset.subset(val_idx, f"{dataset.name}/val"),
+        test=dataset.subset(test_idx, f"{dataset.name}/test"),
+    )

@@ -1,0 +1,82 @@
+"""CSV persistence in a KT interchange format.
+
+One row per interaction::
+
+    student_id,sequence_id,position,question_id,correct,concept_ids
+
+``sequence_id`` identifies the (sub)sequence within the file so that a
+student split into several length-50 subsequences round-trips exactly;
+``concept_ids`` is a ``;``-joined list (ASSIST09-style multi-skill rows).
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .dataset import KTDataset
+from .events import Interaction, StudentSequence
+
+_HEADER = ["student_id", "sequence_id", "position", "question_id",
+           "correct", "concept_ids"]
+
+
+def save_csv(dataset: KTDataset, path: Union[str, Path]) -> None:
+    """Write every interaction of ``dataset`` to ``path``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for sequence_id, sequence in enumerate(dataset):
+            for position, interaction in enumerate(sequence):
+                writer.writerow([
+                    sequence.student_id,
+                    sequence_id,
+                    position,
+                    interaction.question_id,
+                    interaction.correct,
+                    ";".join(str(c) for c in interaction.concept_ids),
+                ])
+
+
+def load_csv(path: Union[str, Path], name: str = "csv",
+             num_questions: int = 0, num_concepts: int = 0) -> KTDataset:
+    """Load a dataset written by :func:`save_csv`.
+
+    When ``num_questions``/``num_concepts`` are 0 the vocabulary sizes are
+    inferred as the maximum observed id.  Sequences are *not* re-split: the
+    file is assumed to contain already-preprocessed subsequences, which is
+    what :func:`save_csv` emits.
+    """
+    path = Path(path)
+    groups: Dict[Tuple[int, int], List[List]] = defaultdict(list)
+    max_question = 0
+    max_concept = 0
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_HEADER) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"{path} missing columns: {sorted(missing)}")
+        for row in reader:
+            concepts = tuple(int(c) for c in row["concept_ids"].split(";"))
+            key = (int(row["sequence_id"]), int(row["student_id"]))
+            groups[key].append([int(row["position"]), int(row["question_id"]),
+                                int(row["correct"]), concepts])
+            max_question = max(max_question, int(row["question_id"]))
+            max_concept = max(max_concept, *concepts)
+
+    sequences: List[StudentSequence] = []
+    for (sequence_id, student_id) in sorted(groups):
+        records = sorted(groups[(sequence_id, student_id)], key=lambda r: r[0])
+        sequence = StudentSequence(student_id)
+        for position, question, correct, concepts in records:
+            sequence.append(Interaction(question, correct, concepts, position))
+        sequences.append(sequence)
+
+    dataset = KTDataset(name, sequences,
+                        num_questions or max_question,
+                        num_concepts or max_concept)
+    dataset.validate()
+    return dataset

@@ -1,0 +1,53 @@
+"""Dataset statistics in the shape of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import KTDataset
+
+
+@dataclass
+class DatasetStats:
+    """The Table II row for one dataset."""
+
+    name: str
+    num_responses: int
+    num_sequences: int
+    num_questions: int
+    num_concepts: int
+    concepts_per_question: float
+    correct_rate: float
+
+    def as_row(self) -> str:
+        return (f"{self.name:<12} {self.num_responses:>9} {self.num_sequences:>9} "
+                f"{self.num_questions:>9} {self.num_concepts:>8} "
+                f"{self.concepts_per_question:>9.2f} {self.correct_rate:>8.2f}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'dataset':<12} {'#resp':>9} {'#seq':>9} {'#ques':>9} "
+                f"{'#conc':>8} {'conc/q':>9} {'%corr':>8}")
+
+
+def compute_stats(dataset: KTDataset) -> DatasetStats:
+    """Compute the Table II statistics for ``dataset``.
+
+    ``concepts_per_question`` is averaged over distinct questions that
+    actually appear, mirroring the paper's per-question (not per-response)
+    ratio.
+    """
+    seen = {}
+    for sequence in dataset:
+        for interaction in sequence:
+            seen[interaction.question_id] = len(interaction.concept_ids)
+    concepts_per_question = (sum(seen.values()) / len(seen)) if seen else 0.0
+    return DatasetStats(
+        name=dataset.name,
+        num_responses=dataset.num_responses,
+        num_sequences=len(dataset),
+        num_questions=dataset.num_questions,
+        num_concepts=dataset.num_concepts,
+        concepts_per_question=concepts_per_question,
+        correct_rate=dataset.correct_rate,
+    )

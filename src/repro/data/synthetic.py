@@ -1,0 +1,306 @@
+"""IRT-based student behaviour simulator.
+
+The paper evaluates on four proprietary-hosted corpora (ASSIST09, ASSIST12,
+Slepemapy, Eedi) that cannot be downloaded in this offline environment, so
+this module generates synthetic response logs with the same *structural*
+properties the models exploit:
+
+* **Monotonicity** (Assumption 3.1): the probability of a correct answer is
+  increasing in the student's proficiency — the core premise RCKT's
+  counterfactual retention relies on.
+* **Learning**: practicing a concept raises proficiency (more on correct
+  answers), with *transfer* to related concepts along a concept graph.
+* **Forgetting**: proficiency decays toward a baseline with time since the
+  concept was last practiced — the forgetting-curve effect Fig. 5 of the
+  paper surfaces through response influences.
+* **Guess/slip**: responses are noisy observations of proficiency, as in
+  classic BKT/IRT.
+
+Concept structure is built with ``networkx``: a prerequisite DAG for the
+ASSISTments-style profiles, a concept *tree* whose leaves tag questions for
+the Eedi profile (the paper uses Eedi's leaf concepts), and geographic
+clusters for Slepemapy.  See :mod:`repro.data.profiles` for the per-dataset
+parameterizations matched to Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .events import Interaction, StudentSequence
+
+
+@dataclass
+class QuestionBank:
+    """Static question parameters (1-based ids; index 0 unused)."""
+
+    concepts: List[Tuple[int, ...]]       # concepts[qid - 1] -> concept ids
+    difficulty: np.ndarray                # (num_questions,) IRT b
+    discrimination: np.ndarray            # (num_questions,) IRT a
+    guess: np.ndarray                     # (num_questions,) pseudo-guessing
+    slip: np.ndarray                      # (num_questions,) slip probability
+
+    @property
+    def num_questions(self) -> int:
+        return len(self.concepts)
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs for one synthetic corpus."""
+
+    num_students: int = 100
+    num_questions: int = 200
+    num_concepts: int = 20
+    concepts_per_question: Tuple[int, int] = (1, 1)
+    extra_concept_prob: float = 0.3
+    sequence_length: Tuple[int, int] = (20, 80)
+    target_correct_rate: float = 0.65
+    concept_structure: str = "prerequisite"   # prerequisite | tree | clusters
+    guess_range: Tuple[float, float] = (0.05, 0.25)
+    slip_range: Tuple[float, float] = (0.02, 0.10)
+    learning_gain: float = 0.25
+    incorrect_gain_fraction: float = 0.4
+    transfer_rate: float = 0.3
+    forgetting_rate: float = 0.02
+    momentum_strength: float = 0.6   # streak effect (confidence/frustration)
+    momentum_window: int = 5
+    ability_std: float = 1.0
+    adaptive_selection: bool = False
+    calibration_students: int = 24
+    calibration_rounds: int = 4
+
+
+def build_concept_graph(num_concepts: int, structure: str,
+                        rng: np.random.Generator) -> nx.Graph:
+    """Build the relation graph used for learning transfer.
+
+    ``prerequisite``
+        A random DAG viewed as an undirected relation graph (ASSISTments
+        math skills build on one another).
+    ``tree``
+        A balanced tree; Eedi tags questions with the *leaves* of a math
+        concept tree, and siblings under one parent are related.
+    ``clusters``
+        Disjoint near-cliques (Slepemapy geography facts cluster by
+        region).
+    """
+    if num_concepts < 1:
+        raise ValueError("need at least one concept")
+    if structure == "prerequisite":
+        graph = nx.Graph()
+        graph.add_nodes_from(range(1, num_concepts + 1))
+        for node in range(2, num_concepts + 1):
+            parents = rng.choice(np.arange(1, node), size=min(2, node - 1),
+                                 replace=False)
+            for parent in np.atleast_1d(parents):
+                graph.add_edge(int(parent), node)
+        return graph
+    if structure == "tree":
+        # Balanced binary tree relabelled to 1-based ids.
+        tree = nx.balanced_tree(2, max(1, int(np.ceil(np.log2(num_concepts + 1))) - 1))
+        tree = nx.relabel_nodes(tree, {n: n + 1 for n in tree.nodes})
+        keep = sorted(tree.nodes)[:num_concepts]
+        return tree.subgraph(keep).copy()
+    if structure == "clusters":
+        graph = nx.Graph()
+        graph.add_nodes_from(range(1, num_concepts + 1))
+        cluster_size = max(2, num_concepts // max(1, num_concepts // 6))
+        nodes = list(range(1, num_concepts + 1))
+        for start in range(0, num_concepts, cluster_size):
+            cluster = nodes[start:start + cluster_size]
+            for i, a in enumerate(cluster):
+                for b in cluster[i + 1:]:
+                    if rng.random() < 0.6:
+                        graph.add_edge(a, b)
+        return graph
+    raise ValueError(f"unknown concept structure: {structure}")
+
+
+def leaf_concepts(graph: nx.Graph) -> List[int]:
+    """Concepts with degree <= 1 (the 'leaf nodes' Eedi questions use)."""
+    leaves = [n for n in graph.nodes if graph.degree(n) <= 1]
+    return leaves or list(graph.nodes)
+
+
+def build_question_bank(config: SimulationConfig, graph: nx.Graph,
+                        rng: np.random.Generator) -> QuestionBank:
+    """Sample question parameters and concept assignments."""
+    low, high = config.concepts_per_question
+    if config.concept_structure == "tree":
+        pool = leaf_concepts(graph)
+    else:
+        pool = list(graph.nodes)
+    concepts: List[Tuple[int, ...]] = []
+    for _ in range(config.num_questions):
+        # ``low`` concepts always; each extra slot filled with probability
+        # ``extra_concept_prob`` (gives e.g. ASSIST09's 1.22 concepts/question
+        # instead of a uniform mean of 2).
+        count = low + int(rng.binomial(high - low, config.extra_concept_prob))
+        count = min(count, len(pool))
+        primary = int(rng.choice(pool))
+        chosen = {primary}
+        # Extra concepts are preferentially graph-neighbours of the primary
+        # (multi-concept questions mix *related* skills).
+        neighbours = [n for n in graph.neighbors(primary) if n in set(pool)]
+        while len(chosen) < count:
+            if neighbours and rng.random() < 0.7:
+                chosen.add(int(rng.choice(neighbours)))
+            else:
+                chosen.add(int(rng.choice(pool)))
+        concepts.append(tuple(sorted(chosen)))
+    return QuestionBank(
+        concepts=concepts,
+        difficulty=rng.normal(0.0, 1.0, size=config.num_questions),
+        discrimination=rng.lognormal(0.0, 0.3, size=config.num_questions),
+        guess=rng.uniform(*config.guess_range, size=config.num_questions),
+        slip=rng.uniform(*config.slip_range, size=config.num_questions),
+    )
+
+
+class StudentSimulator:
+    """Generates response sequences under learning + forgetting dynamics."""
+
+    def __init__(self, config: SimulationConfig, seed: int = 0):
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self.graph = build_concept_graph(config.num_concepts,
+                                         config.concept_structure, self._rng)
+        self.bank = build_question_bank(config, self.graph, self._rng)
+        self._ability_shift = 0.0
+        self._calibrate()
+
+    # ------------------------------------------------------------------
+    # Core response model
+    # ------------------------------------------------------------------
+    def correct_probability(self, proficiency: float, question_index: int,
+                            momentum: float = 0.0) -> float:
+        """IRT 4-parameter response curve; monotone in ``proficiency``.
+
+        ``momentum`` is an additive logit shift from the student's recent
+        streak (confidence after successes, frustration after failures) —
+        a *sequential* effect that static per-interaction features cannot
+        express, mirroring real tutoring logs.  Monotonicity in
+        ``proficiency`` (Assumption 3.1) is preserved because the shift is
+        additive.
+        """
+        bank = self.bank
+        logit = 1.7 * bank.discrimination[question_index] * (
+            proficiency - bank.difficulty[question_index]) + momentum
+        base = 1.0 / (1.0 + np.exp(-np.clip(logit, -30, 30)))
+        return float(bank.guess[question_index]
+                     + (1.0 - bank.guess[question_index]
+                        - bank.slip[question_index]) * base)
+
+    def _question_proficiency(self, theta: Dict[int, float], qid: int) -> float:
+        ids = self.bank.concepts[qid - 1]
+        return float(np.mean([theta[c] for c in ids]))
+
+    # ------------------------------------------------------------------
+    # Sequence generation
+    # ------------------------------------------------------------------
+    def simulate_student(self, student_id: int,
+                         rng: Optional[np.random.Generator] = None,
+                         length: Optional[int] = None) -> StudentSequence:
+        """Simulate one student's full practice log."""
+        rng = rng or self._rng
+        config = self.config
+        if length is None:
+            low, high = config.sequence_length
+            length = int(rng.integers(low, high + 1))  # inclusive bounds
+        base = rng.normal(self._ability_shift, config.ability_std)
+        theta = {c: base + rng.normal(0.0, 0.5) for c in self.graph.nodes}
+        baseline = dict(theta)
+        last_practiced = {c: 0 for c in self.graph.nodes}
+
+        sequence = StudentSequence(student_id)
+        recent: list = []
+        for step in range(1, length + 1):
+            qid = self._select_question(theta, rng)
+            # Forgetting: decay unpracticed concepts toward their baseline.
+            for concept in self.bank.concepts[qid - 1]:
+                gap = step - last_practiced[concept]
+                decay = np.exp(-config.forgetting_rate * gap)
+                theta[concept] = (baseline[concept]
+                                  + (theta[concept] - baseline[concept]) * decay)
+            proficiency = self._question_proficiency(theta, qid)
+            window = recent[-config.momentum_window:]
+            momentum = (config.momentum_strength
+                        * 2.0 * (np.mean(window) - 0.5)) if window else 0.0
+            prob = self.correct_probability(proficiency, qid - 1,
+                                            momentum=momentum)
+            correct = int(rng.random() < prob)
+            recent.append(correct)
+            sequence.append(Interaction(qid, correct,
+                                        self.bank.concepts[qid - 1], step))
+            self._apply_learning(theta, baseline, last_practiced, qid,
+                                 correct, step)
+        return sequence
+
+    def simulate(self, seed: Optional[int] = None) -> List[StudentSequence]:
+        """Simulate the whole student population."""
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        return [self.simulate_student(student_id + 1, rng)
+                for student_id in range(self.config.num_students)]
+
+    # ------------------------------------------------------------------
+    def _select_question(self, theta: Dict[int, float],
+                         rng: np.random.Generator) -> int:
+        if not self.config.adaptive_selection:
+            return int(rng.integers(1, self.bank.num_questions + 1))
+        # Adaptive practice (slepemapy.cz): prefer questions near the
+        # student's ability so practice is neither trivial nor hopeless.
+        candidates = rng.integers(1, self.bank.num_questions + 1, size=8)
+        gaps = []
+        for qid in candidates:
+            proficiency = self._question_proficiency(theta, int(qid))
+            gaps.append(abs(proficiency - self.bank.difficulty[qid - 1]))
+        return int(candidates[int(np.argmin(gaps))])
+
+    def _apply_learning(self, theta: Dict[int, float],
+                        baseline: Dict[int, float],
+                        last_practiced: Dict[int, int], qid: int,
+                        correct: int, step: int) -> None:
+        config = self.config
+        gain = config.learning_gain
+        if not correct:
+            gain *= config.incorrect_gain_fraction
+        for concept in self.bank.concepts[qid - 1]:
+            # Diminishing returns: less gain at high proficiency.
+            room = 1.0 / (1.0 + np.exp(theta[concept]))
+            theta[concept] += gain * (0.5 + room)
+            baseline[concept] += 0.5 * gain * (0.5 + room)
+            last_practiced[concept] = step
+            for neighbour in self.graph.neighbors(concept):
+                theta[neighbour] += config.transfer_rate * gain * 0.5
+                baseline[neighbour] += 0.25 * config.transfer_rate * gain
+
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> None:
+        """Shift the ability distribution to hit ``target_correct_rate``.
+
+        A few fixed-point iterations on a small pilot population; each
+        round nudges the global ability shift by the logit difference
+        between target and observed correct rates.
+        """
+        config = self.config
+        target = config.target_correct_rate
+        if not 0.0 < target < 1.0:
+            raise ValueError("target_correct_rate must be in (0, 1)")
+        pilot = min(config.calibration_students, config.num_students)
+        for round_index in range(config.calibration_rounds):
+            rng = np.random.default_rng(9000 + round_index)
+            responses = []
+            for student_id in range(pilot):
+                seq = self.simulate_student(-1 - student_id, rng)
+                responses.extend(seq.responses)
+            observed = float(np.clip(np.mean(responses), 0.02, 0.98))
+            adjustment = (np.log(target / (1 - target))
+                          - np.log(observed / (1 - observed)))
+            self._ability_shift += 0.8 * adjustment
+            if abs(observed - target) < 0.01:
+                break

@@ -1,0 +1,8 @@
+"""Evaluation: metrics, early stopping, significance tests."""
+
+from .early_stopping import EarlyStopping
+from .metrics import accuracy_score, auc_score
+from .significance import is_significant, paired_t_test
+
+__all__ = ["auc_score", "accuracy_score", "EarlyStopping",
+           "paired_t_test", "is_significant"]

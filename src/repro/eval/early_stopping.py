@@ -1,0 +1,41 @@
+"""Early stopping on validation performance.
+
+Sec. V-A2: training stops when validation performance has not improved for
+10 consecutive epochs; the best-epoch weights are restored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class EarlyStopping:
+    """Tracks a maximized metric and stores the best model state."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value: float = -np.inf
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.best_epoch: int = -1
+        self._bad_epochs = 0
+
+    def update(self, value: float, epoch: int,
+               state: Optional[Dict[str, np.ndarray]] = None) -> bool:
+        """Record an epoch result; returns True when training should stop."""
+        if value > self.best_value + self.min_delta:
+            self.best_value = value
+            self.best_epoch = epoch
+            self.best_state = state
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    @property
+    def should_restore(self) -> bool:
+        return self.best_state is not None

@@ -1,0 +1,52 @@
+"""Binary-classification metrics: AUC and ACC (Sec. V-A2).
+
+Implemented from scratch (no sklearn in this environment).  AUC uses the
+rank formulation with midrank tie handling, equivalent to the trapezoidal
+ROC integral.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import rankdata
+
+
+def auc_score(labels: Sequence[float], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic.
+
+    Raises ``ValueError`` when only one class is present (AUC undefined).
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {scores.shape}")
+    if labels.size == 0:
+        raise ValueError("empty input")
+    positives = int((labels == 1).sum())
+    negatives = int((labels == 0).sum())
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC undefined with a single class")
+    ranks = rankdata(scores)  # midranks for ties
+    positive_rank_sum = ranks[labels == 1].sum()
+    return float((positive_rank_sum - positives * (positives + 1) / 2.0)
+                 / (positives * negatives))
+
+
+def accuracy_score(labels: Sequence[float], scores: Sequence[float],
+                   threshold: float = 0.5) -> float:
+    """Fraction of correct binary decisions at ``threshold``.
+
+    The paper thresholds predictive scores at gamma (0.5 for probability
+    outputs; RCKT's influence-difference score uses 0 — callers pass the
+    appropriate threshold).
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {scores.shape}")
+    if labels.size == 0:
+        raise ValueError("empty input")
+    predictions = (scores >= threshold).astype(np.float64)
+    return float((predictions == labels).mean())

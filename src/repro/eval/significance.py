@@ -1,0 +1,28 @@
+"""Statistical significance testing (Table IV's T-test, p <= 0.01)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from scipy import stats
+
+
+def paired_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Paired t-test over per-fold metric values; returns (t, p).
+
+    The paper marks RCKT results with ``*`` when the improvement over the
+    best baseline is significant at p <= 0.01 across cross-validation folds.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired test needs equal-length samples")
+    if len(a) < 2:
+        raise ValueError("need at least two paired observations")
+    result = stats.ttest_rel(a, b)
+    return float(result.statistic), float(result.pvalue)
+
+
+def is_significant(a: Sequence[float], b: Sequence[float],
+                   alpha: float = 0.01) -> bool:
+    """One-sided check that ``a`` beats ``b`` significantly."""
+    t, p = paired_t_test(a, b)
+    return t > 0 and (p / 2) <= alpha

@@ -1,0 +1,42 @@
+"""Experiment harness: one callable per paper table/figure.
+
+=============  =========================  =============================
+Paper artifact Function                   Bench module
+=============  =========================  =============================
+Table II       :func:`run_table2`         benchmarks/test_table2_dataset_stats.py
+Table IV       :func:`run_overall`        benchmarks/test_table4_overall.py
+Table V        :func:`run_ablation`       benchmarks/test_table5_ablation.py
+Table VI       :func:`run_approximation`  benchmarks/test_table6_approximation.py
+Fig. 4         :func:`run_lambda_sweep`   benchmarks/test_fig4_lambda.py
+Fig. 5         :func:`run_proficiency_figure`  benchmarks/test_fig5_proficiency.py
+Fig. 6         :func:`run_case_study`     benchmarks/test_fig6_case_study.py
+=============  =========================  =============================
+"""
+
+from .ablation import ABLATIONS, AblationResult, run_ablation
+from .approximation import ApproximationResult, run_approximation
+from .cross_validation import CVResult, run_cross_validation
+from .common import (BASELINES, DATASETS, RCKT_VARIANTS, Budget,
+                     cached_dataset, env_epochs, env_scale, rckt_config_for,
+                     run_baseline, run_rckt, single_fold)
+from .figures import (CaseStudyFigure, ProficiencyFigure, run_case_study,
+                      run_proficiency_figure)
+from .lambda_sweep import LambdaSweepResult, run_lambda_sweep
+from .overall import OverallResult, run_overall
+from .paper_numbers import FIG4_LAMBDAS, TABLE4, TABLE5, TABLE6
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "Budget", "DATASETS", "BASELINES", "RCKT_VARIANTS",
+    "cached_dataset", "single_fold", "run_baseline", "run_rckt",
+    "rckt_config_for", "env_scale", "env_epochs",
+    "run_table2", "Table2Result",
+    "run_overall", "OverallResult",
+    "run_ablation", "AblationResult", "ABLATIONS",
+    "run_lambda_sweep", "LambdaSweepResult",
+    "run_approximation", "ApproximationResult",
+    "run_cross_validation", "CVResult",
+    "run_proficiency_figure", "ProficiencyFigure",
+    "run_case_study", "CaseStudyFigure",
+    "TABLE4", "TABLE5", "TABLE6", "FIG4_LAMBDAS",
+]

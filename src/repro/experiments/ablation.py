@@ -1,0 +1,88 @@
+"""Experiment E3 — Table V: ablation of RCKT's components.
+
+Three switches, each mapped to a row of Table V (Sec. V-C):
+
+* ``-joint`` — no joint training with the probability generator (λ = 0).
+* ``-mono``  — no monotonicity-based retention: counterfactual sequences
+  keep all non-intervened responses factual.
+* ``-con``   — no non-negativity constraint on individual influences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.interpret import comparison_table
+
+from .common import Budget, cached_dataset, run_rckt, single_fold
+from .paper_numbers import TABLE5
+
+ABLATIONS = {
+    "full": {},
+    "-joint": {"use_joint": False},
+    "-mono": {"use_monotonicity": False},
+    "-con": {"use_constraint": False},
+}
+
+
+@dataclass
+class AblationResult:
+    """variant -> (encoder, dataset) -> {'auc', 'acc'}."""
+
+    metrics: Dict[str, Dict[tuple, Dict[str, float]]] = field(default_factory=dict)
+
+    def degradation(self, variant: str, encoder: str, dataset: str,
+                    metric: str = "auc") -> float:
+        """full minus ablated — positive means the component helps."""
+        full = self.metrics["full"][(encoder, dataset)][metric]
+        ablated = self.metrics[variant][(encoder, dataset)][metric]
+        return full - ablated
+
+    def render(self) -> str:
+        keys = sorted({key for variant in self.metrics.values()
+                       for key in variant})
+        headers = ["variant"] + [f"{e}/{d} AUC" for e, d in keys] + ["paper Δ(assist09)"]
+        rows = []
+        for variant, cells in self.metrics.items():
+            row = [variant]
+            for key in keys:
+                row.append(cells[key]["auc"])
+            paper_delta = _paper_delta(variant, keys)
+            row.append(paper_delta)
+            rows.append(row)
+        return comparison_table(headers, rows,
+                                title="Table V — ablation study "
+                                      "(measured AUC; paper full-minus-variant)")
+
+
+def _paper_delta(variant: str, keys) -> str:
+    if variant == "full" or not keys:
+        return "-"
+    encoder = keys[0][0]
+    full = TABLE5.get((encoder, "full"), {}).get("assist09")
+    ablated = TABLE5.get((encoder, variant), {}).get("assist09")
+    if not (full and ablated):
+        return "-"
+    return f"{full[0] - ablated[0]:+.4f}"
+
+
+def run_ablation(encoders: Sequence[str] = ("dkt", "akt"),
+                 datasets: Sequence[str] = ("assist09",),
+                 variants: Optional[Sequence[str]] = None,
+                 budget: Optional[Budget] = None,
+                 seed: int = 0) -> AblationResult:
+    """Run the Table V grid (defaults: the paper's two best encoders)."""
+    budget = budget or Budget.from_env()
+    variants = list(variants or ABLATIONS)
+    result = AblationResult()
+    for variant in variants:
+        flags = ABLATIONS[variant]
+        result.metrics[variant] = {}
+        for encoder in encoders:
+            for dataset_name in datasets:
+                dataset = cached_dataset(dataset_name, seed=seed)
+                fold = single_fold(dataset, seed=seed)
+                metrics = run_rckt(dataset_name, encoder, fold, budget, **flags)
+                result.metrics[variant][(encoder, dataset_name)] = metrics
+    return result

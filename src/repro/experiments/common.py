@@ -1,0 +1,135 @@
+"""Shared experiment infrastructure: scaling knobs, dataset cache, model zoo.
+
+The paper trains on 0.4M-10M-response corpora with d=128 on a GPU; this
+pure-NumPy reproduction defaults to small scales so every bench finishes in
+minutes on a CPU.  Two environment variables tune fidelity:
+
+* ``REPRO_SCALE``   — multiplies dataset sizes (default 0.2).
+* ``REPRO_EPOCHS``  — training epochs for every model (default 4).
+
+The *structure* of each experiment (models, datasets, metrics, protocol)
+never changes with scale; only sizes do.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import RCKT, RCKTConfig, evaluate_rckt, fit_rckt, paper_config
+from repro.data import Fold, KTDataset, make_dataset, train_test_split
+from repro.models import (AKT, DIMKT, DKT, IKT, QIKT, SAKT, BKT, TrainConfig,
+                          evaluate_probabilistic, evaluate_sequential,
+                          fit_sequential)
+
+DATASETS = ("assist09", "assist12", "slepemapy", "eedi")
+BASELINES = ("DKT", "SAKT", "AKT", "DIMKT", "IKT", "QIKT")
+RCKT_VARIANTS = ("RCKT-DKT", "RCKT-SAKT", "RCKT-AKT")
+
+
+def env_scale(default: float = 0.25) -> float:
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def env_epochs(default: int = 6) -> int:
+    return int(os.environ.get("REPRO_EPOCHS", default))
+
+
+@dataclass
+class Budget:
+    """Bench-scale training budget shared by all models in an experiment."""
+
+    dim: int = 16
+    epochs: int = 6
+    batch_size: int = 32
+    lr: float = 2e-3
+    eval_stride: int = 2      # RCKT evaluation target subsampling
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls, **overrides) -> "Budget":
+        values = dict(epochs=env_epochs())
+        values.update(overrides)
+        return cls(**values)
+
+
+_dataset_cache: Dict[Tuple[str, float, int], KTDataset] = {}
+
+
+def cached_dataset(name: str, scale: Optional[float] = None,
+                   seed: int = 0) -> KTDataset:
+    """Memoized dataset construction (profiles are deterministic)."""
+    scale = env_scale() if scale is None else scale
+    key = (name, scale, seed)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = make_dataset(name, scale=scale, seed=seed)
+    return _dataset_cache[key]
+
+
+def single_fold(dataset: KTDataset, seed: int = 0) -> Fold:
+    return train_test_split(dataset, test_fraction=0.2,
+                            validation_fraction=0.1, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Model zoo
+# ---------------------------------------------------------------------------
+def run_baseline(name: str, fold: Fold, budget: Budget) -> Dict[str, float]:
+    """Train + evaluate one baseline; returns {'auc', 'acc'}."""
+    from repro.utils import derive_rng
+    dataset = fold.train
+    num_q, num_c = dataset.num_questions, dataset.num_concepts
+    rng = derive_rng(budget.seed, "baseline", name)
+    train_config = TrainConfig(epochs=budget.epochs,
+                               batch_size=budget.batch_size, lr=budget.lr,
+                               seed=budget.seed)
+    if name == "IKT":
+        return evaluate_probabilistic(IKT().fit(fold.train), fold.test)
+    if name == "BKT":
+        return evaluate_probabilistic(BKT().fit(fold.train), fold.test)
+    if name == "DKT":
+        model = DKT(num_q, num_c, budget.dim, rng)
+    elif name == "SAKT":
+        model = SAKT(num_q, num_c, budget.dim, rng)
+    elif name == "AKT":
+        model = AKT(num_q, num_c, budget.dim, rng)
+    elif name == "DIMKT":
+        model = DIMKT.from_dataset(fold.train, num_q, num_c, budget.dim, rng)
+    elif name == "QIKT":
+        model = QIKT(num_q, num_c, budget.dim, rng)
+    else:
+        raise KeyError(f"unknown baseline '{name}'")
+    fit_sequential(model, fold.train, fold.validation, train_config)
+    return evaluate_sequential(model, fold.test)
+
+
+def rckt_config_for(dataset_name: str, encoder: str, budget: Budget,
+                    **ablation_flags) -> RCKTConfig:
+    """Table III hyper-parameters shrunk to the bench budget."""
+    return paper_config(
+        dataset_name, encoder,
+        dim=budget.dim,
+        epochs=budget.epochs,
+        batch_size=budget.batch_size,
+        seed=budget.seed,
+        targets_per_sequence=2,
+        # Bench scale: paper layer counts (2-3) are kept in Table III but
+        # shrunk here for CPU budget.
+        layers=1,
+        dropout=0.0,
+        **ablation_flags,
+    )
+
+
+def run_rckt(dataset_name: str, encoder: str, fold: Fold, budget: Budget,
+             **ablation_flags) -> Dict[str, float]:
+    """Train + evaluate one RCKT variant; returns {'auc', 'acc'}."""
+    config = rckt_config_for(dataset_name, encoder, budget, **ablation_flags)
+    model = RCKT(fold.train.num_questions, fold.train.num_concepts, config)
+    fit_rckt(model, fold.train, fold.validation,
+             eval_stride=max(budget.eval_stride, 3))
+    return evaluate_rckt(model, fold.test, batch_size=budget.batch_size,
+                         stride=budget.eval_stride)

@@ -1,0 +1,72 @@
+"""Experiment E4 — Fig. 4: effect of the loss balancer λ.
+
+Sweeps λ over the paper's grid {0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4} for
+RCKT-DKT and RCKT-AKT on the two ASSIST profiles and reports AUC/ACC per
+point.  The paper's finding: performance peaks for λ in [0.01, 0.1] — some
+joint-training regularization helps, too much drowns the counterfactual
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core import RCKT, evaluate_rckt, fit_rckt
+from repro.interpret import line_chart
+
+from .common import Budget, cached_dataset, rckt_config_for, single_fold
+from .paper_numbers import FIG4_LAMBDAS
+
+
+@dataclass
+class LambdaSweepResult:
+    """(encoder, dataset) -> {lambda: {'auc', 'acc'}}."""
+
+    curves: Dict[Tuple[str, str], Dict[float, Dict[str, float]]] = \
+        field(default_factory=dict)
+    lambdas: Sequence[float] = FIG4_LAMBDAS
+
+    def best_lambda(self, encoder: str, dataset: str,
+                    metric: str = "auc") -> float:
+        curve = self.curves[(encoder, dataset)]
+        return max(curve, key=lambda lam: curve[lam][metric])
+
+    def render(self) -> str:
+        blocks = []
+        for (encoder, dataset), curve in self.curves.items():
+            series = {f"{encoder}-AUC": [curve[lam]["auc"] for lam in self.lambdas],
+                      f"{encoder}-ACC": [curve[lam]["acc"] for lam in self.lambdas]}
+            labels = [str(lam) for lam in self.lambdas]
+            blocks.append(line_chart(
+                series, x_labels=labels, height=8,
+                title=f"Fig. 4 — λ sweep on {dataset} ({encoder})"))
+        return "\n\n".join(blocks)
+
+
+def run_lambda_sweep(encoders: Sequence[str] = ("dkt",),
+                     datasets: Sequence[str] = ("assist09",),
+                     lambdas: Optional[Sequence[float]] = None,
+                     budget: Optional[Budget] = None,
+                     seed: int = 0) -> LambdaSweepResult:
+    """Run the Fig. 4 sweep (defaults shrunk for bench time)."""
+    budget = budget or Budget.from_env()
+    lambdas = tuple(lambdas if lambdas is not None else FIG4_LAMBDAS)
+    result = LambdaSweepResult(curves={}, lambdas=lambdas)
+    for encoder in encoders:
+        for dataset_name in datasets:
+            dataset = cached_dataset(dataset_name, seed=seed)
+            fold = single_fold(dataset, seed=seed)
+            curve: Dict[float, Dict[str, float]] = {}
+            for lam in lambdas:
+                config = rckt_config_for(dataset_name, encoder, budget,
+                                         use_joint=lam > 0)
+                config = config.with_overrides(lambda_balance=lam)
+                model = RCKT(dataset.num_questions, dataset.num_concepts,
+                             config)
+                fit_rckt(model, fold.train, fold.validation,
+                         eval_stride=max(budget.eval_stride, 3))
+                curve[lam] = evaluate_rckt(model, fold.test,
+                                           stride=budget.eval_stride)
+            result.curves[(encoder, dataset_name)] = curve
+    return result

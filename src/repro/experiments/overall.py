@@ -1,0 +1,76 @@
+"""Experiment E2 — Table IV: overall performance of RCKT vs. six baselines.
+
+Runs every model on every requested dataset profile and reports measured
+AUC/ACC next to the paper's published numbers.  The reproduction target is
+the *shape*: RCKT variants should sit at or above the strongest baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.interpret import comparison_table
+
+from .common import (BASELINES, DATASETS, RCKT_VARIANTS, Budget,
+                     cached_dataset, run_baseline, run_rckt, single_fold)
+from .paper_numbers import TABLE4
+
+
+@dataclass
+class OverallResult:
+    """Measured metric grid: model -> dataset -> {'auc', 'acc'}."""
+
+    metrics: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    datasets: Sequence[str] = DATASETS
+
+    def best_baseline(self, dataset: str, metric: str = "auc") -> float:
+        return max(self.metrics[m][dataset][metric]
+                   for m in self.metrics if not m.startswith("RCKT"))
+
+    def best_rckt(self, dataset: str, metric: str = "auc") -> float:
+        return max(self.metrics[m][dataset][metric]
+                   for m in self.metrics if m.startswith("RCKT"))
+
+    def render(self) -> str:
+        headers = ["model"]
+        for ds in self.datasets:
+            headers += [f"{ds} AUC", f"{ds} ACC", "(paper AUC)"]
+        rows = []
+        for model in self.metrics:
+            row: List[object] = [model]
+            for ds in self.datasets:
+                measured = self.metrics[model][ds]
+                paper = TABLE4.get(model, {}).get(ds, (float("nan"),) * 2)
+                row += [measured["auc"], measured["acc"], f"{paper[0]:.4f}"]
+            rows.append(row)
+        return comparison_table(headers, rows,
+                                title="Table IV — overall performance "
+                                      "(measured vs paper)")
+
+
+def run_overall(models: Optional[Sequence[str]] = None,
+                datasets: Optional[Sequence[str]] = None,
+                budget: Optional[Budget] = None,
+                seed: int = 0) -> OverallResult:
+    """Run the Table IV grid.
+
+    ``models`` defaults to all six baselines plus the three RCKT variants;
+    pass a subset for quicker runs.
+    """
+    budget = budget or Budget.from_env()
+    models = list(models or list(BASELINES) + list(RCKT_VARIANTS))
+    datasets = list(datasets or DATASETS)
+    result = OverallResult(metrics={}, datasets=datasets)
+    for model_name in models:
+        result.metrics[model_name] = {}
+        for dataset_name in datasets:
+            dataset = cached_dataset(dataset_name, seed=seed)
+            fold = single_fold(dataset, seed=seed)
+            if model_name.startswith("RCKT-"):
+                encoder = model_name.split("-", 1)[1].lower()
+                metrics = run_rckt(dataset_name, encoder, fold, budget)
+            else:
+                metrics = run_baseline(model_name, fold, budget)
+            result.metrics[model_name][dataset_name] = metrics
+    return result

@@ -1,0 +1,59 @@
+"""Published numbers from the paper's tables, for side-by-side reports.
+
+Sources: Table IV (overall AUC/ACC), Table V (ablation), Table VI
+(approximation efficiency).  Used only for *display and shape checks* —
+absolute values are not expected to match a synthetic-data CPU-scale run.
+"""
+
+# Table IV: model -> dataset -> (AUC, ACC)
+TABLE4 = {
+    "DKT": {"assist09": (0.7706, 0.7263), "assist12": (0.7287, 0.7345),
+            "slepemapy": (0.7813, 0.7988), "eedi": (0.7391, 0.7014)},
+    "SAKT": {"assist09": (0.7674, 0.7248), "assist12": (0.7283, 0.7344),
+             "slepemapy": (0.7850, 0.8012), "eedi": (0.7417, 0.7030)},
+    "AKT": {"assist09": (0.7837, 0.7343), "assist12": (0.7718, 0.7536),
+            "slepemapy": (0.7866, 0.8019), "eedi": (0.7828, 0.7281)},
+    "DIMKT": {"assist09": (0.7854, 0.7387), "assist12": (0.7709, 0.7541),
+              "slepemapy": (0.7888, 0.8021), "eedi": (0.7835, 0.7285)},
+    "IKT": {"assist09": (0.7774, 0.7261), "assist12": (0.7624, 0.7452),
+            "slepemapy": (0.6664, 0.7846), "eedi": (0.7680, 0.7192)},
+    "QIKT": {"assist09": (0.7815, 0.7324), "assist12": (0.7623, 0.7462),
+             "slepemapy": (0.7832, 0.8003), "eedi": (0.7803, 0.7260)},
+    "RCKT-DKT": {"assist09": (0.7929, 0.7439), "assist12": (0.7746, 0.7545),
+                 "slepemapy": (0.7879, 0.8036), "eedi": (0.7857, 0.7303)},
+    "RCKT-SAKT": {"assist09": (0.7899, 0.7425), "assist12": (0.7728, 0.7559),
+                  "slepemapy": (0.7844, 0.8041), "eedi": (0.7807, 0.7285)},
+    "RCKT-AKT": {"assist09": (0.7947, 0.7449), "assist12": (0.7782, 0.7576),
+                 "slepemapy": (0.7955, 0.8047), "eedi": (0.7868, 0.7311)},
+}
+
+# Table V: (encoder, variant) -> dataset -> (AUC, ACC)
+TABLE5 = {
+    ("dkt", "full"): {"assist09": (0.7929, 0.7439), "assist12": (0.7746, 0.7545),
+                      "slepemapy": (0.7879, 0.8036), "eedi": (0.7857, 0.7303)},
+    ("dkt", "-joint"): {"assist09": (0.7894, 0.7410), "assist12": (0.7723, 0.7539),
+                        "slepemapy": (0.7857, 0.8014), "eedi": (0.7823, 0.7287)},
+    ("dkt", "-mono"): {"assist09": (0.7812, 0.7311), "assist12": (0.7691, 0.7503),
+                       "slepemapy": (0.7829, 0.7981), "eedi": (0.7790, 0.7259)},
+    ("dkt", "-con"): {"assist09": (0.7901, 0.7421), "assist12": (0.7731, 0.7540),
+                      "slepemapy": (0.7853, 0.8016), "eedi": (0.7835, 0.7291)},
+    ("akt", "full"): {"assist09": (0.7947, 0.7449), "assist12": (0.7782, 0.7576),
+                      "slepemapy": (0.7955, 0.8047), "eedi": (0.7868, 0.7311)},
+    ("akt", "-joint"): {"assist09": (0.7909, 0.7413), "assist12": (0.7756, 0.7554),
+                        "slepemapy": (0.7928, 0.8031), "eedi": (0.7834, 0.7292)},
+    ("akt", "-mono"): {"assist09": (0.7850, 0.7359), "assist12": (0.7703, 0.7522),
+                       "slepemapy": (0.7901, 0.7813), "eedi": (0.7801, 0.7275)},
+    ("akt", "-con"): {"assist09": (0.7918, 0.7415), "assist12": (0.7752, 0.7558),
+                      "slepemapy": (0.7930, 0.8033), "eedi": (0.7841, 0.7301)},
+}
+
+# Table VI (ASSIST09): variant -> {metric: value}
+TABLE6 = {
+    ("before", "RCKT-DKT"): {"auc": 0.7896, "acc": 0.7427, "time_ms": 214.61},
+    ("before", "RCKT-AKT"): {"auc": 0.7913, "acc": 0.7434, "time_ms": 305.70},
+    ("after", "RCKT-DKT"): {"auc": 0.7929, "acc": 0.7439, "time_ms": 10.63},
+    ("after", "RCKT-AKT"): {"auc": 0.7947, "acc": 0.7449, "time_ms": 14.31},
+}
+
+# Fig. 4 sweep values (λ grid shown on the x-axis).
+FIG4_LAMBDAS = (0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4)

@@ -1,0 +1,41 @@
+"""Experiment E1 — Table II: statistics of the four dataset profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.data import DatasetStats, PAPER_TABLE2, compute_stats
+from repro.interpret import comparison_table
+
+from .common import DATASETS, cached_dataset
+
+
+@dataclass
+class Table2Result:
+    stats: Dict[str, DatasetStats] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for name, stat in self.stats.items():
+            paper = PAPER_TABLE2[name]
+            rows.append([
+                name, stat.num_responses, stat.num_sequences,
+                stat.num_questions, stat.num_concepts,
+                stat.concepts_per_question, stat.correct_rate,
+                paper["concepts_per_question"], paper["correct_rate"],
+            ])
+        return comparison_table(
+            ["dataset", "#resp", "#seq", "#ques", "#conc", "conc/q",
+             "%corr", "paper conc/q", "paper %corr"],
+            rows,
+            title="Table II — dataset statistics (synthetic profiles; "
+                  "sizes scaled, shapes matched)")
+
+
+def run_table2(datasets: Optional[Sequence[str]] = None,
+               seed: int = 0) -> Table2Result:
+    result = Table2Result()
+    for name in datasets or DATASETS:
+        result.stats[name] = compute_stats(cached_dataset(name, seed=seed))
+    return result

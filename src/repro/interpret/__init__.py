@@ -1,0 +1,20 @@
+"""Interpretation tooling: explanations, proficiency traces, case studies."""
+
+from .ascii_plots import comparison_table, influence_bars, line_chart
+from .case_study import CaseStudy, CaseStudyRow, build_case_study
+from .explanations import (InfluenceRow, PredictionExplanation,
+                           explain_prediction)
+from .proficiency import (ProficiencyTrace, related_questions,
+                          trace_all_concepts, trace_proficiency,
+                          virtual_question_embedding)
+from .recommendation import (QuestionRecommendation, question_value,
+                             recommend_questions)
+
+__all__ = [
+    "explain_prediction", "PredictionExplanation", "InfluenceRow",
+    "ProficiencyTrace", "trace_proficiency", "trace_all_concepts",
+    "related_questions", "virtual_question_embedding",
+    "CaseStudy", "CaseStudyRow", "build_case_study",
+    "line_chart", "influence_bars", "comparison_table",
+    "QuestionRecommendation", "question_value", "recommend_questions",
+]

@@ -1,0 +1,96 @@
+"""Terminal rendering of the paper's figures (no plotting stack offline).
+
+Line charts for Fig. 4/5-style series and signed bar charts for response
+influences; everything returns plain strings so benches can ``print`` them
+and tests can assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def line_chart(series: Dict[str, Sequence[float]],
+               x_labels: Optional[Sequence[str]] = None,
+               height: int = 10, title: str = "") -> str:
+    """Multi-series ASCII line chart; one glyph per series."""
+    if not series:
+        raise ValueError("no series to plot")
+    glyphs = "*o+x#@%&"
+    arrays = {name: np.asarray(values, dtype=np.float64)
+              for name, values in series.items()}
+    width = max(len(a) for a in arrays.values())
+    lo = min(a.min() for a in arrays.values())
+    hi = max(a.max() for a in arrays.values())
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, value in enumerate(values):
+            y = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level = hi - span * row_index / (height - 1)
+        lines.append(f"{level:8.3f} |" + "".join(row))
+    if x_labels:
+        lines.append(" " * 10 + "".join(str(l)[0] for l in x_labels))
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(arrays))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def influence_bars(influences: Sequence[float],
+                   correctness: Sequence[int],
+                   width: int = 30, title: str = "") -> str:
+    """Signed horizontal bars: one row per past response (Fig. 5 bottom).
+
+    Correct responses render as ``+`` bars, incorrect as ``-`` bars; bar
+    length is proportional to |influence| within the series.
+    """
+    influences = np.asarray(influences, dtype=np.float64)
+    correctness = np.asarray(correctness)
+    if influences.shape != correctness.shape:
+        raise ValueError("influences and correctness must align")
+    peak = np.abs(influences).max() or 1.0
+    lines = [title] if title else []
+    for index, (value, correct) in enumerate(zip(influences, correctness)):
+        bar_len = int(round(abs(value) / peak * width))
+        glyph = "+" if correct else "-"
+        lines.append(f"resp {index + 1:>3} [{glyph}] "
+                     f"{glyph * bar_len:<{width}} {value:+.3f}")
+    return "\n".join(lines)
+
+
+def comparison_table(headers: Sequence[str],
+                     rows: Sequence[Sequence[object]],
+                     title: str = "") -> str:
+    """Fixed-width table used for paper-vs-measured reports."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width mismatch")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell)))
+    lines = [title] if title else []
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell).ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

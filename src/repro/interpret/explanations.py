@@ -1,0 +1,121 @@
+"""Response-influence explanations (the paper's Fig. 6 artifact).
+
+Turns an RCKT influence computation into a human-readable record: one row
+per past response with its question, concepts, correctness and influence
+value, plus the Δ+/Δ− totals and the final comparison-based decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data import StudentSequence, collate
+
+from ..core.rckt import RCKT
+
+
+@dataclass
+class InfluenceRow:
+    """One past response's contribution to the target prediction."""
+
+    position: int
+    question_id: int
+    concept_ids: tuple
+    correct: int
+    influence: float
+
+    def describe(self) -> str:
+        mark = "correct" if self.correct else "incorrect"
+        return (f"q{self.question_id} ({mark}) -> influence "
+                f"{self.influence:+.3f}")
+
+
+@dataclass
+class PredictionExplanation:
+    """Full Fig. 6-style explanation for one target prediction."""
+
+    target_question: int
+    target_concepts: tuple
+    target_label: Optional[int]
+    rows: List[InfluenceRow]
+    delta_plus: float
+    delta_minus: float
+    score: float
+
+    @property
+    def prediction(self) -> int:
+        """Eq. 13: correct iff total correct influence wins."""
+        return int(self.score >= 0.5)
+
+    def render(self) -> str:
+        """Plain-text table mirroring Fig. 6's Inf. column."""
+        lines = [
+            f"target: q{self.target_question} concepts={self.target_concepts}",
+            f"{'pos':>4} {'question':>9} {'resp':>6} {'influence':>10}",
+        ]
+        for row in self.rows:
+            mark = "+" if row.correct else "-"
+            lines.append(f"{row.position:>4} {row.question_id:>9} "
+                         f"{mark:>6} {row.influence:>10.3f}")
+        lines.append(f"total correct influence   Δ+ = {self.delta_plus:.3f}")
+        lines.append(f"total incorrect influence Δ- = {self.delta_minus:.3f}")
+        verdict = "correct" if self.prediction else "incorrect"
+        lines.append(f"prediction: {verdict} (score {self.score:.3f}"
+                     + (f", ground truth "
+                        f"{'correct' if self.target_label else 'incorrect'})"
+                        if self.target_label is not None else ")"))
+        return "\n".join(lines)
+
+
+def explain_prediction(model: RCKT, sequence: StudentSequence,
+                       target_col: Optional[int] = None) -> PredictionExplanation:
+    """Explain the prediction for ``sequence[target_col]``.
+
+    Uses the approximated backward influences (the deployed inference
+    path); each history position gets its Δ value, signed per Eq. 9/11.
+    """
+    if target_col is None:
+        target_col = len(sequence) - 1
+    if target_col < 1:
+        raise ValueError("the target needs at least one past response")
+    prefix = sequence[:target_col + 1]
+    batch = collate([prefix])
+    influence = _eval_influences(model, batch, np.array([target_col]))
+
+    deltas = (influence.correct_deltas.data[0]
+              + influence.incorrect_deltas.data[0])
+    rows = [
+        InfluenceRow(
+            position=i,
+            question_id=prefix[i].question_id,
+            concept_ids=prefix[i].concept_ids,
+            correct=prefix[i].correct,
+            influence=float(deltas[i]),
+        )
+        for i in range(target_col)
+    ]
+    target = prefix[target_col]
+    return PredictionExplanation(
+        target_question=target.question_id,
+        target_concepts=target.concept_ids,
+        target_label=target.correct,
+        rows=rows,
+        delta_plus=float(influence.delta_plus.data[0]),
+        delta_minus=float(influence.delta_minus.data[0]),
+        score=float(influence.scores[0]),
+    )
+
+
+def _eval_influences(model: RCKT, batch, cols):
+    from repro.tensor import no_grad
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            return model.influences(batch, cols)
+    finally:
+        if was_training:
+            model.train()

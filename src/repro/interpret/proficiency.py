@@ -1,0 +1,132 @@
+"""Concept proficiency tracing (Sec. V-E, Eq. 30, Fig. 5).
+
+RCKT probes a student's proficiency on concept ``k`` after each response by
+predicting a *virtual question*: instead of zeroing the question input (the
+approach of earlier works), the paper averages the ID embeddings of the
+questions related to ``k``:
+
+    e = (1/|Q_k|) * sum_{q in Q_k} q  +  k                        (Eq. 30)
+
+The influence score of answering this virtual question correctly, scaled to
+(0, 1), is the traced proficiency; the per-response influence decomposition
+is exactly the bottom panel of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data import Interaction, KTDataset, StudentSequence, collate
+from repro.tensor import Tensor, no_grad
+
+from ..core.rckt import RCKT
+
+
+@dataclass
+class ProficiencyTrace:
+    """Proficiency of one concept after each of a student's responses."""
+
+    concept_id: int
+    proficiencies: np.ndarray           # (T,) in (0, 1), after each response
+    influence_rows: List[np.ndarray]    # influence_rows[t][i]: response i's
+                                        # influence on proficiency after t+1 steps
+
+    @property
+    def final_proficiency(self) -> float:
+        return float(self.proficiencies[-1])
+
+    @property
+    def final_influences(self) -> np.ndarray:
+        """Per-response influences on the final proficiency (Fig. 5 bottom)."""
+        return self.influence_rows[-1]
+
+
+def related_questions(dataset: KTDataset, concept_id: int,
+                      limit: int = 64) -> List[int]:
+    """Questions tagged with ``concept_id`` anywhere in ``dataset``."""
+    found: List[int] = []
+    seen = set()
+    for sequence in dataset:
+        for interaction in sequence:
+            if concept_id in interaction.concept_ids \
+                    and interaction.question_id not in seen:
+                seen.add(interaction.question_id)
+                found.append(interaction.question_id)
+                if len(found) >= limit:
+                    return found
+    return found
+
+
+def virtual_question_embedding(model: RCKT, concept_id: int,
+                               question_ids: Sequence[int]) -> Tensor:
+    """Eq. 30: mean question-ID embedding plus the concept embedding."""
+    if not question_ids:
+        raise ValueError(f"no questions related to concept {concept_id}")
+    embedder = model.generator.embedder
+    with no_grad():
+        questions = embedder.question_embedding.weight.data[list(question_ids)]
+        concept = embedder.concept_embedding.weight.data[concept_id]
+    return Tensor(questions.mean(axis=0) + concept)
+
+
+def trace_proficiency(model: RCKT, sequence: StudentSequence, concept_id: int,
+                      question_ids: Sequence[int],
+                      steps: Optional[Sequence[int]] = None) -> ProficiencyTrace:
+    """Trace proficiency on ``concept_id`` after each response.
+
+    ``steps`` selects which prefixes to probe (default: every prefix).  For
+    each probed prefix a virtual target is appended and the usual influence
+    computation runs with the Eq. 30 embedding override.
+    """
+    if steps is None:
+        steps = range(1, len(sequence) + 1)
+    override = virtual_question_embedding(
+        model, concept_id, question_ids).reshape(1, -1)
+    probe_question = int(question_ids[0])
+
+    proficiencies: List[float] = []
+    influence_rows: List[np.ndarray] = []
+    was_training = model.training
+    model.eval()
+    try:
+        for step in steps:
+            prefix = sequence[:step]
+            probe = StudentSequence(sequence.student_id,
+                                    list(prefix.interactions))
+            # The virtual target; its question id is a placeholder (the
+            # embedding is overridden) and its response is set by variants.
+            probe.append(Interaction(probe_question, 1, (concept_id,),
+                                     timestamp=step))
+            batch = collate([probe])
+            cols = np.array([step])
+            with no_grad():
+                influence = model.influences(batch, cols,
+                                             question_override=override)
+            proficiencies.append(float(influence.scores[0]))
+            deltas = (influence.correct_deltas.data[0, :step]
+                      + influence.incorrect_deltas.data[0, :step])
+            influence_rows.append(deltas.copy())
+    finally:
+        if was_training:
+            model.train()
+    return ProficiencyTrace(concept_id, np.asarray(proficiencies),
+                            influence_rows)
+
+
+def trace_all_concepts(model: RCKT, dataset: KTDataset,
+                       sequence: StudentSequence,
+                       concept_ids: Sequence[int],
+                       steps: Optional[Sequence[int]] = None
+                       ) -> Dict[int, ProficiencyTrace]:
+    """Fig. 5: trace several concepts of one student side by side."""
+    traces = {}
+    for concept_id in concept_ids:
+        pool = related_questions(dataset, concept_id)
+        if not pool:
+            continue
+        traces[concept_id] = trace_proficiency(model, sequence, concept_id,
+                                               pool, steps=steps)
+    return traces

@@ -1,0 +1,28 @@
+"""Baseline knowledge-tracing models (paper Sec. V-A3).
+
+Neural (left-to-right): DKT, SAKT, SAKT+, AKT, DIMKT, QIKT.
+Non-neural: IKT (tree-augmented naive Bayes), BKT (classic HMM).
+"""
+
+from .akt import AKT, RaschEmbedder
+from .base import (InteractionEmbedder, MASKED_RESPONSE, ProbabilisticKTModel,
+                   SequentialKTModel, gather_predictions, prediction_mask)
+from .bkt import BKT, BKTParameters
+from .dimkt import DIMKT, compute_difficulty_levels
+from .dkt import DKT
+from .ikt import IKT, TANClassifier
+from .ktm import KTM
+from .qikt import QIKT
+from .sakt import SAKT, SAKTPlus
+from .trainer import (TrainConfig, TrainResult, evaluate_probabilistic,
+                      evaluate_sequential, fit_sequential)
+
+__all__ = [
+    "SequentialKTModel", "ProbabilisticKTModel", "InteractionEmbedder",
+    "MASKED_RESPONSE", "prediction_mask", "gather_predictions",
+    "DKT", "SAKT", "SAKTPlus", "AKT", "RaschEmbedder",
+    "DIMKT", "compute_difficulty_levels",
+    "IKT", "TANClassifier", "KTM", "QIKT", "BKT", "BKTParameters",
+    "TrainConfig", "TrainResult", "fit_sequential",
+    "evaluate_sequential", "evaluate_probabilistic",
+]

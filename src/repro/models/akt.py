@@ -1,0 +1,113 @@
+"""AKT — Context-Aware Attentive Knowledge Tracing (Ghosh et al., KDD 2020).
+
+Two signature components, both reproduced here:
+
+* **Monotonic attention** — attention logits decay exponentially with the
+  distance between query and key positions (older evidence counts less);
+  implemented by :class:`repro.nn.MultiHeadAttention` with
+  ``monotonic=True``.
+* **Rasch-model embeddings** — a question is its concept embedding plus a
+  scalar per-question difficulty ``mu_q`` times a concept *variation*
+  vector: ``e_q = c + mu_q * d``; interactions get an analogous
+  ``mu_q * f`` term.
+
+Architecture: a question self-attention stack and a knowledge (interaction)
+self-attention stack, then a knowledge-retriever cross attention where
+queries/keys are question states and values are knowledge states, under a
+strict causal mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data import Batch
+from repro.tensor import Tensor, concat, embedding
+
+from .base import SequentialKTModel
+
+
+class RaschEmbedder(nn.Module):
+    """Rasch (1PL) question/interaction embeddings with a difficulty scalar."""
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.concept_embedding = nn.Embedding(num_concepts + 1, dim, rng)
+        self.concept_variation = nn.Embedding(num_concepts + 1, dim, rng)
+        self.response_embedding = nn.Embedding(3, dim, rng)
+        self.response_variation = nn.Embedding(3, dim, rng)
+        # mu_q: scalar difficulty per question (the Rasch scalar).
+        self.difficulty = nn.Embedding(num_questions + 1, 1, rng, std=0.01)
+
+    def _mean_concepts(self, table: nn.Embedding, batch: Batch) -> Tensor:
+        summed = table(batch.concepts).sum(axis=2)
+        counts = batch.concept_counts[..., None].astype(np.float64)
+        return summed * Tensor(1.0 / counts)
+
+    def question_vectors(self, batch: Batch) -> Tensor:
+        """``e_q = c_bar + mu_q * d_bar``."""
+        base = self._mean_concepts(self.concept_embedding, batch)
+        variation = self._mean_concepts(self.concept_variation, batch)
+        mu = self.difficulty(batch.questions)          # (B, L, 1)
+        return base + mu * variation
+
+    def interaction_vectors(self, batch: Batch,
+                            responses: np.ndarray = None) -> Tensor:
+        """``a = e_q + r + mu_q * f_r`` with the 3-category response space."""
+        if responses is None:
+            responses = batch.responses
+        mu = self.difficulty(batch.questions)
+        response = embedding(self.response_embedding.weight, responses)
+        response_var = embedding(self.response_variation.weight, responses)
+        return self.question_vectors(batch) + response + mu * response_var
+
+
+class AKT(SequentialKTModel):
+    """Monotonic-attention KT model with Rasch embeddings."""
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 rng: np.random.Generator, heads: int = 2, layers: int = 1,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.embedder = RaschEmbedder(num_questions, num_concepts, dim, rng)
+        self.question_encoder = nn.ModuleList([
+            nn.TransformerBlock(dim, heads, rng, dropout=dropout, monotonic=True)
+            for _ in range(layers)
+        ])
+        self.knowledge_encoder = nn.ModuleList([
+            nn.TransformerBlock(dim, heads, rng, dropout=dropout, monotonic=True)
+            for _ in range(layers)
+        ])
+        self.retriever = nn.MultiHeadAttention(dim, heads, rng,
+                                               dropout=dropout, monotonic=True)
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.MLP([2 * dim, dim, 1], rng, dropout=dropout)
+
+    def forward(self, batch: Batch) -> Tensor:
+        questions = self.embedder.question_vectors(batch)
+        interactions = self.embedder.interaction_vectors(batch)
+
+        # Self-attention may look at the current position (non-strict):
+        # contextualizing a question with itself leaks nothing.
+        self_mask = nn.causal_mask(batch.length, strict=False)
+        self_mask = self_mask[None, None] & batch.mask[:, None, None, :]
+        question_state = questions
+        for block in self.question_encoder:
+            question_state = block(question_state, mask=self_mask)
+        knowledge_state = interactions
+        for block in self.knowledge_encoder:
+            knowledge_state = block(knowledge_state, mask=self_mask)
+
+        # Retrieval must be strictly causal: the value stream contains the
+        # response at each position.
+        strict = nn.causal_mask(batch.length, strict=True)
+        strict = strict[None, None] & batch.mask[:, None, None, :]
+        retrieved = self.retriever(question_state, question_state,
+                                   knowledge_state, mask=strict)
+        retrieved = self.norm(retrieved)
+
+        logits = self.head(concat([retrieved, questions], axis=-1)).squeeze(-1)
+        return logits.sigmoid()

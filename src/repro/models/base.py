@@ -1,0 +1,128 @@
+"""Shared model interfaces and the Eq. 23-24 interaction embedder.
+
+Every *sequential* baseline (DKT, SAKT, AKT, DIMKT, QIKT) implements
+:class:`SequentialKTModel`: given a padded batch it returns, per position
+``i``, the probability that the student answers question ``q_i`` correctly
+using only interactions ``< i`` (left-to-right causality).  Position 0 has
+no history and is excluded from losses and metrics via
+:func:`prediction_mask`.
+
+Non-neural baselines (IKT, BKT) implement :class:`ProbabilisticKTModel`
+with ``fit(dataset)`` / ``predict_sequence(sequence)`` instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.data import Batch, KTDataset, StudentSequence, collate
+from repro.tensor import Tensor, no_grad
+
+MASKED_RESPONSE = 2  # the third response category of Eq. 24
+
+
+class InteractionEmbedder(nn.Module):
+    """Implements Eq. 23-24 of the paper.
+
+    Question embedding fused with the mean of its concept embeddings::
+
+        e_i = q_i + (1/|K_i|) * sum_j k_j                       (Eq. 23)
+
+    and the response embedding added on top, with *three* response
+    categories — incorrect (0), correct (1), masked/unknown (2)::
+
+        a_i = e_i + r_i                                          (Eq. 24)
+
+    The masked category is what the counterfactual sequence construction
+    uses to hide responses whose correctness is unknown after an
+    intervention.
+    """
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        # +1 for padding id 0.
+        self.question_embedding = nn.Embedding(num_questions + 1, dim, rng)
+        self.concept_embedding = nn.Embedding(num_concepts + 1, dim, rng)
+        self.response_embedding = nn.Embedding(3, dim, rng)
+
+    def question_vectors(self, batch: Batch) -> Tensor:
+        """``e_i`` for every position: question id + mean concept ids."""
+        question = self.question_embedding(batch.questions)
+        concept_sum = self.concept_embedding(batch.concepts).sum(axis=2)
+        counts = batch.concept_counts[..., None].astype(np.float64)
+        return question + concept_sum * Tensor(1.0 / counts)
+
+    def interaction_vectors(self, batch: Batch,
+                            responses: np.ndarray = None) -> Tensor:
+        """``a_i`` for every position; ``responses`` may override the batch's
+        own correctness (used for counterfactual/masked variants)."""
+        if responses is None:
+            responses = batch.responses
+        return self.question_vectors(batch) + self.response_embedding(responses)
+
+
+def prediction_mask(batch: Batch) -> np.ndarray:
+    """Positions with a defined left-to-right prediction: real and not first."""
+    mask = batch.mask.copy()
+    mask[:, 0] = False
+    return mask
+
+
+class SequentialKTModel(nn.Module, abc.ABC):
+    """Left-to-right DLKT model."""
+
+    @abc.abstractmethod
+    def forward(self, batch: Batch) -> Tensor:
+        """Return ``(B, L)`` probabilities of a correct answer per position."""
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Inference-mode probabilities as a plain array."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                probs = self.forward(batch).data
+        finally:
+            if was_training:
+                self.train()
+        return probs
+
+    def loss(self, batch: Batch) -> Tensor:
+        """Masked BCE over valid prediction positions."""
+        from repro.tensor import binary_cross_entropy
+        probs = self.forward(batch)
+        weights = prediction_mask(batch).astype(np.float64)
+        return binary_cross_entropy(probs, batch.responses.astype(np.float64),
+                                    weights=weights)
+
+
+class ProbabilisticKTModel(abc.ABC):
+    """Non-neural KT model fitted in closed form / EM over a dataset."""
+
+    @abc.abstractmethod
+    def fit(self, dataset: KTDataset) -> "ProbabilisticKTModel":
+        ...
+
+    @abc.abstractmethod
+    def predict_sequence(self, sequence: StudentSequence) -> np.ndarray:
+        """Probability of correct for each position given prior history."""
+
+
+def gather_predictions(model: SequentialKTModel, dataset: KTDataset,
+                       batch_size: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+    """Collect (labels, scores) over all valid prediction positions."""
+    labels, scores = [], []
+    sequences = list(dataset)
+    for start in range(0, len(sequences), batch_size):
+        batch = collate(sequences[start:start + batch_size])
+        probs = model.predict_proba(batch)
+        valid = prediction_mask(batch)
+        labels.append(batch.responses[valid].astype(np.float64))
+        scores.append(probs[valid])
+    return np.concatenate(labels), np.concatenate(scores)

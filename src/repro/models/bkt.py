@@ -1,0 +1,139 @@
+"""BKT — Bayesian Knowledge Tracing (Corbett & Anderson, 1994).
+
+The classic HMM baseline the paper's Background (Sec. II-A1) builds on: a
+two-state hidden Markov model per knowledge concept with parameters
+
+* ``p_init``  — probability the concept starts mastered,
+* ``p_learn`` — probability of transitioning to mastered after practice,
+* ``p_guess`` — probability of a correct answer while unmastered,
+* ``p_slip``  — probability of an incorrect answer while mastered.
+
+Parameters are fitted per concept with expectation-maximization on the
+training sequences.  (BKT is not in Table IV's baseline list; it is
+provided for completeness and the ablation narrative.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data import KTDataset, StudentSequence
+
+from .base import ProbabilisticKTModel
+
+
+@dataclass
+class BKTParameters:
+    p_init: float = 0.3
+    p_learn: float = 0.2
+    p_guess: float = 0.2
+    p_slip: float = 0.1
+
+    def clipped(self) -> "BKTParameters":
+        """Keep parameters in the identifiable region (guess+slip < 1)."""
+        return BKTParameters(
+            p_init=float(np.clip(self.p_init, 0.01, 0.99)),
+            p_learn=float(np.clip(self.p_learn, 0.01, 0.99)),
+            p_guess=float(np.clip(self.p_guess, 0.01, 0.45)),
+            p_slip=float(np.clip(self.p_slip, 0.01, 0.45)),
+        )
+
+
+def _forward_backward(responses: np.ndarray, params: BKTParameters):
+    """Standard two-state HMM smoothing; returns P(mastered_t | all obs)."""
+    n = len(responses)
+    emit = np.empty((n, 2))  # emission prob of observed response per state
+    emit[:, 0] = np.where(responses == 1, params.p_guess, 1 - params.p_guess)
+    emit[:, 1] = np.where(responses == 1, 1 - params.p_slip, params.p_slip)
+    transition = np.array([[1 - params.p_learn, params.p_learn],
+                           [0.0, 1.0]])  # no forgetting in classic BKT
+
+    alpha = np.empty((n, 2))
+    alpha[0] = np.array([1 - params.p_init, params.p_init]) * emit[0]
+    alpha[0] /= alpha[0].sum()
+    for t in range(1, n):
+        alpha[t] = (alpha[t - 1] @ transition) * emit[t]
+        alpha[t] /= alpha[t].sum()
+
+    beta = np.ones((n, 2))
+    for t in range(n - 2, -1, -1):
+        beta[t] = transition @ (emit[t + 1] * beta[t + 1])
+        beta[t] /= beta[t].sum()
+
+    gamma = alpha * beta
+    gamma /= gamma.sum(axis=1, keepdims=True)
+    return alpha, gamma
+
+
+class BKT(ProbabilisticKTModel):
+    """Per-concept Bayesian Knowledge Tracing fitted with EM."""
+
+    def __init__(self, em_iterations: int = 10):
+        self.em_iterations = em_iterations
+        self.params: Dict[int, BKTParameters] = {}
+        self._default = BKTParameters()
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: KTDataset) -> "BKT":
+        per_concept: Dict[int, List[np.ndarray]] = defaultdict(list)
+        for sequence in dataset:
+            streams: Dict[int, List[int]] = defaultdict(list)
+            for interaction in sequence:
+                streams[interaction.concept_ids[0]].append(interaction.correct)
+            for concept, responses in streams.items():
+                if len(responses) >= 2:
+                    per_concept[concept].append(np.asarray(responses))
+        for concept, series in per_concept.items():
+            self.params[concept] = self._fit_concept(series)
+        return self
+
+    def _fit_concept(self, series: List[np.ndarray]) -> BKTParameters:
+        params = BKTParameters()
+        for _ in range(self.em_iterations):
+            init_num = learn_num = learn_den = 0.0
+            guess_num = guess_den = slip_num = slip_den = 0.0
+            for responses in series:
+                _, gamma = _forward_backward(responses, params)
+                init_num += gamma[0, 1]
+                # Transition statistics (unmastered at t -> mastered at t+1).
+                unmastered = gamma[:-1, 0]
+                learn_den += unmastered.sum()
+                learn_num += (unmastered * gamma[1:, 1]).sum()
+                guess_den += gamma[:, 0].sum()
+                guess_num += (gamma[:, 0] * (responses == 1)).sum()
+                slip_den += gamma[:, 1].sum()
+                slip_num += (gamma[:, 1] * (responses == 0)).sum()
+            count = len(series)
+            params = BKTParameters(
+                p_init=init_num / max(count, 1),
+                p_learn=learn_num / max(learn_den, 1e-9),
+                p_guess=guess_num / max(guess_den, 1e-9),
+                p_slip=slip_num / max(slip_den, 1e-9),
+            ).clipped()
+        return params
+
+    # ------------------------------------------------------------------
+    def predict_sequence(self, sequence: StudentSequence) -> np.ndarray:
+        """P(correct) per position, filtering on prior responses only."""
+        mastery: Dict[int, float] = {}
+        predictions = np.empty(len(sequence))
+        for index, interaction in enumerate(sequence):
+            concept = interaction.concept_ids[0]
+            params = self.params.get(concept, self._default)
+            state = mastery.get(concept, params.p_init)
+            predictions[index] = (state * (1 - params.p_slip)
+                                  + (1 - state) * params.p_guess)
+            # Bayes update on the observed response, then learning step.
+            if interaction.correct:
+                numerator = state * (1 - params.p_slip)
+                denominator = numerator + (1 - state) * params.p_guess
+            else:
+                numerator = state * params.p_slip
+                denominator = numerator + (1 - state) * (1 - params.p_guess)
+            posterior = numerator / max(denominator, 1e-9)
+            mastery[concept] = posterior + (1 - posterior) * params.p_learn
+        return predictions

@@ -1,0 +1,126 @@
+"""DIMKT — Difficulty-Matching Knowledge Tracing (Shen et al., SIGIR 2022).
+
+"A state-of-the-art RNN-based DLKT method that fully exploits the question
+difficulty in KT" (paper Sec. V-A3).  Question and concept difficulty are
+*discretized statistics of the training data* (historical correct rates
+binned into levels), embedded, and fused with the knowledge state through
+the model's three gates:
+
+* **SDF** — subjective difficulty feeling of the student facing the
+  question,
+* **PKA** — personalized knowledge acquisition given the response,
+* **KSU** — knowledge state update combining the two.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.data import Batch, KTDataset
+from repro.tensor import Tensor, concat, stack
+
+from .base import InteractionEmbedder, SequentialKTModel
+
+
+def compute_difficulty_levels(dataset: KTDataset, num_questions: int,
+                              num_concepts: int,
+                              bins: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+    """Bin historic correct rates into ``1..bins`` difficulty levels.
+
+    Index 0 (padding / unseen) gets the median level, so questions never
+    observed in training fall back to "average difficulty" instead of an
+    arbitrary extreme.
+    """
+    question_correct = np.zeros(num_questions + 1)
+    question_count = np.zeros(num_questions + 1)
+    concept_correct = np.zeros(num_concepts + 1)
+    concept_count = np.zeros(num_concepts + 1)
+    for sequence in dataset:
+        for interaction in sequence:
+            question_correct[interaction.question_id] += interaction.correct
+            question_count[interaction.question_id] += 1
+            for concept in interaction.concept_ids:
+                concept_correct[concept] += interaction.correct
+                concept_count[concept] += 1
+
+    def to_levels(correct, count):
+        rates = np.where(count > 0, correct / np.maximum(count, 1), 0.5)
+        # Difficulty = 1 - correct rate; level 1 easiest, ``bins`` hardest.
+        levels = np.ceil((1.0 - rates) * bins).astype(np.int64)
+        levels = np.clip(levels, 1, bins)
+        levels[count == 0] = (bins + 1) // 2
+        return levels
+
+    return to_levels(question_correct, question_count), \
+        to_levels(concept_correct, concept_count)
+
+
+class DIMKT(SequentialKTModel):
+    """Difficulty-aware gated recurrent knowledge tracer."""
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 rng: np.random.Generator,
+                 question_difficulty: np.ndarray,
+                 concept_difficulty: np.ndarray,
+                 bins: int = 10, dropout: float = 0.0):
+        super().__init__()
+        if len(question_difficulty) != num_questions + 1:
+            raise ValueError("question_difficulty must cover ids 0..num_questions")
+        self.dim = dim
+        self.embedder = InteractionEmbedder(num_questions, num_concepts, dim, rng)
+        self.question_difficulty = np.asarray(question_difficulty, dtype=np.int64)
+        self.concept_difficulty = np.asarray(concept_difficulty, dtype=np.int64)
+        self.qdiff_embedding = nn.Embedding(bins + 1, dim, rng)
+        self.cdiff_embedding = nn.Embedding(bins + 1, dim, rng)
+        # Gates (SDF / PKA / KSU) and the prediction head.
+        self.sdf_gate = nn.Linear(2 * dim, dim, rng)
+        self.sdf_cand = nn.Linear(2 * dim, dim, rng)
+        self.pka_gate = nn.Linear(2 * dim, dim, rng)
+        self.pka_cand = nn.Linear(2 * dim, dim, rng)
+        self.ksu_gate = nn.Linear(3 * dim, dim, rng)
+        self.head = nn.MLP([2 * dim, dim, 1], rng, dropout=dropout)
+
+    @classmethod
+    def from_dataset(cls, train: KTDataset, num_questions: int,
+                     num_concepts: int, dim: int, rng: np.random.Generator,
+                     bins: int = 10, dropout: float = 0.0) -> "DIMKT":
+        """Build with difficulty levels estimated from ``train``."""
+        qd, cd = compute_difficulty_levels(train, num_questions,
+                                           num_concepts, bins)
+        return cls(num_questions, num_concepts, dim, rng, qd, cd,
+                   bins=bins, dropout=dropout)
+
+    def _difficulty_vectors(self, batch: Batch) -> Tensor:
+        qd = self.question_difficulty[batch.questions]
+        # Concept difficulty of the primary (first) concept.
+        cd = self.concept_difficulty[batch.concepts[:, :, 0]]
+        return self.qdiff_embedding(qd) + self.cdiff_embedding(cd)
+
+    def forward(self, batch: Batch) -> Tensor:
+        questions = self.embedder.question_vectors(batch)
+        difficulty = self._difficulty_vectors(batch)
+        value = questions + difficulty                       # v_t
+        response = self.embedder.response_embedding(batch.responses)
+
+        batch_size, length = batch.questions.shape
+        hidden = Tensor(np.zeros((batch_size, self.dim)))
+        probabilities = []
+        for t in range(length):
+            v_t = value[:, t, :]
+            hv = concat([hidden, v_t], axis=-1)
+            # Prediction BEFORE seeing the response at t.
+            prob = self.head(hv).squeeze(-1).sigmoid()
+            probabilities.append(prob)
+            # SDF: how difficult this question feels given the state.
+            sdf = self.sdf_gate(hv).sigmoid() * self.sdf_cand(hv).tanh()
+            # PKA: what was actually acquired given the observed response.
+            sr = concat([sdf, response[:, t, :]], axis=-1)
+            pka = self.pka_gate(sr).sigmoid() * self.pka_cand(sr).tanh()
+            # KSU: gated state update.
+            gate = self.ksu_gate(concat([hidden, v_t, response[:, t, :]],
+                                        axis=-1)).sigmoid()
+            hidden = gate * hidden + (1.0 - gate) * pka
+        return stack(probabilities, axis=1)

@@ -1,0 +1,42 @@
+"""DKT — Deep Knowledge Tracing (Piech et al., NeurIPS 2015).
+
+The pioneering DLKT baseline: an LSTM consumes the interaction sequence and
+a prediction head scores the next question.  Following the modern
+formulation used by the paper's framework, the input at step ``i`` is the
+fused interaction embedding ``a_i`` (Eq. 23-24) and the prediction for
+position ``i`` combines the hidden state after step ``i-1`` with the target
+question embedding ``e_i`` through an MLP (Eq. 26 shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data import Batch
+from repro.tensor import Tensor, concat
+
+from .base import InteractionEmbedder, SequentialKTModel
+
+
+class DKT(SequentialKTModel):
+    """LSTM knowledge tracer."""
+
+    def __init__(self, num_questions: int, num_concepts: int, dim: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.embedder = InteractionEmbedder(num_questions, num_concepts, dim, rng)
+        self.lstm = nn.LSTM(dim, dim, rng)
+        self.head = nn.MLP([2 * dim, dim, 1], rng, dropout=dropout)
+
+    def forward(self, batch: Batch) -> Tensor:
+        interactions = self.embedder.interaction_vectors(batch)     # (B, L, d)
+        questions = self.embedder.question_vectors(batch)           # (B, L, d)
+        hidden = self.lstm(interactions)                            # state after step i
+        batch_size, length, dim = hidden.shape
+        # Shift: prediction at position i uses the state after step i-1.
+        zeros = Tensor(np.zeros((batch_size, 1, dim)))
+        history = concat([zeros, hidden[:, :length - 1, :]], axis=1)
+        features = concat([history, questions], axis=-1)
+        logits = self.head(features).squeeze(-1)
+        return logits.sigmoid()

@@ -1,0 +1,202 @@
+"""IKT — Interpretable Knowledge Tracing (Minn et al., AAAI 2022).
+
+A non-neural, interpretable baseline: a Tree-Augmented Naive Bayes (TAN)
+classifier over three causally meaningful features (paper Sec. V-A3):
+
+* **skill mastery** — the student's smoothed success rate on the question's
+  concepts so far,
+* **ability profile** — the student's recent overall success rate,
+* **problem difficulty** — the question's historical success rate in the
+  training data.
+
+All three are discretized; the TAN structure is the Chow-Liu tree over
+class-conditional mutual information (built with ``networkx``), which
+augments naive Bayes with one feature-to-feature dependency per node.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.data import KTDataset, StudentSequence
+
+from .base import ProbabilisticKTModel
+
+_SMOOTH = 1.0  # Laplace smoothing for every CPT
+
+
+class _FeatureExtractor:
+    """Online discretized features for one student's sequence."""
+
+    def __init__(self, question_rate: Dict[int, float], mastery_bins: int,
+                 ability_bins: int, difficulty_bins: int,
+                 ability_window: int):
+        self.question_rate = question_rate
+        self.mastery_bins = mastery_bins
+        self.ability_bins = ability_bins
+        self.difficulty_bins = difficulty_bins
+        self.ability_window = ability_window
+
+    def extract(self, sequence: StudentSequence) -> List[Tuple[int, int, int]]:
+        """One (mastery, ability, difficulty) triple per position."""
+        concept_correct: Dict[int, float] = defaultdict(float)
+        concept_count: Dict[int, float] = defaultdict(float)
+        recent: List[int] = []
+        features = []
+        for interaction in sequence:
+            concepts = interaction.concept_ids
+            mastery_rates = [
+                (concept_correct[c] + _SMOOTH) / (concept_count[c] + 2 * _SMOOTH)
+                for c in concepts
+            ]
+            mastery = float(np.mean(mastery_rates))
+            window = recent[-self.ability_window:]
+            ability = (sum(window) + _SMOOTH) / (len(window) + 2 * _SMOOTH)
+            difficulty = 1.0 - self.question_rate.get(interaction.question_id, 0.5)
+            features.append((
+                self._bin(mastery, self.mastery_bins),
+                self._bin(ability, self.ability_bins),
+                self._bin(difficulty, self.difficulty_bins),
+            ))
+            # Update running state AFTER emitting the feature (causality).
+            for c in concepts:
+                concept_correct[c] += interaction.correct
+                concept_count[c] += 1
+            recent.append(interaction.correct)
+        return features
+
+    @staticmethod
+    def _bin(value: float, bins: int) -> int:
+        return int(min(bins - 1, max(0, np.floor(value * bins))))
+
+
+class TANClassifier:
+    """Tree-Augmented Naive Bayes over discrete features."""
+
+    def __init__(self, feature_cards: List[int]):
+        self.feature_cards = feature_cards
+        self.parents: List[Optional[int]] = [None] * len(feature_cards)
+        self.class_prior = np.full(2, 0.5)
+        self._tables: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "TANClassifier":
+        n_features = features.shape[1]
+        self.parents = self._learn_structure(features, labels)
+        counts = np.bincount(labels, minlength=2).astype(np.float64)
+        self.class_prior = (counts + _SMOOTH) / (counts.sum() + 2 * _SMOOTH)
+        self._tables = []
+        for i in range(n_features):
+            card = self.feature_cards[i]
+            parent = self.parents[i]
+            parent_card = 1 if parent is None else self.feature_cards[parent]
+            table = np.full((2, parent_card, card), _SMOOTH)
+            parent_values = (np.zeros(len(labels), dtype=np.int64)
+                             if parent is None else features[:, parent])
+            np.add.at(table, (labels, parent_values, features[:, i]), 1.0)
+            table /= table.sum(axis=2, keepdims=True)
+            self._tables.append(table)
+        return self
+
+    def _learn_structure(self, features: np.ndarray,
+                         labels: np.ndarray) -> List[Optional[int]]:
+        """Chow-Liu tree over class-conditional mutual information."""
+        n_features = features.shape[1]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n_features))
+        for i in range(n_features):
+            for j in range(i + 1, n_features):
+                cmi = self._conditional_mutual_information(
+                    features[:, i], features[:, j], labels,
+                    self.feature_cards[i], self.feature_cards[j])
+                graph.add_edge(i, j, weight=cmi)
+        tree = nx.maximum_spanning_tree(graph)
+        parents: List[Optional[int]] = [None] * n_features
+        if tree.number_of_edges():
+            root = 0
+            for parent, child in nx.bfs_edges(tree, root):
+                parents[child] = parent
+        return parents
+
+    @staticmethod
+    def _conditional_mutual_information(x: np.ndarray, y: np.ndarray,
+                                        z: np.ndarray, card_x: int,
+                                        card_y: int) -> float:
+        """I(X; Y | Z) for discrete variables with add-one smoothing."""
+        total = len(z) + _SMOOTH * card_x * card_y * 2
+        joint = np.full((2, card_x, card_y), _SMOOTH)
+        np.add.at(joint, (z, x, y), 1.0)
+        joint /= total
+        pz = joint.sum(axis=(1, 2), keepdims=True)
+        px_z = joint.sum(axis=2, keepdims=True)
+        py_z = joint.sum(axis=1, keepdims=True)
+        ratio = joint * pz / (px_z * py_z)
+        return float((joint * np.log(ratio)).sum())
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(y=1 | x) for each row of ``features``."""
+        log_posterior = np.tile(np.log(self.class_prior), (len(features), 1))
+        for i, table in enumerate(self._tables):
+            parent = self.parents[i]
+            parent_values = (np.zeros(len(features), dtype=np.int64)
+                             if parent is None else features[:, parent])
+            for klass in (0, 1):
+                log_posterior[:, klass] += np.log(
+                    table[klass, parent_values, features[:, i]])
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        return posterior[:, 1]
+
+
+class IKT(ProbabilisticKTModel):
+    """TAN over (skill mastery, ability profile, problem difficulty)."""
+
+    def __init__(self, mastery_bins: int = 6, ability_bins: int = 6,
+                 difficulty_bins: int = 10, ability_window: int = 10):
+        self.mastery_bins = mastery_bins
+        self.ability_bins = ability_bins
+        self.difficulty_bins = difficulty_bins
+        self.ability_window = ability_window
+        self._extractor: Optional[_FeatureExtractor] = None
+        self._classifier: Optional[TANClassifier] = None
+
+    def fit(self, dataset: KTDataset) -> "IKT":
+        question_rate = self._question_rates(dataset)
+        self._extractor = _FeatureExtractor(
+            question_rate, self.mastery_bins, self.ability_bins,
+            self.difficulty_bins, self.ability_window)
+        rows, labels = [], []
+        for sequence in dataset:
+            feats = self._extractor.extract(sequence)
+            for feature, interaction in zip(feats, sequence):
+                rows.append(feature)
+                labels.append(interaction.correct)
+        features = np.asarray(rows, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self._classifier = TANClassifier(
+            [self.mastery_bins, self.ability_bins, self.difficulty_bins])
+        self._classifier.fit(features, labels)
+        return self
+
+    def predict_sequence(self, sequence: StudentSequence) -> np.ndarray:
+        if self._classifier is None or self._extractor is None:
+            raise RuntimeError("IKT.predict_sequence called before fit")
+        features = np.asarray(self._extractor.extract(sequence), dtype=np.int64)
+        return self._classifier.predict_proba(features)
+
+    @staticmethod
+    def _question_rates(dataset: KTDataset) -> Dict[int, float]:
+        correct: Dict[int, float] = defaultdict(float)
+        count: Dict[int, float] = defaultdict(float)
+        for sequence in dataset:
+            for interaction in sequence:
+                correct[interaction.question_id] += interaction.correct
+                count[interaction.question_id] += 1
+        return {q: (correct[q] + _SMOOTH) / (count[q] + 2 * _SMOOTH)
+                for q in count}

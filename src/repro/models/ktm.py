@@ -1,0 +1,147 @@
+"""KTM — Knowledge Tracing Machines (Vie & Kashima, AAAI 2019).
+
+A machine-learning baseline from the paper's background (Sec. II-A1):
+*"KTM leverages a factorization machine to explore underlying student and
+question features."*  Each interaction becomes a sparse binary feature
+vector — student id, question id, concept ids, and PFA-style discretized
+win/fail counters per concept — and a second-order factorization machine
+predicts correctness:
+
+    logit(x) = w0 + Σ_i w_i x_i + Σ_{i<j} <v_i, v_j> x_i x_j
+
+For binary features the pairwise term reduces to
+``0.5 Σ_f [(Σ_i v_if)^2 − Σ_i v_if^2]`` over active features, which is what
+the implementation uses.  Training is plain SGD on the log-loss.
+
+KTM is not part of Table IV's baseline list; it is provided for
+completeness of the background systems.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data import Interaction, KTDataset, StudentSequence
+
+from .base import ProbabilisticKTModel
+
+_COUNT_BINS = (0, 1, 2, 4, 8, 16)  # discretization for win/fail counters
+
+
+def _bin_count(count: int) -> int:
+    for level, boundary in enumerate(reversed(_COUNT_BINS)):
+        if count >= boundary:
+            return len(_COUNT_BINS) - 1 - level
+    return 0
+
+
+class KTM(ProbabilisticKTModel):
+    """Second-order factorization machine over sparse KT features."""
+
+    def __init__(self, factors: int = 8, lr: float = 0.05,
+                 epochs: int = 5, reg: float = 1e-4, seed: int = 0):
+        self.factors = factors
+        self.lr = lr
+        self.epochs = epochs
+        self.reg = reg
+        self.seed = seed
+        self._feature_index: Dict[str, int] = {}
+        self.w0 = 0.0
+        self.w: np.ndarray = np.zeros(0)
+        self.v: np.ndarray = np.zeros((0, factors))
+
+    # ------------------------------------------------------------------
+    # Feature construction
+    # ------------------------------------------------------------------
+    def _feature(self, name: str, grow: bool) -> int:
+        if name not in self._feature_index:
+            if not grow:
+                return -1
+            self._feature_index[name] = len(self._feature_index)
+        return self._feature_index[name]
+
+    def _features_for(self, sequence: StudentSequence,
+                      interaction: Interaction,
+                      wins: Dict[int, int], fails: Dict[int, int],
+                      grow: bool) -> List[int]:
+        names = [f"student:{sequence.student_id}",
+                 f"question:{interaction.question_id}"]
+        for concept in interaction.concept_ids:
+            names.append(f"concept:{concept}")
+            names.append(f"wins:{concept}:{_bin_count(wins[concept])}")
+            names.append(f"fails:{concept}:{_bin_count(fails[concept])}")
+        ids = [self._feature(n, grow) for n in names]
+        return [i for i in ids if i >= 0]
+
+    # ------------------------------------------------------------------
+    # FM math
+    # ------------------------------------------------------------------
+    def _logit(self, active: List[int]) -> float:
+        linear = self.w[active].sum()
+        factor_sum = self.v[active].sum(axis=0)
+        factor_sq = (self.v[active] ** 2).sum(axis=0)
+        pairwise = 0.5 * float((factor_sum ** 2 - factor_sq).sum())
+        return self.w0 + float(linear) + pairwise
+
+    def _sgd_step(self, active: List[int], label: int) -> None:
+        logit = self._logit(active)
+        prob = 1.0 / (1.0 + np.exp(-np.clip(logit, -30, 30)))
+        error = prob - label  # d(logloss)/d(logit)
+        self.w0 -= self.lr * error
+        factor_sum = self.v[active].sum(axis=0)
+        for i in active:
+            self.w[i] -= self.lr * (error + self.reg * self.w[i])
+            grad_v = error * (factor_sum - self.v[i]) + self.reg * self.v[i]
+            self.v[i] -= self.lr * grad_v
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: KTDataset) -> "KTM":
+        rng = np.random.default_rng(self.seed)
+        # First pass: build the feature space.
+        rows: List[List[int]] = []
+        labels: List[int] = []
+        for sequence in dataset:
+            wins: Dict[int, int] = defaultdict(int)
+            fails: Dict[int, int] = defaultdict(int)
+            for interaction in sequence:
+                rows.append(self._features_for(sequence, interaction,
+                                               wins, fails, grow=True))
+                labels.append(interaction.correct)
+                for concept in interaction.concept_ids:
+                    if interaction.correct:
+                        wins[concept] += 1
+                    else:
+                        fails[concept] += 1
+        count = len(self._feature_index)
+        self.w = np.zeros(count)
+        self.v = rng.normal(0.0, 0.01, size=(count, self.factors))
+        order = np.arange(len(rows))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for index in order:
+                self._sgd_step(rows[index], labels[index])
+        return self
+
+    def predict_sequence(self, sequence: StudentSequence) -> np.ndarray:
+        if self.w.size == 0:
+            raise RuntimeError("KTM.predict_sequence called before fit")
+        wins: Dict[int, int] = defaultdict(int)
+        fails: Dict[int, int] = defaultdict(int)
+        probs = np.empty(len(sequence))
+        for index, interaction in enumerate(sequence):
+            active = self._features_for(sequence, interaction,
+                                        wins, fails, grow=False)
+            if active:
+                logit = self._logit(active)
+            else:
+                logit = self.w0
+            probs[index] = 1.0 / (1.0 + np.exp(-np.clip(logit, -30, 30)))
+            for concept in interaction.concept_ids:
+                if interaction.correct:
+                    wins[concept] += 1
+                else:
+                    fails[concept] += 1
+        return probs

@@ -1,0 +1,111 @@
+"""Training loop for left-to-right sequential KT models.
+
+Implements the paper's protocol pieces that apply to every neural model:
+Adam optimization, l2 weight decay, validation-AUC early stopping with a
+10-epoch patience, and best-epoch weight restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data import KTDataset, iterate_batches
+from repro.eval import EarlyStopping, accuracy_score, auc_score
+from repro.optim import Adam, clip_grad_norm
+
+from .base import (ProbabilisticKTModel, SequentialKTModel,
+                   gather_predictions)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one training run."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    patience: int = 10
+    grad_clip: float = 5.0
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history plus the restored best validation score."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_aucs: List[float] = field(default_factory=list)
+    best_val_auc: float = 0.0
+    best_epoch: int = -1
+
+
+def evaluate_sequential(model: SequentialKTModel, dataset: KTDataset,
+                        batch_size: int = 64) -> Dict[str, float]:
+    """AUC/ACC of a sequential model over all valid prediction positions."""
+    labels, scores = gather_predictions(model, dataset, batch_size)
+    return {"auc": auc_score(labels, scores),
+            "acc": accuracy_score(labels, scores)}
+
+
+def evaluate_probabilistic(model: ProbabilisticKTModel,
+                           dataset: KTDataset) -> Dict[str, float]:
+    """AUC/ACC of a fit-based model, skipping each sequence's first position
+    (no history) to match the sequential convention."""
+    labels, scores = [], []
+    for sequence in dataset:
+        probs = model.predict_sequence(sequence)
+        labels.extend(sequence.responses[1:])
+        scores.extend(probs[1:])
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    return {"auc": auc_score(labels, scores),
+            "acc": accuracy_score(labels, scores)}
+
+
+def fit_sequential(model: SequentialKTModel, train: KTDataset,
+                   validation: Optional[KTDataset] = None,
+                   config: Optional[TrainConfig] = None) -> TrainResult:
+    """Train with Adam + early stopping on validation AUC."""
+    config = config or TrainConfig()
+    optimizer = Adam(model.parameters(), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    stopper = EarlyStopping(patience=config.patience)
+    result = TrainResult()
+    shuffle_rng = np.random.default_rng(config.seed)
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        for batch in iterate_batches(list(train), config.batch_size,
+                                     rng=shuffle_rng):
+            optimizer.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        result.train_losses.append(float(np.mean(epoch_losses)))
+
+        if validation is not None and len(validation):
+            metrics = evaluate_sequential(model, validation)
+            result.val_aucs.append(metrics["auc"])
+            if config.verbose:
+                print(f"epoch {epoch:3d}  loss {result.train_losses[-1]:.4f}  "
+                      f"val auc {metrics['auc']:.4f}")
+            if stopper.update(metrics["auc"], epoch, model.state_dict()):
+                break
+
+    if stopper.should_restore:
+        model.load_state_dict(stopper.best_state)
+        result.best_val_auc = stopper.best_value
+        result.best_epoch = stopper.best_epoch
+    elif result.val_aucs:
+        result.best_val_auc = max(result.val_aucs)
+        result.best_epoch = int(np.argmax(result.val_aucs))
+    return result

@@ -1,0 +1,19 @@
+"""Neural-network layers built on the :mod:`repro.tensor` substrate."""
+
+from .attention import (MultiHeadAttention, anti_causal_mask, causal_mask)
+from .layers import (MLP, Dropout, Embedding, LayerNorm, Linear, ReLU,
+                     Sigmoid, Tanh)
+from .module import Module, ModuleList
+from .rnn import LSTM, BiLSTM, LSTMCell
+from .transformer import (FeedForward, PositionalEncoding, TransformerBlock,
+                          TransformerEncoder, sinusoidal_positions)
+
+__all__ = [
+    "Module", "ModuleList",
+    "Linear", "Embedding", "Dropout", "LayerNorm", "MLP",
+    "ReLU", "Tanh", "Sigmoid",
+    "LSTMCell", "LSTM", "BiLSTM",
+    "MultiHeadAttention", "causal_mask", "anti_causal_mask",
+    "TransformerBlock", "TransformerEncoder", "FeedForward",
+    "PositionalEncoding", "sinusoidal_positions",
+]

@@ -1,0 +1,116 @@
+"""Attention layers: scaled dot-product, multi-head, and AKT-style
+monotonic (distance-decaying) attention.
+
+SAKT (Pandey & Karypis, 2019) uses standard multi-head attention; AKT
+(Ghosh et al., 2020) multiplies attention logits by an exponential decay in
+the distance between the query and key positions so older interactions
+matter less.  The paper's RCKT-AKT notes that "monotonic attention can also
+be made bi-directional due to the duality of distance": we implement the
+decay on ``|i - j|`` so the same layer serves both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor, init, masked_softmax, ops
+
+from .layers import Dropout, Linear
+from .module import Module
+
+
+def _softplus(x: Tensor) -> Tensor:
+    """Numerically adequate softplus for small-magnitude decay parameters."""
+    return (x.clip(-30.0, 30.0).exp() + 1.0).log()
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with an optional monotonic distance decay.
+
+    Parameters
+    ----------
+    dim:
+        Model dimension; must be divisible by ``heads``.
+    monotonic:
+        When True, a learnable per-head decay rate ``theta_h >= 0`` is
+        applied as ``logits -= theta_h * |i - j|`` (AKT's exponential decay
+        in its multiplicative form on the pre-softmax logits).
+    """
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0, monotonic: bool = False):
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.monotonic = monotonic
+        self.query_proj = Linear(dim, dim, rng)
+        self.key_proj = Linear(dim, dim, rng)
+        self.value_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+        if monotonic:
+            # softplus(0.54) ~= 1.0; start with a mild decay.
+            self.decay = init.normal((heads,), 0.1, rng)
+        self.last_weights: Optional[np.ndarray] = None
+
+    def _split(self, x: Tensor, batch: int, length: int) -> Tensor:
+        """(B, L, D) -> (B, H, L, Dh)."""
+        return x.reshape(batch, length, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend ``query`` over ``key``/``value``.
+
+        ``mask`` is a boolean array broadcastable to ``(B, H, Lq, Lk)`` with
+        True marking *allowed* positions.  Rows with no allowed key yield a
+        zero context vector (see :func:`repro.tensor.masked_softmax`).
+        """
+        batch, q_len, _ = query.shape
+        k_len = key.shape[1]
+        q = self._split(self.query_proj(query), batch, q_len)
+        k = self._split(self.key_proj(key), batch, k_len)
+        v = self._split(self.value_proj(value), batch, k_len)
+
+        logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if self.monotonic:
+            positions_q = np.arange(q_len)[:, None]
+            positions_k = np.arange(k_len)[None, :]
+            distance = np.abs(positions_q - positions_k).astype(np.float64)
+            theta = _softplus(self.decay).reshape(1, self.heads, 1, 1)
+            logits = logits - theta * Tensor(distance)
+
+        if mask is None:
+            mask = np.ones((1, 1, q_len, k_len), dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            while mask.ndim < 4:
+                mask = mask[None]
+        weights = masked_softmax(logits, mask, axis=-1)
+        self.last_weights = weights.data.copy()
+        if self.dropout is not None:
+            weights = self.dropout(weights)
+        context = weights @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.dim)
+        return self.out_proj(context)
+
+
+def causal_mask(length: int, strict: bool = True) -> np.ndarray:
+    """Lower-triangular attention mask.
+
+    ``strict=True`` excludes the diagonal (a position cannot attend to
+    itself), which is what the RCKT bidirectional encoders need so that the
+    prediction for response ``i`` never sees response ``i``.
+    """
+    offset = -1 if strict else 0
+    return np.tril(np.ones((length, length), dtype=bool), k=offset)
+
+
+def anti_causal_mask(length: int, strict: bool = True) -> np.ndarray:
+    """Upper-triangular mask: position ``i`` attends only to ``j > i``."""
+    offset = 1 if strict else 0
+    return np.triu(np.ones((length, length), dtype=bool), k=offset)

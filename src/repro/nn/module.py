@@ -1,0 +1,115 @@
+"""Minimal module system: parameter registration, train/eval, state dicts.
+
+Mirrors the subset of ``torch.nn.Module`` the paper's models need.  A
+parameter is simply a :class:`~repro.tensor.Tensor` with
+``requires_grad=True`` assigned as an attribute; submodules are discovered
+by attribute scanning, and :class:`ModuleList` holds ordered collections
+(e.g. stacked transformer layers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    # Parameter / submodule discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Gradient and state management
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {state[name].shape}")
+            param.data[...] = state[name]
+
+    def num_parameters(self) -> int:
+        return sum(param.data.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """Ordered container whose items are registered as submodules."""
+
+    def __init__(self, modules: List[Module] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, f"item_{len(self._items)}", module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

@@ -1,0 +1,98 @@
+"""Recurrent layers: LSTM cell, unidirectional LSTM, bidirectional LSTM.
+
+DKT (Piech et al., 2015) uses an LSTM; RCKT-DKT extends it bidirectionally
+(BiLSTM, Sec. V-A4 of the paper).  The bidirectional variant here exposes
+the *shifted* outputs the RCKT encoder needs: the forward state at position
+``i`` summarizes inputs ``1..i`` and the backward state summarizes inputs
+``i..L``, so Eq. 25's strict exclusion of position ``i`` is implemented by
+the caller indexing ``forward[i-1]`` and ``backward[i+1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor, concat, init, stack
+
+from .module import Module
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate weights (order: i, f, g, o)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_x = init.xavier_uniform((input_dim, 4 * hidden_dim), rng)
+        self.weight_h = init.xavier_uniform((hidden_dim, 4 * hidden_dim), rng)
+        bias = np.zeros(4 * hidden_dim)
+        # Standard trick: initialize the forget-gate bias to 1 so early
+        # training does not wash out the cell state.
+        bias[hidden_dim:2 * hidden_dim] = 1.0
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        z = x @ self.weight_x + h_prev @ self.weight_h + self.bias
+        hidden = self.hidden_dim
+        i_gate = z[:, 0 * hidden:1 * hidden].sigmoid()
+        f_gate = z[:, 1 * hidden:2 * hidden].sigmoid()
+        g_gate = z[:, 2 * hidden:3 * hidden].tanh()
+        o_gate = z[:, 3 * hidden:4 * hidden].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = Tensor(np.zeros((batch, self.hidden_dim)))
+        return zeros, zeros
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a ``(batch, length, dim)`` sequence."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator,
+                 reverse: bool = False):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+        self.reverse = reverse
+
+    def forward(self, x: Tensor,
+                state: Optional[Tuple[Tensor, Tensor]] = None) -> Tensor:
+        """Return the hidden state after each step, shape ``(B, L, H)``.
+
+        With ``reverse=True`` the sequence is consumed right-to-left but the
+        outputs are returned in the original order: position ``i`` then
+        holds the state after consuming inputs ``i..L``.
+        """
+        batch, length, _ = x.shape
+        if state is None:
+            state = self.cell.initial_state(batch)
+        steps = range(length - 1, -1, -1) if self.reverse else range(length)
+        outputs: list = [None] * length
+        h, c = state
+        for t in steps:
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs[t] = h
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """Forward + backward LSTM pair returning both directions separately.
+
+    Unlike the usual concatenating BiLSTM, the two streams are kept apart
+    because RCKT sums *shifted* views of them (Eq. 25).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.backward_lstm = LSTM(input_dim, hidden_dim, rng, reverse=True)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        return self.forward_lstm(x), self.backward_lstm(x)

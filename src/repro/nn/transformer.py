@@ -1,0 +1,113 @@
+"""Transformer encoder blocks and positional encodings.
+
+Used by the SAKT and AKT baselines and by the bidirectional RCKT encoders
+(RCKT-SAKT, RCKT-AKT), which stack these blocks "in a multi-layer style"
+(Sec. IV-D1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+from .attention import MultiHeadAttention
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module, ModuleList
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Classic fixed sinusoidal positional table, shape ``(length, dim)``."""
+    positions = np.arange(length)[:, None].astype(np.float64)
+    dims = np.arange(dim)[None, :].astype(np.float64)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / dim)
+    table = positions * angle_rates
+    table[:, 0::2] = np.sin(table[:, 0::2])
+    table[:, 1::2] = np.cos(table[:, 1::2])
+    return table
+
+
+class PositionalEncoding(Module):
+    """Adds fixed sinusoidal position information to a (B, L, D) tensor."""
+
+    def __init__(self, max_length: int, dim: int):
+        super().__init__()
+        self._table = sinusoidal_positions(max_length, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        if length > self._table.shape[0]:
+            raise ValueError(f"sequence length {length} exceeds positional "
+                             f"table size {self._table.shape[0]}")
+        return x + Tensor(self._table[:length])
+
+
+class FeedForward(Module):
+    """Position-wise two-layer FFN with ReLU."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x).relu()
+        if self.dropout is not None:
+            hidden = self.dropout(hidden)
+        return self.fc2(hidden)
+
+
+class TransformerBlock(Module):
+    """Post-LN transformer encoder block (attention + FFN, residuals)."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator,
+                 ffn_hidden: Optional[int] = None, dropout: float = 0.0,
+                 monotonic: bool = False):
+        super().__init__()
+        self.attention = MultiHeadAttention(dim, heads, rng, dropout=dropout,
+                                            monotonic=monotonic)
+        self.ffn = FeedForward(dim, ffn_hidden or 2 * dim, rng, dropout=dropout)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None,
+                context: Optional[Tensor] = None) -> Tensor:
+        """Self-attention when ``context`` is None, else cross-attention."""
+        source = context if context is not None else x
+        attended = self.attention(x, source, source, mask=mask)
+        if self.dropout is not None:
+            attended = self.dropout(attended)
+        x = self.norm1(x + attended)
+        ffn_out = self.ffn(x)
+        if self.dropout is not None:
+            ffn_out = self.dropout(ffn_out)
+        return self.norm2(x + ffn_out)
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerBlock` sharing one attention mask."""
+
+    def __init__(self, dim: int, heads: int, layers: int,
+                 rng: np.random.Generator, dropout: float = 0.0,
+                 monotonic: bool = False):
+        super().__init__()
+        self.blocks = ModuleList([
+            TransformerBlock(dim, heads, rng, dropout=dropout,
+                             monotonic=monotonic)
+            for _ in range(layers)
+        ])
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return x
+
+    @property
+    def last_attention_weights(self) -> Optional[np.ndarray]:
+        """Attention weights of the final block's last forward pass."""
+        return self.blocks[len(self.blocks) - 1].attention.last_weights

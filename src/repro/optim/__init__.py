@@ -1,0 +1,8 @@
+"""Optimizers for the NumPy substrate (the paper tunes with Adam)."""
+
+from .adam import Adam
+from .clip import clip_grad_norm
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]

@@ -1,0 +1,31 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.tensor import Tensor
+
+
+class Optimizer:
+    """Holds a parameter list and applies gradient updates.
+
+    ``weight_decay`` implements the paper's "l2 normalization in the loss
+    function" as decoupled L2 on the gradients (equivalent for SGD; the
+    conventional coupled form for Adam, matching common KT codebases).
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float,
+                 weight_decay: float = 0.0):
+        self.params: List[Tensor] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,32 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(self, params: Iterable[Tensor], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad

@@ -1,0 +1,29 @@
+"""NumPy reverse-mode autodiff substrate (PyTorch substitute).
+
+Public surface::
+
+    from repro.tensor import Tensor, no_grad, ops, init
+"""
+
+from . import init, ops
+from .ops import (binary_cross_entropy, concat, dropout, embedding,
+                  log_softmax, masked_softmax, softmax, stack, where)
+from .tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "concat",
+    "stack",
+    "where",
+    "embedding",
+    "softmax",
+    "masked_softmax",
+    "log_softmax",
+    "dropout",
+    "binary_cross_entropy",
+    "ops",
+    "init",
+]

@@ -1,0 +1,49 @@
+"""Weight initialization schemes.
+
+The initializers take an explicit ``numpy.random.Generator`` so every model
+in the repository is reproducible from a single seed (the experiment
+harness derives per-model generators from the run seed).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def uniform(shape: Tuple[int, ...], low: float, high: float,
+            rng: np.random.Generator, requires_grad: bool = True) -> Tensor:
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=requires_grad)
+
+
+def normal(shape: Tuple[int, ...], std: float, rng: np.random.Generator,
+           requires_grad: bool = True) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=requires_grad)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   requires_grad: bool = True) -> Tensor:
+    """Glorot/Xavier uniform; fan counts use the trailing two dimensions."""
+    fan_in = shape[-2] if len(shape) >= 2 else shape[-1]
+    fan_out = shape[-1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, rng, requires_grad)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    requires_grad: bool = True) -> Tensor:
+    """He uniform for ReLU networks."""
+    fan_in = shape[-2] if len(shape) >= 2 else shape[-1]
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform(shape, -bound, bound, rng, requires_grad)
+
+
+def zeros(shape: Tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

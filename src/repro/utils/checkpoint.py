@@ -1,0 +1,61 @@
+"""Model checkpointing: state dicts to/from ``.npz`` files.
+
+The module system (:class:`repro.nn.Module`) exposes ``state_dict`` /
+``load_state_dict``; these helpers persist them with NumPy's compressed
+archive format plus a small JSON header for configuration echoes, so a
+trained RCKT (or any baseline) can be shipped and reloaded without
+retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(path: Union[str, Path], state: Dict[str, np.ndarray],
+                    metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write a state dict (and JSON-serializable metadata) to ``path``.
+
+    Parameter names may contain dots (``fc1.weight``); they are stored
+    verbatim as npz keys.
+    """
+    path = Path(path)
+    if _META_KEY in state:
+        raise ValueError(f"'{_META_KEY}' is reserved for checkpoint metadata")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: Union[str, Path]
+                    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read back ``(state_dict, metadata)`` written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint "
+                             f"(missing metadata record)")
+        metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        state = {key: archive[key] for key in archive.files
+                 if key != _META_KEY}
+    return state, metadata
+
+
+def save_model(path: Union[str, Path], model,
+               metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Persist any :class:`repro.nn.Module`'s parameters."""
+    save_checkpoint(path, model.state_dict(), metadata)
+
+
+def load_model(path: Union[str, Path], model) -> Dict[str, Any]:
+    """Restore parameters into ``model`` in place; returns the metadata."""
+    state, metadata = load_checkpoint(path)
+    model.load_state_dict(state)
+    return metadata

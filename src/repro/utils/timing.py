@@ -1,0 +1,29 @@
+"""Lightweight wall-clock timing used by the Table VI efficiency bench."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_ms >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1000.0

@@ -1,0 +1,50 @@
+"""RCKT configuration and the Table III registry."""
+
+import pytest
+
+from repro.core import (ENCODERS, PAPER_HYPERPARAMETERS, RCKTConfig,
+                        paper_config)
+
+
+class TestRCKTConfig:
+    def test_defaults_valid(self):
+        config = RCKTConfig()
+        assert config.encoder in ENCODERS
+
+    def test_unknown_encoder_rejected(self):
+        with pytest.raises(ValueError):
+            RCKTConfig(encoder="lstm")
+
+    def test_with_overrides(self):
+        config = RCKTConfig().with_overrides(dim=64, lr=5e-4)
+        assert config.dim == 64 and config.lr == 5e-4
+
+    def test_joint_ablation_zeroes_lambda(self):
+        config = RCKTConfig(use_joint=False, lambda_balance=0.3)
+        assert config.lambda_balance == 0.0
+
+
+class TestPaperRegistry:
+    def test_all_twelve_combinations_present(self):
+        datasets = {"assist09", "assist12", "slepemapy", "eedi"}
+        encoders = {"dkt", "sakt", "akt"}
+        assert set(PAPER_HYPERPARAMETERS) == {(d, e) for d in datasets
+                                              for e in encoders}
+
+    def test_paper_config_matches_table3_assist09_dkt(self):
+        config = paper_config("assist09", "dkt")
+        # Table III: {1e-3, 0.1, 1e-5, 0.3, 2}
+        assert config.lr == 1e-3
+        assert config.lambda_balance == 0.1
+        assert config.weight_decay == 1e-5
+        assert config.dropout == 0.3
+        assert config.layers == 2
+
+    def test_paper_config_accepts_overrides(self):
+        config = paper_config("eedi", "akt", dim=16, epochs=2)
+        assert config.dim == 16 and config.epochs == 2
+        assert config.lr == 5e-4  # Table III value kept
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            paper_config("assist09", "gru")

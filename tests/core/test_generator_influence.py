@@ -1,0 +1,127 @@
+"""Probability generator (Eq. 23-26) and influence computation properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (RCKT, RCKTConfig, build_encoder, build_variants,
+                        compute_influences, ResponseProbabilityGenerator)
+from repro.data import Interaction, StudentSequence, collate
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(17)
+
+
+def make_generator(dim=8, encoder="dkt"):
+    rng = np.random.default_rng(4)
+    enc = build_encoder(encoder, dim, 1, rng)
+    return ResponseProbabilityGenerator(10, 5, dim, enc, rng)
+
+
+def toy_batch(length=6):
+    seq = StudentSequence(1)
+    for i in range(length):
+        seq.append(Interaction((i % 9) + 1, i % 2, ((i % 4) + 1,), i))
+    return collate([seq])
+
+
+class TestGenerator:
+    def test_output_shape_and_range(self):
+        gen = make_generator()
+        batch = toy_batch()
+        probs = gen(batch)
+        assert probs.shape == (1, 6)
+        assert np.all((probs.data > 0) & (probs.data < 1))
+
+    def test_response_variant_changes_probabilities(self):
+        gen = make_generator()
+        gen.eval()
+        batch = toy_batch()
+        base = gen(batch).data.copy()
+        flipped = batch.responses.copy()
+        flipped[0, 0] = 1 - flipped[0, 0]
+        out = gen(batch, responses=flipped).data
+        assert not np.allclose(out, base)
+
+    def test_masked_category_is_distinct_input(self):
+        gen = make_generator()
+        gen.eval()
+        batch = toy_batch()
+        masked = batch.responses.copy()
+        masked[0, 2] = 2
+        a = gen(batch).data
+        b = gen(batch, responses=masked).data
+        assert not np.allclose(a, b)
+
+    def test_question_override_changes_only_that_column_input(self):
+        gen = make_generator()
+        gen.eval()
+        batch = toy_batch()
+        override = Tensor(RNG.normal(size=(1, 8)))
+        out = gen(batch, question_override=override,
+                  override_cols=np.array([3])).data
+        base = gen(batch).data
+        # The overridden column's own probability must change (its e_i is
+        # part of the head input).
+        assert not np.isclose(out[0, 3], base[0, 3])
+
+    def test_override_requires_cols(self):
+        gen = make_generator()
+        with pytest.raises(ValueError):
+            gen(toy_batch(), question_override=Tensor(np.zeros((1, 8))))
+
+
+class TestInfluenceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=8),
+           st.integers(0, 10 ** 6))
+    def test_score_bounds_any_probabilities(self, responses, seed):
+        """Scores stay in [0, 1] for arbitrary generator outputs."""
+        responses = np.array([responses + [1]])  # append target
+        length = responses.shape[1]
+        mask = np.ones((1, length), dtype=bool)
+        variants = build_variants(responses, mask, np.array([length - 1]))
+        rng = np.random.default_rng(seed)
+        probs = {name: Tensor(rng.random((1, length)))
+                 for name in ("f_plus", "cf_minus", "f_minus", "cf_plus")}
+        influence = compute_influences(probs, variants)
+        assert 0.0 <= influence.scores[0] <= 1.0
+
+    def test_no_history_gives_neutral_score(self):
+        responses = np.array([[1]])
+        mask = np.ones((1, 1), dtype=bool)
+        variants = build_variants(responses, mask, np.array([0]))
+        probs = {name: Tensor(np.full((1, 1), 0.9))
+                 for name in ("f_plus", "cf_minus", "f_minus", "cf_plus")}
+        influence = compute_influences(probs, variants)
+        assert influence.scores[0] == 0.5
+
+    def test_identical_factual_counterfactual_gives_neutral(self):
+        """If interventions change nothing, all influences are zero."""
+        responses = np.array([[1, 0, 1]])
+        mask = np.ones((1, 3), dtype=bool)
+        variants = build_variants(responses, mask, np.array([2]))
+        same = Tensor(np.full((1, 3), 0.6))
+        probs = {name: same for name in
+                 ("f_plus", "cf_minus", "f_minus", "cf_plus")}
+        influence = compute_influences(probs, variants)
+        assert influence.scores[0] == 0.5
+        assert np.all(influence.correct_deltas.data == 0)
+
+    def test_missing_variant_raises(self):
+        responses = np.array([[1, 1]])
+        mask = np.ones((1, 2), dtype=bool)
+        variants = build_variants(responses, mask, np.array([1]))
+        with pytest.raises(KeyError):
+            compute_influences({"f_plus": Tensor(np.zeros((1, 2)))}, variants)
+
+
+class TestRCKTEncoders:
+    @pytest.mark.parametrize("encoder", ["dkt", "sakt", "akt"])
+    def test_all_encoders_produce_valid_scores(self, encoder):
+        config = RCKTConfig(encoder=encoder, dim=8, layers=1, epochs=1)
+        model = RCKT(10, 5, config)
+        batch = toy_batch()
+        scores = model.predict_scores(batch, np.array([5]))
+        assert 0.0 <= scores[0] <= 1.0

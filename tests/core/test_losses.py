@@ -1,0 +1,122 @@
+"""Counterfactual optimization (Eq. 16-17) and joint BCE (Eq. 27-28)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (build_variants, compute_influences,
+                        counterfactual_loss, joint_bce_losses)
+from repro.tensor import Tensor
+
+
+def influence_from(delta_grid_correct, delta_grid_incorrect, responses):
+    """Build an InfluenceComputation from hand-set per-position deltas."""
+    responses = np.asarray(responses)
+    batch, length = responses.shape
+    mask = np.ones((batch, length), dtype=bool)
+    targets = np.full(batch, length - 1)
+    variants = build_variants(responses, mask, targets)
+    # Craft probability grids that realize the requested deltas:
+    # correct positions: f_plus - cf_minus = delta; incorrect: cf_plus - f_minus.
+    f_plus = np.full((batch, length), 0.5) + np.asarray(delta_grid_correct) / 2
+    cf_minus = np.full((batch, length), 0.5) - np.asarray(delta_grid_correct) / 2
+    cf_plus = np.full((batch, length), 0.5) + np.asarray(delta_grid_incorrect) / 2
+    f_minus = np.full((batch, length), 0.5) - np.asarray(delta_grid_incorrect) / 2
+    probs = {"f_plus": Tensor(f_plus), "cf_minus": Tensor(cf_minus),
+             "f_minus": Tensor(f_minus), "cf_plus": Tensor(cf_plus)}
+    return compute_influences(probs, variants)
+
+
+class TestCounterfactualLoss:
+    def test_hand_computed_value(self):
+        """One row: responses [1, 0, target=1]; Δ+=0.4, Δ-=0.1, t=2.
+
+        L = -log( (-1)^1 * (Δ- - Δ+) / (2t) + 1/2 ) = -log(0.575).
+        """
+        correct_d = [[0.4, 0.0, 0.0]]
+        incorrect_d = [[0.0, 0.1, 0.0]]
+        influence = influence_from(correct_d, incorrect_d, [[1, 0, 1]])
+        loss = counterfactual_loss(influence, np.array([1]),
+                                   use_constraint=False)
+        expected = -np.log((0.4 - 0.1) / 4.0 + 0.5)
+        assert np.isclose(loss.item(), expected)
+
+    def test_label_flips_sign(self):
+        """The same influences are a *good* outcome for label 0."""
+        correct_d = [[0.4, 0.0, 0.0]]
+        incorrect_d = [[0.0, 0.1, 0.0]]
+        influence = influence_from(correct_d, incorrect_d, [[1, 0, 0]])
+        loss = counterfactual_loss(influence, np.array([0]),
+                                   use_constraint=False)
+        expected = -np.log((0.1 - 0.4) / 4.0 + 0.5)
+        assert np.isclose(loss.item(), expected)
+
+    def test_aligned_gap_lowers_loss(self):
+        small = influence_from([[0.1, 0.0, 0.0]], [[0.0, 0.0, 0.0]], [[1, 0, 1]])
+        large = influence_from([[0.8, 0.0, 0.0]], [[0.0, 0.0, 0.0]], [[1, 0, 1]])
+        loss_small = counterfactual_loss(small, np.array([1]),
+                                         use_constraint=False).item()
+        loss_large = counterfactual_loss(large, np.array([1]),
+                                         use_constraint=False).item()
+        assert loss_large < loss_small
+
+    def test_constraint_punishes_negative_influence(self):
+        influence = influence_from([[-0.3, 0.0, 0.0]], [[0.0, 0.2, 0.0]],
+                                   [[1, 0, 1]])
+        with_constraint = counterfactual_loss(influence, np.array([1]),
+                                              alpha=1.0, use_constraint=True)
+        without = counterfactual_loss(influence, np.array([1]),
+                                      use_constraint=False)
+        assert np.isclose(with_constraint.item() - without.item(), 0.3)
+
+    def test_constraint_ignores_positive_influences(self):
+        influence = influence_from([[0.3, 0.0, 0.0]], [[0.0, 0.2, 0.0]],
+                                   [[1, 0, 1]])
+        a = counterfactual_loss(influence, np.array([1]), use_constraint=True)
+        b = counterfactual_loss(influence, np.array([1]), use_constraint=False)
+        assert np.isclose(a.item(), b.item())
+
+    def test_alpha_scales_constraint(self):
+        influence = influence_from([[-0.4, 0.0, 0.0]], [[0.0, 0.0, 0.0]],
+                                   [[1, 0, 1]])
+        base = counterfactual_loss(influence, np.array([1]),
+                                   use_constraint=False).item()
+        doubled = counterfactual_loss(influence, np.array([1]), alpha=2.0,
+                                      use_constraint=True).item()
+        assert np.isclose(doubled - base, 0.8)
+
+    def test_gradients_flow(self):
+        raw = Tensor(np.full((1, 3), 0.6), requires_grad=True)
+        responses = np.array([[1, 0, 1]])
+        mask = np.ones((1, 3), dtype=bool)
+        variants = build_variants(responses, mask, np.array([2]))
+        probs = {"f_plus": raw, "cf_minus": raw * 0.5,
+                 "f_minus": raw * 0.4, "cf_plus": raw * 0.9}
+        influence = compute_influences(probs, variants)
+        loss = counterfactual_loss(influence, np.array([1]))
+        loss.backward()
+        assert raw.grad is not None
+
+
+class TestJointBCE:
+    def test_returns_three_losses(self):
+        probs = {name: Tensor(np.full((2, 4), 0.7))
+                 for name in ("factual", "m_plus", "m_minus")}
+        responses = np.ones((2, 4), dtype=np.int64)
+        history = np.ones((2, 4), dtype=bool)
+        losses = joint_bce_losses(probs, responses, history)
+        assert set(losses) == {"factual", "m_plus", "m_minus"}
+        for loss in losses.values():
+            assert np.isclose(loss.item(), -np.log(0.7))
+
+    def test_history_mask_excludes_positions(self):
+        probs = {name: Tensor(np.array([[0.9, 0.1]]))
+                 for name in ("factual", "m_plus", "m_minus")}
+        responses = np.array([[1, 1]])
+        history = np.array([[True, False]])  # only the first counts
+        losses = joint_bce_losses(probs, responses, history)
+        assert np.isclose(losses["factual"].item(), -np.log(0.9))
+
+    def test_missing_variant_raises(self):
+        with pytest.raises(KeyError):
+            joint_bce_losses({"factual": Tensor(np.array([[0.5]]))},
+                             np.array([[1]]), np.array([[True]]))

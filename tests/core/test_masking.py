@@ -1,0 +1,131 @@
+"""Counterfactual sequence construction semantics (Eq. 3-6, 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MASKED, build_exact_counterfactual, build_variants
+
+
+def simple_batch():
+    """One row: responses 1,0,1,1,0 then target at col 5 (like Fig. 1/3)."""
+    responses = np.array([[1, 0, 1, 1, 0, 1]])
+    mask = np.ones((1, 6), dtype=bool)
+    targets = np.array([5])
+    return responses, mask, targets
+
+
+class TestBuildVariants:
+    def test_f_plus_keeps_history_sets_target_correct(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["f_plus"][0].tolist() == [1, 0, 1, 1, 0, 1]
+
+    def test_f_minus_only_flips_target(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["f_minus"][0].tolist() == [1, 0, 1, 1, 0, 0]
+
+    def test_cf_minus_masks_correct_retains_incorrect(self):
+        """Flipping the target down: correct history is unreliable (masked),
+        incorrect history is retained (monotonicity, Sec. IV-B)."""
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["cf_minus"][0].tolist() == \
+            [MASKED, 0, MASKED, MASKED, 0, 0]
+
+    def test_cf_plus_masks_incorrect_retains_correct(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["cf_plus"][0].tolist() == \
+            [1, MASKED, 1, 1, MASKED, 1]
+
+    def test_factual_masks_target_only(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["factual"][0].tolist() == [1, 0, 1, 1, 0, MASKED]
+
+    def test_m_plus_hides_incorrect_history(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["m_plus"][0].tolist() == \
+            [1, MASKED, 1, 1, MASKED, MASKED]
+
+    def test_m_minus_hides_correct_history(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.variants["m_minus"][0].tolist() == \
+            [MASKED, 0, MASKED, MASKED, 0, MASKED]
+
+    def test_mono_ablation_keeps_history_factual(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets, use_monotonicity=False)
+        assert vs.variants["cf_minus"][0].tolist() == [1, 0, 1, 1, 0, 0]
+        assert vs.variants["cf_plus"][0].tolist() == [1, 0, 1, 1, 0, 1]
+
+    def test_masks_partition_history(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        assert vs.history_mask[0].tolist() == [True] * 5 + [False]
+        assert vs.correct_mask[0].tolist() == \
+            [True, False, True, True, False, False]
+        assert vs.incorrect_mask[0].tolist() == \
+            [False, True, False, False, True, False]
+
+    def test_padding_excluded_from_history(self):
+        responses = np.array([[1, 0, 1, 0, 0, 0]])
+        mask = np.array([[True, True, True, True, False, False]])
+        vs = build_variants(responses, mask, np.array([3]))
+        assert vs.history_mask[0].tolist() == [True, True, True] + [False] * 3
+
+    def test_stacked_order(self):
+        responses, mask, targets = simple_batch()
+        vs = build_variants(responses, mask, targets)
+        stacked = vs.stacked(("f_plus", "f_minus"))
+        assert stacked.shape == (2, 6)
+        assert stacked[0, 5] == 1 and stacked[1, 5] == 0
+
+    def test_original_responses_untouched(self):
+        responses, mask, targets = simple_batch()
+        copy = responses.copy()
+        build_variants(responses, mask, targets)
+        assert np.array_equal(responses, copy)
+
+    def test_target_out_of_range_raises(self):
+        responses, mask, _ = simple_batch()
+        with pytest.raises(ValueError):
+            build_variants(responses, mask, np.array([6]))
+
+    def test_target_on_padding_raises(self):
+        responses = np.array([[1, 0, 0]])
+        mask = np.array([[True, True, False]])
+        with pytest.raises(ValueError):
+            build_variants(responses, mask, np.array([2]))
+
+
+class TestExactCounterfactual:
+    def test_flip_correct_masks_other_correct(self):
+        """Eq. 4: CF_{t,i-} retains incorrect, masks other correct."""
+        responses = np.array([1, 0, 1, 1, 0, 1])
+        mask = np.ones(6, dtype=bool)
+        row = build_exact_counterfactual(responses, mask, target_col=5,
+                                         flip_col=2)
+        assert row.tolist() == [MASKED, 0, 0, MASKED, 0, MASKED]
+
+    def test_flip_incorrect_masks_other_incorrect(self):
+        responses = np.array([1, 0, 1, 1, 0, 1])
+        mask = np.ones(6, dtype=bool)
+        row = build_exact_counterfactual(responses, mask, target_col=5,
+                                         flip_col=1)
+        assert row.tolist() == [1, 1, 1, 1, MASKED, MASKED]
+
+    def test_without_monotonicity_only_flips(self):
+        responses = np.array([1, 0, 1, 1, 0, 1])
+        mask = np.ones(6, dtype=bool)
+        row = build_exact_counterfactual(responses, mask, target_col=5,
+                                         flip_col=2, use_monotonicity=False)
+        assert row.tolist() == [1, 0, 0, 1, 0, MASKED]
+
+    def test_flip_must_precede_target(self):
+        responses = np.array([1, 0, 1])
+        with pytest.raises(ValueError):
+            build_exact_counterfactual(responses, np.ones(3, bool), 1, 2)

@@ -1,0 +1,150 @@
+"""RCKT model integration: training signal, prediction, ablations, exact path."""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig, evaluate_rckt, fit_rckt
+from repro.data import collate, make_assist09, train_test_split
+
+
+def tiny_config(**overrides):
+    defaults = dict(encoder="dkt", dim=8, layers=1, epochs=2, batch_size=16,
+                    lr=3e-3, targets_per_sequence=2, seed=0)
+    defaults.update(overrides)
+    return RCKTConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_assist09(scale=0.12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fold(dataset):
+    return train_test_split(dataset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset, fold):
+    model = RCKT(dataset.num_questions, dataset.num_concepts, tiny_config())
+    fit_rckt(model, fold.train, eval_stride=3)
+    return model
+
+
+class TestTraining:
+    def test_loss_decreases(self, dataset, fold):
+        model = RCKT(dataset.num_questions, dataset.num_concepts,
+                     tiny_config(epochs=4))
+        result = fit_rckt(model, fold.train)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_early_stopping_restores_best(self, dataset, fold):
+        model = RCKT(dataset.num_questions, dataset.num_concepts,
+                     tiny_config(epochs=3))
+        result = fit_rckt(model, fold.train, fold.validation, eval_stride=3)
+        assert result.best_epoch >= 0
+        assert result.best_val_auc > 0
+
+    def test_loss_is_finite(self, dataset, fold, trained):
+        batch = collate([fold.train[0]])
+        cols = np.array([len(fold.train[0]) - 1])
+        loss = trained.loss(batch, cols)
+        assert np.isfinite(loss.item())
+
+
+class TestPrediction:
+    def test_scores_in_unit_interval(self, fold, trained):
+        labels, scores = trained.predict_dataset(fold.test, stride=3)
+        assert len(labels) == len(scores) > 0
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_beats_chance_after_training(self, fold, trained):
+        metrics = evaluate_rckt(trained, fold.test, stride=2)
+        assert metrics["auc"] > 0.5
+
+    def test_stride_subsamples(self, fold, trained):
+        full_labels, _ = trained.predict_dataset(fold.test, stride=1)
+        sub_labels, _ = trained.predict_dataset(fold.test, stride=3)
+        assert len(sub_labels) < len(full_labels)
+
+    def test_deterministic_inference(self, fold, trained):
+        batch = collate([fold.test[0]])
+        cols = np.array([len(fold.test[0]) - 1])
+        a = trained.predict_scores(batch, cols)
+        b = trained.predict_scores(batch, cols)
+        assert np.array_equal(a, b)
+
+    def test_influences_signs_mostly_constrained(self, fold, trained):
+        """After training with L*, most influences should be >= 0."""
+        batch = collate([fold.test[0]])
+        cols = np.array([len(fold.test[0]) - 1])
+        from repro.tensor import no_grad
+        trained.eval()
+        with no_grad():
+            influence = trained.influences(batch, cols)
+        deltas = np.concatenate([influence.correct_deltas.data.ravel(),
+                                 influence.incorrect_deltas.data.ravel()])
+        negative_mass = np.abs(deltas[deltas < 0]).sum()
+        total_mass = np.abs(deltas).sum() or 1.0
+        assert negative_mass / total_mass < 0.5
+
+
+class TestExactPath:
+    def test_exact_matches_history_partition(self, fold, trained):
+        sequence = fold.test[0][:8]
+        result = trained.exact_influences(sequence)
+        history = len(sequence) - 1
+        covered = result.correct_positions | result.incorrect_positions
+        assert covered[:history].all()
+        assert not covered[history:].any()
+
+    def test_exact_totals_consistent(self, fold, trained):
+        sequence = fold.test[0][:8]
+        result = trained.exact_influences(sequence)
+        assert np.isclose(result.delta_plus,
+                          result.deltas[result.correct_positions].sum())
+        assert np.isclose(result.delta_minus,
+                          result.deltas[result.incorrect_positions].sum())
+
+    def test_exact_needs_history(self, trained, fold):
+        with pytest.raises(ValueError):
+            trained.exact_influences(fold.test[0][:1])
+
+
+class TestAblations:
+    def test_joint_flag_forces_lambda_zero(self):
+        config = RCKTConfig(use_joint=False, lambda_balance=0.5)
+        assert config.lambda_balance == 0.0
+
+    def test_mono_ablation_changes_loss(self, dataset, fold):
+        batch = collate([fold.train[0]])
+        cols = np.array([len(fold.train[0]) - 1])
+        full = RCKT(dataset.num_questions, dataset.num_concepts,
+                    tiny_config(seed=7))
+        nomono = RCKT(dataset.num_questions, dataset.num_concepts,
+                      tiny_config(seed=7, use_monotonicity=False))
+        nomono.load_state_dict(full.state_dict())
+        assert not np.isclose(full.loss(batch, cols).item(),
+                              nomono.loss(batch, cols).item())
+
+    def test_con_ablation_never_larger(self, dataset, fold):
+        """Dropping the hinge term can only keep or lower the loss."""
+        batch = collate([fold.train[0]])
+        cols = np.array([len(fold.train[0]) - 1])
+        full = RCKT(dataset.num_questions, dataset.num_concepts,
+                    tiny_config(seed=9))
+        nocon = RCKT(dataset.num_questions, dataset.num_concepts,
+                     tiny_config(seed=9, use_constraint=False))
+        nocon.load_state_dict(full.state_dict())
+        assert nocon.loss(batch, cols).item() <= full.loss(batch, cols).item() + 1e-12
+
+
+class TestStatePersistence:
+    def test_state_dict_roundtrip(self, dataset, fold, trained):
+        clone = RCKT(dataset.num_questions, dataset.num_concepts,
+                     tiny_config())
+        clone.load_state_dict(trained.state_dict())
+        batch = collate([fold.test[0]])
+        cols = np.array([len(fold.test[0]) - 1])
+        assert np.allclose(clone.predict_scores(batch, cols),
+                           trained.predict_scores(batch, cols))

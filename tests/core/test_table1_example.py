@@ -1,0 +1,91 @@
+"""Reproduces Table I of the paper exactly.
+
+The paper's worked example: six questions, responses (✓ × ✓ ✓ ×) with q6 as
+the target.  Plugging the table's probabilities into the influence
+computation must give Δ+ = 0.9, Δ- = 1.0 and the final prediction
+"incorrect" (0.9 < 1.0) — the same inference illustrated in Fig. 1.
+"""
+
+import numpy as np
+
+from repro.core import build_variants, compute_influences
+from repro.tensor import Tensor
+
+# Table I's probability grids (positions 0..5; the 6th is the target q6).
+#   Assuming r6 = 1: f_{(t+1)+ -> i+} for correct history (q1, q3, q4)
+F_PLUS = [0.6, np.nan, 0.7, 0.6, np.nan, np.nan]
+#   CF after flipping target to incorrect: cf_{(t+1)- -> i+}
+CF_MINUS = [0.5, np.nan, 0.2, 0.3, np.nan, np.nan]
+#   Assuming r6 = 0: f_{(t+1)- -> i-} = P(r_i = 0 | ...) for q2, q5
+F_MINUS_INCORRECT = [np.nan, 0.6, np.nan, np.nan, 0.9, np.nan]
+#   cf_{(t+1)+ -> i-} = P(r_i = 0) after flipping target to correct
+CF_PLUS_INCORRECT = [np.nan, 0.4, np.nan, np.nan, 0.1, np.nan]
+
+RESPONSES = np.array([[1, 0, 1, 1, 0, 1]])  # ✓ × ✓ ✓ × + target
+
+
+def build_probability_grids():
+    """Convert Table I numbers into the P(correct) grids the code uses.
+
+    The table reports incorrect-side numbers as P(r=0); the implementation
+    works uniformly in P(r=1), so those entries are complemented.  Unused
+    cells can hold anything (they are masked out); we use 0.5.
+    """
+    def grid(values, complement=False):
+        array = np.array(values, dtype=np.float64)
+        array = np.where(np.isnan(array), 0.5,
+                         1.0 - array if complement else array)
+        return Tensor(array[None, :])
+
+    return {
+        "f_plus": grid(F_PLUS),
+        "cf_minus": grid(CF_MINUS),
+        "f_minus": grid(F_MINUS_INCORRECT, complement=True),
+        "cf_plus": grid(CF_PLUS_INCORRECT, complement=True),
+    }
+
+
+class TestTable1:
+    def setup_method(self):
+        mask = np.ones((1, 6), dtype=bool)
+        self.variants = build_variants(RESPONSES, mask, np.array([5]))
+        self.influence = compute_influences(build_probability_grids(),
+                                            self.variants)
+
+    def test_correct_influences_match_table(self):
+        deltas = self.influence.correct_deltas.data[0]
+        # Δ_(t+1)+→i+ rows of Table I: 0.1, 0.5, 0.3 at q1, q3, q4.
+        assert np.isclose(deltas[0], 0.1)
+        assert np.isclose(deltas[2], 0.5)
+        assert np.isclose(deltas[3], 0.3)
+        assert deltas[1] == 0.0 and deltas[4] == 0.0 and deltas[5] == 0.0
+
+    def test_incorrect_influences_match_table(self):
+        deltas = self.influence.incorrect_deltas.data[0]
+        # Δ_(t+1)-→i- rows: 0.2 at q2, 0.8 at q5.
+        assert np.isclose(deltas[1], 0.2)
+        assert np.isclose(deltas[4], 0.8)
+        assert deltas[0] == 0.0 and deltas[2] == 0.0
+
+    def test_totals(self):
+        assert np.isclose(self.influence.delta_plus.data[0], 0.9)
+        assert np.isclose(self.influence.delta_minus.data[0], 1.0)
+
+    def test_final_prediction_is_incorrect(self):
+        """0.9 vs 1.0 — the student is predicted to answer q6 wrong."""
+        assert self.influence.decision()[0] == 0
+
+    def test_score_below_half(self):
+        expected = (0.9 - 1.0) / (2 * 5) + 0.5
+        assert np.isclose(self.influence.scores[0], expected)
+
+    def test_history_length(self):
+        assert self.influence.history_lengths[0] == 5
+
+    def test_counterfactual_rows_match_table_masks(self):
+        """Table I's CF rows: CF_(t+1)- masks ✓ and keeps ×, and vice versa."""
+        from repro.core import MASKED
+        cf_minus = self.variants.variants["cf_minus"][0]
+        assert cf_minus.tolist() == [MASKED, 0, MASKED, MASKED, 0, 0]
+        cf_plus = self.variants.variants["cf_plus"][0]
+        assert cf_plus.tolist() == [1, MASKED, 1, 1, MASKED, 1]

@@ -1,0 +1,128 @@
+"""RCKT trainer internals and score-normalization options."""
+
+import numpy as np
+import pytest
+
+from repro.core import (RCKTConfig, build_variants, compute_influences)
+from repro.core.trainer import _bucketed_batches, _sample_targets
+from repro.data import Interaction, KTDataset, StudentSequence
+from repro.tensor import Tensor
+
+
+def make_dataset(pattern_per_student):
+    sequences = []
+    for sid, pattern in enumerate(pattern_per_student):
+        seq = StudentSequence(sid)
+        for i, correct in enumerate(pattern):
+            seq.append(Interaction(i + 1, correct, (1,), i))
+        sequences.append(seq)
+    return KTDataset("toy", sequences, 60, 2)
+
+
+class TestTargetSampling:
+    def test_respects_min_history(self):
+        dataset = make_dataset([[1, 0, 1, 0, 1]])
+        rng = np.random.default_rng(0)
+        specs = _sample_targets(dataset, per_sequence=10, min_history=2,
+                                rng=rng, balanced=False)
+        assert all(col >= 2 for _, col in specs)
+
+    def test_count_capped_by_candidates(self):
+        dataset = make_dataset([[1, 0, 1]])
+        rng = np.random.default_rng(0)
+        specs = _sample_targets(dataset, per_sequence=99, min_history=1,
+                                rng=rng, balanced=False)
+        assert len(specs) == 2  # positions 1 and 2
+
+    def test_balanced_takes_both_labels(self):
+        # 9 correct, 1 incorrect: balanced sampling must include the
+        # single incorrect position whenever 2+ targets are drawn.
+        pattern = [1, 1, 1, 1, 0, 1, 1, 1, 1, 1]
+        dataset = make_dataset([pattern])
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            specs = _sample_targets(dataset, per_sequence=2, min_history=1,
+                                    rng=rng, balanced=True)
+            labels = {pattern[col] for _, col in specs}
+            assert 0 in labels
+
+    def test_unbalanced_often_misses_minority(self):
+        pattern = [1] * 19 + [0]
+        dataset = make_dataset([pattern * 1])
+        rng = np.random.default_rng(2)
+        hits = 0
+        for _ in range(20):
+            specs = _sample_targets(dataset, per_sequence=1, min_history=1,
+                                    rng=rng, balanced=False)
+            hits += any(pattern[col] == 0 for _, col in specs)
+        assert hits < 10  # the minority is mostly missed without balancing
+
+    def test_no_duplicate_targets_per_sequence(self):
+        dataset = make_dataset([[1, 0] * 10])
+        rng = np.random.default_rng(3)
+        specs = _sample_targets(dataset, per_sequence=8, min_history=1,
+                                rng=rng, balanced=True)
+        cols = [col for _, col in specs]
+        assert len(cols) == len(set(cols))
+
+
+class TestBucketing:
+    def test_batches_have_uniform_length(self):
+        dataset = make_dataset([[1, 0, 1, 0, 1], [1, 0, 1], [0, 1, 1, 0]])
+        rng = np.random.default_rng(0)
+        specs = _sample_targets(dataset, per_sequence=2, min_history=1,
+                                rng=rng, balanced=False)
+        for batch, cols in _bucketed_batches(specs, batch_size=4, rng=rng):
+            # Each batch holds prefixes of one exact length: no padding.
+            assert batch.mask.all()
+            assert np.all(cols == batch.length - 1)
+
+    def test_all_specs_consumed(self):
+        dataset = make_dataset([[1, 0, 1, 0], [0, 1, 1]])
+        rng = np.random.default_rng(0)
+        specs = _sample_targets(dataset, per_sequence=3, min_history=1,
+                                rng=rng, balanced=False)
+        total = sum(batch.batch_size
+                    for batch, _ in _bucketed_batches(specs, 2, rng))
+        assert total == len(specs)
+
+
+class TestScoreNormalization:
+    def _influence(self, normalization):
+        responses = np.array([[1, 0, 1]])
+        mask = np.ones((1, 3), dtype=bool)
+        variants = build_variants(responses, mask, np.array([2]))
+        probs = {"f_plus": Tensor(np.array([[0.9, 0.5, 0.5]])),
+                 "cf_minus": Tensor(np.array([[0.3, 0.5, 0.5]])),
+                 "f_minus": Tensor(np.array([[0.5, 0.4, 0.5]])),
+                 "cf_plus": Tensor(np.array([[0.5, 0.6, 0.5]]))}
+        return compute_influences(probs, variants,
+                                  normalization=normalization)
+
+    def test_t_normalization_value(self):
+        influence = self._influence("t")
+        # Δ+ = 0.6, Δ- = 0.2, t = 2 -> 0.4/4 + 0.5 = 0.6
+        assert np.isclose(influence.scores[0], 0.6)
+
+    def test_sum_normalization_value(self):
+        influence = self._influence("sum")
+        # 0.4 / 0.8 / 2 + 0.5 = 0.75
+        assert np.isclose(influence.scores[0], 0.75, atol=1e-6)
+
+    def test_raw_is_sigmoid_of_gap(self):
+        influence = self._influence("raw")
+        assert np.isclose(influence.scores[0],
+                          1.0 / (1.0 + np.exp(-0.4)))
+
+    def test_all_agree_on_decision(self):
+        decisions = {self._influence(n).decision()[0]
+                     for n in ("t", "sum", "raw")}
+        assert decisions == {1}
+
+    def test_unknown_normalization_rejected(self):
+        with pytest.raises(ValueError):
+            self._influence("zscore")
+
+    def test_config_validates_normalization(self):
+        with pytest.raises(ValueError):
+            RCKTConfig(score_normalization="bogus")

@@ -1,0 +1,81 @@
+"""Batch collation: padding, masks, ragged concept sets."""
+
+import numpy as np
+import pytest
+
+from repro.data import Interaction, StudentSequence, collate, iterate_batches
+
+
+def seq_of(lengths_concepts, student_id=1):
+    seq = StudentSequence(student_id)
+    for i, concepts in enumerate(lengths_concepts):
+        seq.append(Interaction(i + 1, 1, concepts, i))
+    return seq
+
+
+class TestCollate:
+    def test_shapes_and_mask(self):
+        a = seq_of([(1,), (2,), (3,)])
+        b = seq_of([(1,)])
+        batch = collate([a, b])
+        assert batch.questions.shape == (2, 3)
+        assert batch.mask.tolist() == [[True, True, True], [True, False, False]]
+
+    def test_pad_to_fixed_length(self):
+        batch = collate([seq_of([(1,), (2,)])], pad_to=50)
+        assert batch.length == 50
+        assert batch.mask.sum() == 2
+        assert batch.questions[0, 2:].sum() == 0
+
+    def test_pad_to_too_small_raises(self):
+        with pytest.raises(ValueError):
+            collate([seq_of([(1,)] * 5)], pad_to=3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_ragged_concepts(self):
+        batch = collate([seq_of([(1, 2, 3), (2,)])])
+        assert batch.concepts.shape == (1, 2, 3)
+        assert batch.concepts[0, 0].tolist() == [1, 2, 3]
+        assert batch.concepts[0, 1].tolist() == [2, 0, 0]
+        assert batch.concept_counts[0].tolist() == [3, 1]
+
+    def test_padding_counts_are_safe(self):
+        """Padded steps keep count 1 so mean-divisions never hit zero."""
+        batch = collate([seq_of([(1,)])], pad_to=4)
+        assert np.all(batch.concept_counts >= 1)
+
+    def test_lengths(self):
+        batch = collate([seq_of([(1,)] * 3), seq_of([(1,)] * 5)])
+        assert batch.lengths().tolist() == [3, 5]
+
+    def test_responses_recorded(self):
+        seq = StudentSequence(1)
+        seq.append(Interaction(1, 0, (1,)))
+        seq.append(Interaction(2, 1, (1,)))
+        batch = collate([seq])
+        assert batch.responses[0].tolist() == [0, 1]
+
+
+class TestIterateBatches:
+    def _sequences(self, n):
+        return [seq_of([(1,)] * 5, student_id=i) for i in range(n)]
+
+    def test_covers_all_sequences(self):
+        batches = list(iterate_batches(self._sequences(10), 3))
+        assert sum(b.batch_size for b in batches) == 10
+
+    def test_shuffling_changes_order(self):
+        seqs = self._sequences(32)
+        fixed = [b.questions.copy() for b in iterate_batches(seqs, 32)]
+        shuffled = [b.questions.copy() for b in
+                    iterate_batches(seqs, 32, rng=np.random.default_rng(0))]
+        # With 32 sequences the chance of an identical permutation is ~0.
+        students_fixed = [s.student_id for s in seqs]
+        assert len(fixed) == len(shuffled) == 1
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(self._sequences(3), 0))

@@ -1,0 +1,71 @@
+"""Preprocessing rules from Sec. V-A1 and dataset invariants."""
+
+import pytest
+
+from repro.data import (Interaction, KTDataset, StudentSequence,
+                        build_dataset, preprocess)
+
+
+def make_student(length, student_id=1):
+    seq = StudentSequence(student_id)
+    for i in range(length):
+        seq.append(Interaction((i % 5) + 1, i % 2, ((i % 3) + 1,), i))
+    return seq
+
+
+class TestPreprocess:
+    def test_long_sequence_split_at_50(self):
+        out = preprocess([make_student(120)])
+        assert [len(s) for s in out] == [50, 50, 20]
+
+    def test_short_tail_dropped(self):
+        # 103 = 50 + 50 + 3; the 3-length tail is below the minimum of 5.
+        out = preprocess([make_student(103)])
+        assert [len(s) for s in out] == [50, 50]
+
+    def test_short_sequence_dropped_entirely(self):
+        assert preprocess([make_student(4)]) == []
+
+    def test_exactly_minimum_kept(self):
+        out = preprocess([make_student(5)])
+        assert len(out) == 1 and len(out[0]) == 5
+
+    def test_multiple_students(self):
+        out = preprocess([make_student(60, 1), make_student(10, 2)])
+        assert len(out) == 3
+        assert {s.student_id for s in out} == {1, 2}
+
+    def test_custom_lengths(self):
+        out = preprocess([make_student(25)], max_length=10, min_length=3)
+        assert [len(s) for s in out] == [10, 10, 5]
+
+
+class TestKTDataset:
+    def test_counts(self):
+        ds = build_dataset("toy", [make_student(60)], 5, 3)
+        assert ds.num_responses == 60
+        assert len(ds) == 2
+
+    def test_correct_rate(self):
+        ds = build_dataset("toy", [make_student(50)], 5, 3)
+        assert ds.correct_rate == pytest.approx(0.5)
+
+    def test_validate_rejects_oversized_question(self):
+        ds = KTDataset("bad", [make_student(10)], num_questions=2, num_concepts=3)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_validate_rejects_oversized_concept(self):
+        ds = KTDataset("bad", [make_student(10)], num_questions=5, num_concepts=1)
+        with pytest.raises(ValueError):
+            ds.validate()
+
+    def test_subset_preserves_vocab(self):
+        ds = build_dataset("toy", [make_student(60, i) for i in range(1, 4)], 5, 3)
+        sub = ds.subset([0, 1])
+        assert len(sub) == 2
+        assert sub.num_questions == ds.num_questions
+
+    def test_empty_dataset_rates(self):
+        ds = KTDataset("empty", [], 5, 3)
+        assert ds.correct_rate == 0.0 and ds.num_responses == 0

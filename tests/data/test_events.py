@@ -1,0 +1,80 @@
+"""Interaction and StudentSequence invariants."""
+
+import pytest
+
+from repro.data import Interaction, StudentSequence
+
+
+def make_seq(pattern, student_id=1):
+    seq = StudentSequence(student_id)
+    for i, correct in enumerate(pattern):
+        seq.append(Interaction(i + 1, correct, (1,), i))
+    return seq
+
+
+class TestInteraction:
+    def test_valid_construction(self):
+        it = Interaction(3, 1, (2, 5), 7)
+        assert it.question_id == 3 and it.correct == 1
+
+    def test_rejects_pad_question(self):
+        with pytest.raises(ValueError):
+            Interaction(0, 1, (1,))
+
+    def test_rejects_bad_correctness(self):
+        with pytest.raises(ValueError):
+            Interaction(1, 2, (1,))
+
+    def test_rejects_empty_concepts(self):
+        with pytest.raises(ValueError):
+            Interaction(1, 1, ())
+
+    def test_rejects_pad_concept(self):
+        with pytest.raises(ValueError):
+            Interaction(1, 1, (0,))
+
+    def test_frozen(self):
+        it = Interaction(1, 1, (1,))
+        with pytest.raises(AttributeError):
+            it.correct = 0
+
+
+class TestStudentSequence:
+    def test_len_iter(self):
+        seq = make_seq([1, 0, 1])
+        assert len(seq) == 3
+        assert [i.correct for i in seq] == [1, 0, 1]
+
+    def test_accessors(self):
+        seq = make_seq([1, 0])
+        assert seq.question_ids == [1, 2]
+        assert seq.responses == [1, 0]
+        assert seq.correct_rate == 0.5
+
+    def test_empty_correct_rate(self):
+        assert StudentSequence(1).correct_rate == 0.0
+
+    def test_slice_returns_sequence(self):
+        seq = make_seq([1, 0, 1, 1])
+        sub = seq[1:3]
+        assert isinstance(sub, StudentSequence)
+        assert sub.responses == [0, 1]
+
+    def test_split_exact_chunks(self):
+        seq = make_seq([1] * 10)
+        chunks = seq.split(5)
+        assert [len(c) for c in chunks] == [5, 5]
+
+    def test_split_remainder(self):
+        seq = make_seq([1] * 7)
+        assert [len(c) for c in seq.split(3)] == [3, 3, 1]
+
+    def test_split_preserves_order(self):
+        seq = make_seq([1, 0, 1, 0])
+        chunks = seq.split(2)
+        assert chunks[0].question_ids == [1, 2]
+        assert chunks[1].question_ids == [3, 4]
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            make_seq([1]).split(0)

@@ -1,0 +1,78 @@
+"""Five-fold CV protocol (Sec. V-A2): disjoint, covering, 10% validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Interaction, KTDataset, StudentSequence,
+                        k_fold_splits, train_test_split)
+
+
+def toy_dataset(n=50):
+    sequences = []
+    for sid in range(n):
+        seq = StudentSequence(sid)
+        for i in range(6):
+            seq.append(Interaction(i + 1, 1, (1,), i))
+        sequences.append(seq)
+    return KTDataset("toy", sequences, 6, 1)
+
+
+def ids(dataset):
+    return {s.student_id for s in dataset}
+
+
+class TestKFold:
+    def test_five_folds_partition_test_sets(self):
+        ds = toy_dataset()
+        folds = list(k_fold_splits(ds, k=5, seed=3))
+        assert len(folds) == 5
+        all_test = [sid for f in folds for sid in ids(f.test)]
+        assert sorted(all_test) == list(range(50))
+
+    def test_within_fold_disjoint(self):
+        for fold in k_fold_splits(toy_dataset(), k=5, seed=1):
+            assert not (ids(fold.train) & ids(fold.test))
+            assert not (ids(fold.train) & ids(fold.validation))
+            assert not (ids(fold.validation) & ids(fold.test))
+
+    def test_fold_union_is_everything(self):
+        for fold in k_fold_splits(toy_dataset(), k=5, seed=1):
+            union = ids(fold.train) | ids(fold.validation) | ids(fold.test)
+            assert union == set(range(50))
+
+    def test_validation_fraction(self):
+        fold = next(k_fold_splits(toy_dataset(100), k=5, seed=0))
+        # 80 non-test sequences -> 8 validation.
+        assert len(fold.validation) == 8
+
+    def test_deterministic_given_seed(self):
+        a = [ids(f.test) for f in k_fold_splits(toy_dataset(), k=5, seed=9)]
+        b = [ids(f.test) for f in k_fold_splits(toy_dataset(), k=5, seed=9)]
+        assert a == b
+
+    def test_too_few_sequences_raises(self):
+        with pytest.raises(ValueError):
+            list(k_fold_splits(toy_dataset(3), k=5))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(k_fold_splits(toy_dataset(), k=1))
+
+
+class TestTrainTestSplit:
+    def test_fractions(self):
+        fold = train_test_split(toy_dataset(100), test_fraction=0.2,
+                                validation_fraction=0.1, seed=0)
+        assert len(fold.test) == 20
+        assert len(fold.validation) == 8
+        assert len(fold.train) == 72
+
+    def test_disjoint_and_covering(self):
+        fold = train_test_split(toy_dataset(40), seed=2)
+        union = ids(fold.train) | ids(fold.validation) | ids(fold.test)
+        assert union == set(range(40))
+        assert not (ids(fold.train) & ids(fold.test))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(toy_dataset(), test_fraction=1.5)

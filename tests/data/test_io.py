@@ -1,0 +1,54 @@
+"""CSV round-trips."""
+
+import pytest
+
+from repro.data import load_csv, make_assist09, save_csv
+
+
+class TestRoundTrip:
+    def test_dataset_roundtrip(self, tmp_path):
+        original = make_assist09(scale=0.1, seed=5)
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path, name="assist09",
+                          num_questions=original.num_questions,
+                          num_concepts=original.num_concepts)
+        assert len(loaded) == len(original)
+        assert loaded.num_responses == original.num_responses
+        for left, right in zip(original, loaded):
+            assert left.question_ids == right.question_ids
+            assert left.responses == right.responses
+            for a, b in zip(left, right):
+                assert a.concept_ids == b.concept_ids
+
+    def test_vocab_inferred_when_omitted(self, tmp_path):
+        original = make_assist09(scale=0.1, seed=5)
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded.num_questions <= original.num_questions
+        loaded.validate()
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("student_id,position\n1,0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_sequence_ids_separate_subsequences(self, tmp_path):
+        path = tmp_path / "two.csv"
+        path.write_text(
+            "student_id,sequence_id,position,question_id,correct,concept_ids\n"
+            "7,0,0,1,1,1\n7,0,1,2,0,1\n7,1,0,3,1,2\n7,1,1,4,1,2\n")
+        loaded = load_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].question_ids == [1, 2]
+        assert loaded[1].question_ids == [3, 4]
+
+    def test_rows_reordered_by_position(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text(
+            "student_id,sequence_id,position,question_id,correct,concept_ids\n"
+            "7,0,1,2,0,1\n7,0,0,1,1,1\n")
+        loaded = load_csv(path)
+        assert loaded[0].question_ids == [1, 2]

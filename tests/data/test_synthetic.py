@@ -1,0 +1,162 @@
+"""Simulator behaviour: monotonicity, calibration, graphs, profiles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (SimulationConfig, StudentSimulator,
+                        build_concept_graph, build_question_bank,
+                        compute_stats, leaf_concepts, make_dataset)
+
+
+def small_config(**overrides):
+    defaults = dict(num_students=10, num_questions=30, num_concepts=8,
+                    sequence_length=(10, 20), calibration_students=6,
+                    calibration_rounds=2)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConceptGraph:
+    def test_prerequisite_connected_dag_shape(self):
+        g = build_concept_graph(10, "prerequisite", np.random.default_rng(0))
+        assert g.number_of_nodes() == 10
+        assert nx.is_connected(g)
+
+    def test_tree_structure(self):
+        g = build_concept_graph(7, "tree", np.random.default_rng(0))
+        assert nx.is_tree(g)
+
+    def test_clusters_have_edges(self):
+        g = build_concept_graph(12, "clusters", np.random.default_rng(0))
+        assert g.number_of_edges() > 0
+
+    def test_nodes_one_based(self):
+        for structure in ("prerequisite", "tree", "clusters"):
+            g = build_concept_graph(6, structure, np.random.default_rng(1))
+            assert min(g.nodes) >= 1
+
+    def test_unknown_structure_raises(self):
+        with pytest.raises(ValueError):
+            build_concept_graph(5, "mystery", np.random.default_rng(0))
+
+    def test_leaf_concepts_are_low_degree(self):
+        g = build_concept_graph(15, "tree", np.random.default_rng(0))
+        for leaf in leaf_concepts(g):
+            assert g.degree(leaf) <= 1
+
+
+class TestQuestionBank:
+    def test_every_question_has_concepts(self):
+        config = small_config()
+        rng = np.random.default_rng(0)
+        graph = build_concept_graph(config.num_concepts,
+                                    config.concept_structure, rng)
+        bank = build_question_bank(config, graph, rng)
+        assert bank.num_questions == config.num_questions
+        assert all(len(c) >= 1 for c in bank.concepts)
+
+    def test_tree_profile_uses_leaves(self):
+        config = small_config(concept_structure="tree", num_concepts=7)
+        rng = np.random.default_rng(0)
+        graph = build_concept_graph(7, "tree", rng)
+        bank = build_question_bank(config, graph, rng)
+        leaves = set(leaf_concepts(graph))
+        primary_in_leaves = sum(1 for c in bank.concepts if c[0] in leaves
+                                or set(c) & leaves)
+        assert primary_in_leaves >= 0.9 * len(bank.concepts)
+
+
+class TestMonotonicity:
+    def test_probability_increases_with_proficiency(self):
+        """Assumption 3.1: the response curve is monotone in proficiency."""
+        simulator = StudentSimulator(small_config(), seed=0)
+        for q in range(simulator.bank.num_questions):
+            thetas = np.linspace(-3, 3, 13)
+            probs = [simulator.correct_probability(t, q) for t in thetas]
+            assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_guess_slip_bounds(self):
+        simulator = StudentSimulator(small_config(), seed=0)
+        for q in range(simulator.bank.num_questions):
+            low = simulator.correct_probability(-50.0, q)
+            high = simulator.correct_probability(50.0, q)
+            assert low == pytest.approx(simulator.bank.guess[q], abs=1e-9)
+            assert high == pytest.approx(1 - simulator.bank.slip[q], abs=1e-9)
+
+
+class TestSimulation:
+    def test_sequence_lengths_in_range(self):
+        simulator = StudentSimulator(small_config(), seed=0)
+        for seq in simulator.simulate(seed=1):
+            assert 10 <= len(seq) <= 20
+
+    def test_deterministic_for_seed(self):
+        a = StudentSimulator(small_config(), seed=7).simulate(seed=3)
+        b = StudentSimulator(small_config(), seed=7).simulate(seed=3)
+        assert [s.responses for s in a] == [s.responses for s in b]
+
+    def test_calibration_reaches_target(self):
+        config = small_config(num_students=40, target_correct_rate=0.75,
+                              calibration_students=20, calibration_rounds=4)
+        simulator = StudentSimulator(config, seed=0)
+        responses = [r for s in simulator.simulate(seed=2) for r in s.responses]
+        assert abs(np.mean(responses) - 0.75) < 0.08
+
+    def test_learning_improves_late_accuracy(self):
+        """Across many students, late responses beat early ones on average."""
+        config = small_config(num_students=60, sequence_length=(40, 40),
+                              learning_gain=0.4, target_correct_rate=0.6)
+        simulator = StudentSimulator(config, seed=0)
+        early, late = [], []
+        for seq in simulator.simulate(seed=5):
+            early.extend(seq.responses[:10])
+            late.extend(seq.responses[-10:])
+        assert np.mean(late) > np.mean(early)
+
+    def test_adaptive_selection_runs(self):
+        config = small_config(adaptive_selection=True)
+        seqs = StudentSimulator(config, seed=0).simulate(seed=1)
+        assert len(seqs) == config.num_students
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name,rate", [
+        ("assist09", 0.63), ("assist12", 0.70),
+        ("slepemapy", 0.78), ("eedi", 0.64),
+    ])
+    def test_correct_rates_near_table2(self, name, rate):
+        ds = make_dataset(name, scale=0.25, seed=3)
+        assert abs(ds.correct_rate - rate) < 0.09
+
+    def test_assist09_concepts_per_question(self):
+        stats = compute_stats(make_dataset("assist09", scale=0.3, seed=1))
+        assert 1.0 < stats.concepts_per_question < 1.5
+
+    def test_single_concept_profiles(self):
+        for name in ("assist12", "slepemapy"):
+            stats = compute_stats(make_dataset(name, scale=0.2, seed=1))
+            assert stats.concepts_per_question == pytest.approx(1.0)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("nope")
+
+    def test_all_sequences_within_paper_bounds(self):
+        ds = make_dataset("assist09", scale=0.2, seed=2)
+        assert all(5 <= len(s) <= 50 for s in ds)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(0.3, 0.9), st.integers(0, 3))
+def test_calibration_property(target, seed):
+    """Calibration lands within a tolerance band for any target rate."""
+    config = SimulationConfig(num_students=20, num_questions=30,
+                              num_concepts=8, sequence_length=(15, 25),
+                              target_correct_rate=target,
+                              calibration_students=12, calibration_rounds=4)
+    simulator = StudentSimulator(config, seed=seed)
+    responses = [r for s in simulator.simulate(seed=seed) for r in s.responses]
+    assert abs(np.mean(responses) - target) < 0.13

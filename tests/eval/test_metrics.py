@@ -1,0 +1,132 @@
+"""AUC/ACC correctness, early stopping, significance testing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (EarlyStopping, accuracy_score, auc_score,
+                        is_significant, paired_t_test)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_perfect_inversion(self):
+        assert auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.03
+
+    def test_ties_get_midrank(self):
+        # One positive and one negative share the same score: AUC 0.5.
+        assert auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_score([1, 1], [0.3, 0.4])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_score([1, 0], [0.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auc_score([], [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10 ** 6))
+    def test_invariant_under_monotone_transform(self, seed):
+        """The property the RCKT score relies on (Sec. notes in DESIGN.md)."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=50)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=50)
+        a = auc_score(labels, scores)
+        b = auc_score(labels, 1.0 / (1.0 + np.exp(-3.0 * scores)))
+        assert np.isclose(a, b)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=60)
+        labels[0], labels[1] = 0, 1
+        scores = rng.random(60)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n)
+                   for p in positives for n in negatives)
+        expected = wins / (len(positives) * len(negatives))
+        assert np.isclose(auc_score(labels, scores), expected)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 0, 1], [0.9, 0.1, 0.2]) == pytest.approx(2 / 3)
+
+    def test_custom_threshold(self):
+        # RCKT thresholds the raw influence gap at 0 (score 0.5).
+        assert accuracy_score([1, 0], [0.6, 0.4], threshold=0.5) == 1.0
+        assert accuracy_score([1, 0], [0.6, 0.4], threshold=0.7) == 0.5
+
+    def test_threshold_boundary_counts_as_positive(self):
+        assert accuracy_score([1], [0.5], threshold=0.5) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=3)
+        assert not stopper.update(0.8, 0, {"w": np.zeros(1)})
+        assert not stopper.update(0.7, 1)
+        assert not stopper.update(0.7, 2)
+        assert stopper.update(0.7, 3)
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        assert not stopper.update(0.6, 2)   # improvement
+        assert not stopper.update(0.5, 3)
+        assert stopper.update(0.5, 4)
+
+    def test_best_state_kept(self):
+        stopper = EarlyStopping(patience=5)
+        stopper.update(0.9, 0, {"w": np.array([1.0])})
+        stopper.update(0.7, 1, {"w": np.array([2.0])})
+        assert stopper.best_epoch == 0
+        assert stopper.best_state["w"][0] == 1.0
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestSignificance:
+    def test_clear_difference_significant(self):
+        a = [0.80, 0.81, 0.79, 0.82, 0.80]
+        b = [0.70, 0.71, 0.69, 0.72, 0.70]
+        t, p = paired_t_test(a, b)
+        assert t > 0 and p < 0.01
+        assert is_significant(a, b)
+
+    def test_no_difference_not_significant(self):
+        a = [0.75, 0.76, 0.74, 0.75, 0.76]
+        b = [0.75, 0.76, 0.74, 0.76, 0.75]
+        assert not is_significant(a, b)
+
+    def test_wrong_direction_not_significant(self):
+        a = [0.70, 0.71, 0.69]
+        b = [0.80, 0.81, 0.79]
+        assert not is_significant(a, b)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])

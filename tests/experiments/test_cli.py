@@ -1,0 +1,41 @@
+"""CLI runner smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_all_experiments_listed(self):
+        assert set(EXPERIMENTS) == {"table2", "table4", "table5", "table6",
+                                    "fig4", "fig5", "fig6", "cv"}
+
+    def test_parses_options(self):
+        args = build_parser().parse_args(
+            ["table4", "--models", "DKT", "--datasets", "assist09",
+             "--epochs", "2"])
+        assert args.models == ["DKT"]
+        assert args.epochs == 2
+
+
+class TestRun:
+    def test_table2_prints(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert main(["table2", "--datasets", "assist09"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "assist09" in out
+
+    def test_table4_micro(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        code = main(["table4", "--models", "IKT", "--datasets", "assist09",
+                     "--epochs", "1"])
+        assert code == 0
+        assert "Table IV" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Experiment harness structure tests at micro scale.
+
+These do NOT validate paper shapes (that is the benchmarks' job); they
+verify the harness plumbing — caching, registries, result containers,
+renderers — with the smallest budgets that still execute every code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ABLATIONS, BASELINES, Budget, DATASETS,
+                               RCKT_VARIANTS, TABLE4, cached_dataset,
+                               run_ablation, run_baseline,
+                               run_cross_validation, run_lambda_sweep,
+                               run_overall, run_rckt, run_table2,
+                               single_fold)
+
+MICRO = Budget(dim=8, epochs=1, batch_size=16, eval_stride=4)
+
+
+@pytest.fixture(scope="module")
+def micro_fold():
+    dataset = cached_dataset("assist09", scale=0.1, seed=0)
+    return dataset, single_fold(dataset)
+
+
+class TestCommon:
+    def test_dataset_cache_returns_same_object(self):
+        a = cached_dataset("assist09", scale=0.1, seed=0)
+        b = cached_dataset("assist09", scale=0.1, seed=0)
+        assert a is b
+
+    def test_registries_cover_paper(self):
+        assert set(DATASETS) == {"assist09", "assist12", "slepemapy", "eedi"}
+        assert set(BASELINES) == {"DKT", "SAKT", "AKT", "DIMKT", "IKT", "QIKT"}
+        assert set(RCKT_VARIANTS) == {"RCKT-DKT", "RCKT-SAKT", "RCKT-AKT"}
+        assert set(TABLE4) == set(BASELINES) | set(RCKT_VARIANTS)
+
+    def test_unknown_baseline_raises(self, micro_fold):
+        _, fold = micro_fold
+        with pytest.raises(KeyError):
+            run_baseline("GPT", fold, MICRO)
+
+    def test_run_baseline_returns_metrics(self, micro_fold):
+        _, fold = micro_fold
+        metrics = run_baseline("DKT", fold, MICRO)
+        assert set(metrics) == {"auc", "acc"}
+
+    def test_run_rckt_returns_metrics(self, micro_fold):
+        _, fold = micro_fold
+        metrics = run_rckt("assist09", "dkt", fold, MICRO)
+        assert 0.0 <= metrics["auc"] <= 1.0
+
+    def test_baseline_seeding_is_deterministic(self, micro_fold):
+        _, fold = micro_fold
+        a = run_baseline("DKT", fold, MICRO)
+        b = run_baseline("DKT", fold, MICRO)
+        assert a == b
+
+
+class TestResultContainers:
+    def test_table2_renders(self):
+        result = run_table2(datasets=("assist09",))
+        text = result.render()
+        assert "assist09" in text and "paper" in text
+
+    def test_overall_micro(self):
+        result = run_overall(models=["DKT", "RCKT-DKT"],
+                             datasets=["assist09"], budget=MICRO)
+        assert result.best_baseline("assist09") > 0
+        assert result.best_rckt("assist09") > 0
+        assert "Table IV" in result.render()
+
+    def test_ablation_micro(self):
+        result = run_ablation(encoders=("dkt",), datasets=("assist09",),
+                              variants=("full", "-mono"), budget=MICRO)
+        assert set(result.metrics) == {"full", "-mono"}
+        delta = result.degradation("-mono", "dkt", "assist09")
+        assert isinstance(delta, float)
+        assert "Table V" in result.render()
+
+    def test_ablation_registry(self):
+        assert set(ABLATIONS) == {"full", "-joint", "-mono", "-con"}
+        assert ABLATIONS["-mono"] == {"use_monotonicity": False}
+
+    def test_lambda_sweep_micro(self):
+        result = run_lambda_sweep(encoders=("dkt",), datasets=("assist09",),
+                                  lambdas=(0.0, 0.1), budget=MICRO)
+        curve = result.curves[("dkt", "assist09")]
+        assert set(curve) == {0.0, 0.1}
+        assert result.best_lambda("dkt", "assist09") in (0.0, 0.1)
+
+    def test_cross_validation_micro(self):
+        # eval_stride=1 so every fold's small test set keeps both classes.
+        budget = Budget(dim=8, epochs=1, batch_size=16, eval_stride=1)
+        dataset = cached_dataset("assist09", scale=0.15, seed=1)
+        result = run_cross_validation(dataset, "assist09",
+                                      models=["DKT"], k=3, budget=budget)
+        assert len(result.per_fold["DKT"]) == 3
+        assert 0.0 <= result.mean("DKT") <= 1.0
+        assert result.std("DKT") >= 0.0
+        assert "cross validation" in result.render()
+
+    def test_cv_significance_requires_pairs(self):
+        budget = Budget(dim=8, epochs=1, batch_size=16, eval_stride=1)
+        dataset = cached_dataset("assist09", scale=0.15, seed=1)
+        result = run_cross_validation(dataset, "assist09",
+                                      models=["DKT", "RCKT-DKT"], k=3,
+                                      budget=budget)
+        p = result.significance("RCKT-DKT", "DKT")
+        assert 0.0 <= p <= 1.0

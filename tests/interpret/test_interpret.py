@@ -1,0 +1,143 @@
+"""Interpretation tooling: explanations, proficiency traces, case studies."""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig, fit_rckt
+from repro.data import make_assist09, train_test_split
+from repro.interpret import (build_case_study, comparison_table,
+                             explain_prediction, influence_bars, line_chart,
+                             related_questions, trace_proficiency,
+                             virtual_question_embedding)
+from repro.models import SAKTPlus, TrainConfig, fit_sequential
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_assist09(scale=0.12, seed=6)
+    fold = train_test_split(dataset, seed=0)
+    config = RCKTConfig(encoder="dkt", dim=8, layers=1, epochs=2,
+                        batch_size=16, lr=3e-3, seed=0)
+    model = RCKT(dataset.num_questions, dataset.num_concepts, config)
+    fit_rckt(model, fold.train, eval_stride=3)
+    return dataset, fold, model
+
+
+class TestExplanations:
+    def test_rows_cover_history(self, setup):
+        _, fold, model = setup
+        sequence = fold.test[0][:9]
+        explanation = explain_prediction(model, sequence)
+        assert len(explanation.rows) == 8
+        assert [r.position for r in explanation.rows] == list(range(8))
+
+    def test_totals_are_sums_of_rows(self, setup):
+        _, fold, model = setup
+        explanation = explain_prediction(model, fold.test[0][:9])
+        correct_sum = sum(r.influence for r in explanation.rows if r.correct)
+        incorrect_sum = sum(r.influence for r in explanation.rows
+                            if not r.correct)
+        assert np.isclose(correct_sum, explanation.delta_plus, atol=1e-9)
+        assert np.isclose(incorrect_sum, explanation.delta_minus, atol=1e-9)
+
+    def test_prediction_matches_score(self, setup):
+        _, fold, model = setup
+        explanation = explain_prediction(model, fold.test[0][:9])
+        assert explanation.prediction == int(explanation.score >= 0.5)
+
+    def test_render_contains_verdict(self, setup):
+        _, fold, model = setup
+        text = explain_prediction(model, fold.test[0][:6]).render()
+        assert "prediction:" in text and "Δ+" in text
+
+    def test_requires_history(self, setup):
+        _, fold, model = setup
+        with pytest.raises(ValueError):
+            explain_prediction(model, fold.test[0][:1])
+
+
+class TestProficiency:
+    def test_trace_values_in_unit_interval(self, setup):
+        dataset, fold, model = setup
+        sequence = fold.test[0][:10]
+        concept = sequence[0].concept_ids[0]
+        pool = related_questions(dataset, concept)
+        trace = trace_proficiency(model, sequence, concept, pool,
+                                  steps=[2, 5, 8])
+        assert trace.proficiencies.shape == (3,)
+        assert np.all((trace.proficiencies >= 0) &
+                      (trace.proficiencies <= 1))
+
+    def test_influence_rows_lengths(self, setup):
+        dataset, fold, model = setup
+        sequence = fold.test[0][:10]
+        concept = sequence[0].concept_ids[0]
+        pool = related_questions(dataset, concept)
+        trace = trace_proficiency(model, sequence, concept, pool,
+                                  steps=[3, 6])
+        assert len(trace.influence_rows[0]) == 3
+        assert len(trace.influence_rows[1]) == 6
+
+    def test_virtual_embedding_is_mean_plus_concept(self, setup):
+        dataset, _, model = setup
+        pool = related_questions(dataset, 1)[:4]
+        emb = virtual_question_embedding(model, 1, pool)
+        weights = model.generator.embedder
+        expected = (weights.question_embedding.weight.data[pool].mean(axis=0)
+                    + weights.concept_embedding.weight.data[1])
+        assert np.allclose(emb.data, expected)
+
+    def test_empty_pool_raises(self, setup):
+        _, _, model = setup
+        with pytest.raises(ValueError):
+            virtual_question_embedding(model, 1, [])
+
+    def test_related_questions_only_matching(self, setup):
+        dataset, _, _ = setup
+        pool = related_questions(dataset, 2)
+        for sequence in dataset:
+            for interaction in sequence:
+                if interaction.question_id in pool:
+                    break
+
+
+class TestCaseStudy:
+    def test_structure(self, setup):
+        dataset, fold, model = setup
+        sakt = SAKTPlus(dataset.num_questions, dataset.num_concepts, 8,
+                        np.random.default_rng(1))
+        fit_sequential(sakt, fold.train, config=TrainConfig(epochs=1))
+        sequence = fold.test[0][:8]
+        case = build_case_study(model, sakt, sequence)
+        assert len(case.rows) == 7
+        attention_total = sum(r.attention for r in case.rows)
+        assert np.isclose(attention_total, 1.0, atol=1e-5)
+        text = case.render()
+        assert "Inf." in text and "Att." in text
+
+
+class TestAsciiPlots:
+    def test_line_chart_has_all_series(self):
+        text = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        assert "T" in text and "a" in text and "b" in text
+
+    def test_line_chart_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_influence_bars_sign_glyphs(self):
+        text = influence_bars([0.5, -0.2], [1, 0])
+        lines = text.splitlines()
+        assert "[+]" in lines[0] and "[-]" in lines[1]
+
+    def test_influence_bars_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            influence_bars([0.5], [1, 0])
+
+    def test_comparison_table_alignment(self):
+        text = comparison_table(["m", "auc"], [["DKT", 0.75]])
+        assert "0.7500" in text
+
+    def test_comparison_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            comparison_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,74 @@
+"""Question recommendation built on response influences."""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig, fit_rckt
+from repro.data import Interaction, make_assist09, train_test_split
+from repro.interpret import (QuestionRecommendation, question_value,
+                             recommend_questions)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = make_assist09(scale=0.12, seed=8)
+    fold = train_test_split(dataset, seed=0)
+    config = RCKTConfig(encoder="dkt", dim=8, layers=1, epochs=2,
+                        batch_size=16, lr=3e-3, seed=0)
+    model = RCKT(dataset.num_questions, dataset.num_concepts, config)
+    fit_rckt(model, fold.train, eval_stride=4)
+    student = fold.test[0][:8]
+    candidates = [Interaction(q, 1, (1 + q % dataset.num_concepts,))
+                  for q in range(1, 7)]
+    return model, student, candidates
+
+
+class TestQuestionValue:
+    def test_non_negative(self, setup):
+        model, student, candidates = setup
+        value = question_value(model, student, candidates[0])
+        assert value >= 0.0
+
+    def test_requires_history(self, setup):
+        model, _, candidates = setup
+        from repro.data import StudentSequence
+        with pytest.raises(ValueError):
+            question_value(model, StudentSequence(1), candidates[0])
+
+    def test_deterministic(self, setup):
+        model, student, candidates = setup
+        a = question_value(model, student, candidates[1])
+        b = question_value(model, student, candidates[1])
+        assert a == b
+
+
+class TestRecommendations:
+    def test_top_k_and_sorted(self, setup):
+        model, student, candidates = setup
+        recs = recommend_questions(model, student, candidates, top_k=3)
+        assert len(recs) == 3
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fields_populated(self, setup):
+        model, student, candidates = setup
+        recs = recommend_questions(model, student, candidates, top_k=2)
+        for rec in recs:
+            assert isinstance(rec, QuestionRecommendation)
+            assert 0.0 <= rec.success_probability <= 1.0
+            assert rec.value >= 0.0
+            assert "q" in rec.describe()
+
+    def test_empty_candidates(self, setup):
+        model, student, _ = setup
+        assert recommend_questions(model, student, []) == []
+
+    def test_difficulty_fit_prefers_target_success(self, setup):
+        """With value_weight 0, ranking is purely by closeness to the
+        target success probability."""
+        model, student, candidates = setup
+        recs = recommend_questions(model, student, candidates,
+                                   top_k=len(candidates), value_weight=0.0,
+                                   target_success=0.6)
+        fits = [1.0 - abs(r.success_probability - 0.6) for r in recs]
+        assert fits == sorted(fits, reverse=True)

@@ -1,0 +1,71 @@
+"""KTM factorization machine baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_assist09, train_test_split
+from repro.models import KTM, evaluate_probabilistic
+
+
+@pytest.fixture(scope="module")
+def fold():
+    dataset = make_assist09(scale=0.15, seed=10)
+    return train_test_split(dataset, seed=0)
+
+
+class TestKTM:
+    def test_fit_predict_range(self, fold):
+        model = KTM(factors=4, epochs=2).fit(fold.train)
+        probs = model.predict_sequence(fold.test[0])
+        assert probs.shape == (len(fold.test[0]),)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_beats_chance(self, fold):
+        model = KTM(factors=4, epochs=3, seed=1).fit(fold.train)
+        metrics = evaluate_probabilistic(model, fold.test)
+        assert metrics["auc"] > 0.52
+
+    def test_predict_before_fit_raises(self, fold):
+        with pytest.raises(RuntimeError):
+            KTM().predict_sequence(fold.test[0])
+
+    def test_unseen_features_fall_back(self, fold):
+        """A student/question never seen in training still gets a finite
+        probability (only the shared features fire)."""
+        from repro.data import Interaction, StudentSequence
+        model = KTM(factors=4, epochs=1).fit(fold.train)
+        alien = StudentSequence(99999)
+        alien.append(Interaction(fold.train.num_questions, 1, (1,), 0))
+        probs = model.predict_sequence(alien)
+        assert np.isfinite(probs).all()
+
+    def test_deterministic_given_seed(self, fold):
+        a = KTM(factors=4, epochs=1, seed=3).fit(fold.train)
+        b = KTM(factors=4, epochs=1, seed=3).fit(fold.train)
+        seq = fold.test[0]
+        assert np.allclose(a.predict_sequence(seq), b.predict_sequence(seq))
+
+    def test_training_improves_fit(self, fold):
+        """More epochs should not make training-set log-loss worse."""
+        short = KTM(factors=4, epochs=1, seed=0).fit(fold.train)
+        long = KTM(factors=4, epochs=6, seed=0).fit(fold.train)
+
+        def logloss(model):
+            eps = 1e-9
+            total, count = 0.0, 0
+            for seq in fold.train:
+                probs = model.predict_sequence(seq)
+                labels = np.array(seq.responses, dtype=float)
+                total += -(labels * np.log(probs + eps)
+                           + (1 - labels) * np.log(1 - probs + eps)).sum()
+                count += len(seq)
+            return total / count
+
+        assert logloss(long) <= logloss(short) + 0.02
+
+    def test_count_binning_monotone(self):
+        from repro.models.ktm import _bin_count
+        bins = [_bin_count(c) for c in range(0, 40)]
+        assert bins == sorted(bins)
+        assert _bin_count(0) == 0
+        assert _bin_count(100) == 5

@@ -1,0 +1,119 @@
+"""IKT (TAN) and BKT: fitting, prediction, internals."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Interaction, KTDataset, StudentSequence,
+                        make_assist09, train_test_split)
+from repro.models import (BKT, BKTParameters, IKT, TANClassifier,
+                          evaluate_probabilistic)
+
+
+@pytest.fixture(scope="module")
+def fold():
+    dataset = make_assist09(scale=0.15, seed=4)
+    return train_test_split(dataset, seed=0)
+
+
+class TestIKT:
+    def test_fit_predict_shapes(self, fold):
+        model = IKT().fit(fold.train)
+        seq = fold.test[0]
+        probs = model.predict_sequence(seq)
+        assert probs.shape == (len(seq),)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_beats_chance(self, fold):
+        model = IKT().fit(fold.train)
+        metrics = evaluate_probabilistic(model, fold.test)
+        assert metrics["auc"] > 0.55
+
+    def test_predict_before_fit_raises(self, fold):
+        with pytest.raises(RuntimeError):
+            IKT().predict_sequence(fold.test[0])
+
+    def test_features_are_causal(self, fold):
+        """Features for position i must not change when later responses do."""
+        model = IKT().fit(fold.train)
+        seq = fold.test[0][:8]
+        base = model.predict_sequence(seq)
+        # Flip the last response: predictions for earlier positions fixed.
+        flipped = StudentSequence(seq.student_id, list(seq.interactions))
+        last = flipped.interactions[-1]
+        flipped.interactions[-1] = Interaction(
+            last.question_id, 1 - last.correct, last.concept_ids,
+            last.timestamp)
+        out = model.predict_sequence(flipped)
+        assert np.allclose(out[:-1], base[:-1])
+
+
+class TestTANClassifier:
+    def _data(self, n=600, seed=0):
+        """Feature 0 drives the class; feature 1 copies feature 0."""
+        rng = np.random.default_rng(seed)
+        f0 = rng.integers(0, 3, size=n)
+        f1 = np.where(rng.random(n) < 0.9, f0, rng.integers(0, 3, size=n))
+        f2 = rng.integers(0, 2, size=n)
+        labels = (f0 >= 1).astype(np.int64)
+        labels = np.where(rng.random(n) < 0.1, 1 - labels, labels)
+        return np.stack([f0, f1, f2], axis=1), labels
+
+    def test_learns_predictive_structure(self):
+        features, labels = self._data()
+        clf = TANClassifier([3, 3, 2]).fit(features, labels)
+        probs = clf.predict_proba(features)
+        acc = ((probs > 0.5) == labels).mean()
+        assert acc > 0.8
+
+    def test_tree_links_correlated_features(self):
+        features, labels = self._data()
+        clf = TANClassifier([3, 3, 2]).fit(features, labels)
+        # One feature is the root (no parent); the copied feature should be
+        # attached to its source rather than to the noise feature.
+        assert clf.parents.count(None) == 1
+        assert clf.parents[1] == 0 or clf.parents[0] == 1
+
+    def test_probabilities_are_valid(self):
+        features, labels = self._data(seed=2)
+        clf = TANClassifier([3, 3, 2]).fit(features, labels)
+        probs = clf.predict_proba(features)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestBKT:
+    def test_fit_and_predict(self, fold):
+        model = BKT(em_iterations=3).fit(fold.train)
+        probs = model.predict_sequence(fold.test[0])
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_learns_concept_parameters(self, fold):
+        model = BKT(em_iterations=3).fit(fold.train)
+        assert len(model.params) > 0
+        for params in model.params.values():
+            assert 0 < params.p_learn < 1
+            assert params.p_guess <= 0.45 and params.p_slip <= 0.45
+
+    def test_mastery_rises_after_correct_streak(self):
+        """Monotone belief update: many correct answers raise P(correct)."""
+        model = BKT()
+        model.params[1] = BKTParameters(p_init=0.3, p_learn=0.2,
+                                        p_guess=0.2, p_slip=0.1)
+        seq = StudentSequence(1)
+        for i in range(6):
+            seq.append(Interaction(1, 1, (1,), i))
+        probs = model.predict_sequence(seq)
+        assert np.all(np.diff(probs) >= -1e-12)
+
+    def test_unseen_concept_uses_default(self):
+        model = BKT()
+        seq = StudentSequence(1)
+        seq.append(Interaction(1, 1, (99,), 0))
+        probs = model.predict_sequence(seq)
+        assert probs.shape == (1,)
+
+    def test_clipping_keeps_identifiable_region(self):
+        params = BKTParameters(p_init=2.0, p_learn=-1.0, p_guess=0.9,
+                               p_slip=0.99).clipped()
+        assert params.p_init <= 0.99
+        assert params.p_learn >= 0.01
+        assert params.p_guess <= 0.45 and params.p_slip <= 0.45

@@ -1,0 +1,137 @@
+"""Shared behaviour of the neural baselines: causality, training, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Interaction, StudentSequence, collate, make_assist09,
+                        train_test_split)
+from repro.models import (AKT, DIMKT, DKT, QIKT, SAKT, SAKTPlus, TrainConfig,
+                          evaluate_sequential, fit_sequential,
+                          prediction_mask)
+
+DIM = 8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_assist09(scale=0.12, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fold(dataset):
+    return train_test_split(dataset, seed=1)
+
+
+def build(name, dataset, fold, seed=0):
+    rng = np.random.default_rng(seed)
+    num_q, num_c = dataset.num_questions, dataset.num_concepts
+    if name == "dkt":
+        return DKT(num_q, num_c, DIM, rng)
+    if name == "sakt":
+        return SAKT(num_q, num_c, DIM, rng)
+    if name == "saktplus":
+        return SAKTPlus(num_q, num_c, DIM, rng)
+    if name == "akt":
+        return AKT(num_q, num_c, DIM, rng)
+    if name == "dimkt":
+        return DIMKT.from_dataset(fold.train, num_q, num_c, DIM, rng)
+    if name == "qikt":
+        return QIKT(num_q, num_c, DIM, rng)
+    raise KeyError(name)
+
+
+ALL_MODELS = ["dkt", "sakt", "saktplus", "akt", "dimkt", "qikt"]
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestSharedBehaviour:
+    def test_probability_shape_and_range(self, name, dataset, fold):
+        model = build(name, dataset, fold)
+        batch = collate(list(fold.test)[:4])
+        probs = model.predict_proba(batch)
+        assert probs.shape == batch.questions.shape
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_causality_no_future_leak(self, name, dataset, fold):
+        """Flipping a later response must not change earlier predictions."""
+        model = build(name, dataset, fold)
+        sequence = fold.test[0][:8]
+        batch = collate([sequence])
+        base = model.predict_proba(batch).copy()
+        flipped = collate([sequence])
+        flipped.responses[0, 6] = 1 - flipped.responses[0, 6]
+        out = model.predict_proba(flipped)
+        assert np.allclose(out[0, :7], base[0, :7]), \
+            f"{name} leaked a future response backwards"
+
+    def test_loss_finite_and_positive(self, name, dataset, fold):
+        model = build(name, dataset, fold)
+        batch = collate(list(fold.train)[:4])
+        loss = model.loss(batch)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+    def test_short_training_improves_loss(self, name, dataset, fold):
+        model = build(name, dataset, fold)
+        result = fit_sequential(model, fold.train,
+                                config=TrainConfig(epochs=3, lr=3e-3, seed=0))
+        assert result.train_losses[-1] < result.train_losses[0]
+
+
+class TestPredictionMask:
+    def test_first_position_excluded(self, fold):
+        batch = collate(list(fold.test)[:3])
+        mask = prediction_mask(batch)
+        assert not mask[:, 0].any()
+        assert mask.sum() == batch.mask.sum() - 3
+
+
+class TestModelSpecifics:
+    def test_dimkt_difficulty_levels_in_range(self, dataset, fold):
+        from repro.models import compute_difficulty_levels
+        qd, cd = compute_difficulty_levels(fold.train, dataset.num_questions,
+                                           dataset.num_concepts, bins=10)
+        assert qd.min() >= 1 and qd.max() <= 10
+        assert len(qd) == dataset.num_questions + 1
+
+    def test_dimkt_unseen_questions_get_median(self, dataset, fold):
+        from repro.models import compute_difficulty_levels
+        qd, _ = compute_difficulty_levels(fold.train, dataset.num_questions + 50,
+                                          dataset.num_concepts)
+        assert qd[-1] == 5  # never observed -> median level
+
+    def test_qikt_explanation_structure(self, dataset, fold):
+        model = build("qikt", dataset, fold)
+        batch = collate([fold.test[0]])
+        scores = model.explain(batch)
+        assert set(scores) >= {"knowledge_acquisition", "knowledge_mastery",
+                               "question_solving"}
+        assert scores["knowledge_acquisition"].shape == batch.questions.shape
+
+    def test_sakt_records_attention(self, dataset, fold):
+        model = build("sakt", dataset, fold)
+        batch = collate([fold.test[0]])
+        model.predict_proba(batch)
+        att = model.last_attention
+        assert att.shape[0] == 1 and att.shape[2] == batch.length
+
+    def test_saktplus_attention_to_history_rows_normalized(self, dataset, fold):
+        model = build("saktplus", dataset, fold)
+        sequence = fold.test[0][:8]
+        batch = collate([sequence])
+        attention = model.attention_to_history(batch)
+        # Row for the last position attends over its 7 predecessors.
+        row = attention[0, 7, :7]
+        assert np.isclose(row.sum(), 1.0, atol=1e-6)
+
+    def test_akt_difficulty_embedding_is_scalar(self, dataset, fold):
+        model = build("akt", dataset, fold)
+        assert model.embedder.difficulty.weight.shape == \
+            (dataset.num_questions + 1, 1)
+
+    def test_overfits_tiny_sample(self, dataset, fold):
+        """DKT memorizes 4 sequences — end-to-end learning sanity check."""
+        model = build("dkt", dataset, fold, seed=5)
+        tiny = fold.train.subset(range(4))
+        fit_sequential(model, tiny, config=TrainConfig(epochs=40, lr=5e-3))
+        metrics = evaluate_sequential(model, tiny)
+        assert metrics["acc"] > 0.8

@@ -1,0 +1,118 @@
+"""Attention: masking semantics, monotonic decay, masks helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(5)
+
+
+class TestMasks:
+    def test_causal_strict_excludes_diagonal(self):
+        m = nn.causal_mask(4, strict=True)
+        assert not m[0].any()
+        assert m[3, :3].all() and not m[3, 3]
+
+    def test_causal_nonstrict_includes_diagonal(self):
+        m = nn.causal_mask(3, strict=False)
+        assert m[0, 0] and m[2, 2]
+
+    def test_anti_causal_mirror(self):
+        a = nn.anti_causal_mask(5, strict=True)
+        c = nn.causal_mask(5, strict=True)
+        assert np.array_equal(a, c.T)
+
+    def test_strict_masks_partition(self):
+        """strict causal + strict anti-causal + diagonal covers everything."""
+        n = 6
+        total = nn.causal_mask(n) | nn.anti_causal_mask(n) | np.eye(n, dtype=bool)
+        assert total.all()
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        att = nn.MultiHeadAttention(8, 2, RNG)
+        x = Tensor(RNG.normal(size=(3, 5, 8)))
+        assert att(x, x, x).shape == (3, 5, 8)
+
+    def test_dim_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(7, 2, RNG)
+
+    def test_causal_mask_blocks_future(self):
+        att = nn.MultiHeadAttention(4, 1, RNG)
+        x = RNG.normal(size=(1, 6, 4))
+        mask = nn.causal_mask(6, strict=True)
+        base = att(Tensor(x), Tensor(x), Tensor(x), mask=mask).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = att(Tensor(perturbed), Tensor(perturbed), Tensor(perturbed),
+                  mask=mask).data
+        # Output at positions < 5 never attends to position 5.
+        assert np.allclose(out[0, :5], base[0, :5])
+
+    def test_fully_masked_row_gives_projected_zero(self):
+        att = nn.MultiHeadAttention(4, 2, RNG)
+        x = Tensor(RNG.normal(size=(1, 3, 4)))
+        mask = nn.causal_mask(3, strict=True)  # row 0 has no allowed keys
+        out = att(x, x, x, mask=mask).data
+        # Zero context through the output projection = its bias.
+        assert np.allclose(out[0, 0], att.out_proj.bias.data)
+
+    def test_attention_weights_recorded(self):
+        att = nn.MultiHeadAttention(4, 2, RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 4)))
+        att(x, x, x)
+        assert att.last_weights.shape == (2, 2, 5, 5)
+        assert np.allclose(att.last_weights.sum(axis=-1), 1.0)
+
+    def test_monotonic_decay_prefers_near_keys(self):
+        """With a large decay, attention should concentrate near the query."""
+        att = nn.MultiHeadAttention(4, 1, RNG, monotonic=True)
+        att.decay.data[...] = 10.0  # softplus(10) ~ 10: strong decay
+        # Make content uninformative so distance dominates.
+        x = Tensor(np.ones((1, 8, 4)))
+        att(x, x, x, mask=nn.causal_mask(8, strict=True))
+        weights = att.last_weights[0, 0]
+        # For the last query, the nearest allowed key (6) should dominate.
+        assert weights[7].argmax() == 6
+        assert weights[7, 6] > 0.99
+
+    def test_monotonic_decay_trainable(self):
+        att = nn.MultiHeadAttention(4, 2, RNG, monotonic=True)
+        x = Tensor(RNG.normal(size=(1, 4, 4)))
+        (att(x, x, x) ** 2).sum().backward()
+        assert att.decay.grad is not None
+
+
+class TestTransformer:
+    def test_encoder_shapes(self):
+        enc = nn.TransformerEncoder(8, 2, 3, RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        assert enc(x).shape == (2, 5, 8)
+
+    def test_positional_encoding_added(self):
+        pe = nn.PositionalEncoding(10, 8)
+        x = Tensor(np.zeros((1, 5, 8)))
+        out = pe(x).data
+        assert np.allclose(out[0], nn.sinusoidal_positions(5, 8))
+
+    def test_positional_encoding_length_guard(self):
+        pe = nn.PositionalEncoding(4, 8)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 8))))
+
+    def test_last_attention_weights_exposed(self):
+        enc = nn.TransformerEncoder(8, 2, 2, RNG)
+        x = Tensor(RNG.normal(size=(1, 4, 8)))
+        enc(x)
+        assert enc.last_attention_weights.shape == (1, 2, 4, 4)
+
+    def test_gradients_flow_through_stack(self):
+        enc = nn.TransformerEncoder(8, 2, 2, RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 8)), requires_grad=True)
+        (enc(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in enc.parameters())

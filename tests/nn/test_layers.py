@@ -1,0 +1,95 @@
+"""Layer correctness: Linear, Embedding, LayerNorm, MLP."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import gradcheck
+
+RNG = np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(4, 7, RNG)
+        assert layer(Tensor(RNG.normal(size=(3, 4)))).shape == (3, 7)
+        assert layer(Tensor(RNG.normal(size=(2, 5, 4)))).shape == (2, 5, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 7, RNG, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck(self):
+        layer = nn.Linear(3, 2, RNG)
+        x = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda t: (layer(t) ** 2).sum(), [x])
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2, RNG)
+        x = RNG.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 6, RNG)
+        out = emb(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 6)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 2, RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+
+class TestLayerNorm:
+    def test_normalizes_moments(self):
+        ln = nn.LayerNorm(16)
+        x = Tensor(RNG.normal(loc=3.0, scale=5.0, size=(8, 16)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        ln = nn.LayerNorm(4)
+        x = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+        gradcheck(lambda t: (ln(t) ** 2).sum(), [x], atol=1e-4)
+
+    def test_learnable_scale_shift(self):
+        ln = nn.LayerNorm(4)
+        ln.gamma.data[...] = 2.0
+        ln.beta.data[...] = 1.0
+        x = Tensor(RNG.normal(size=(3, 4)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestMLP:
+    def test_output_shape(self):
+        mlp = nn.MLP([8, 16, 4, 1], RNG)
+        assert mlp(Tensor(RNG.normal(size=(5, 8)))).shape == (5, 1)
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4], RNG)
+
+    def test_hidden_relu_applied(self):
+        mlp = nn.MLP([2, 4, 1], RNG)
+        for layer in mlp.layers:
+            layer.weight.data[...] = -1.0
+            layer.bias.data[...] = 0.0
+        out = mlp(Tensor(np.ones((1, 2)))).data
+        # hidden = relu(-2) = 0, output = 0 @ W + 0 = 0
+        assert np.allclose(out, 0.0)
+
+    def test_gradients_flow_to_all_layers(self):
+        mlp = nn.MLP([3, 5, 2], RNG)
+        x = Tensor(RNG.normal(size=(4, 3)))
+        (mlp(x) ** 2).sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())

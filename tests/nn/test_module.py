@@ -1,0 +1,98 @@
+"""Module system: parameter discovery, modes, state dict round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def build_net():
+    class Net(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.fc1 = nn.Linear(4, 8, RNG)
+            self.fc2 = nn.Linear(8, 2, RNG)
+            self.drop = nn.Dropout(0.5, RNG)
+
+        def forward(self, x):
+            return self.fc2(self.drop(self.fc1(x).relu()))
+
+    return Net()
+
+
+class TestDiscovery:
+    def test_named_parameters_paths(self):
+        net = build_net()
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_parameter_count(self):
+        net = build_net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modulelist_registers_children(self):
+        mlp = nn.MLP([4, 8, 2], RNG)
+        names = {name for name, _ in mlp.named_parameters()}
+        assert "layers.item_0.weight" in names
+        assert "layers.item_1.weight" in names
+
+    def test_modules_iterates_depth(self):
+        net = build_net()
+        kinds = {type(m).__name__ for m in net.modules()}
+        assert {"Net", "Linear", "Dropout"} <= kinds
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = build_net()
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_eval_disables_dropout(self):
+        net = build_net().eval()
+        x = Tensor(RNG.normal(size=(5, 4)))
+        a = net(x).data
+        b = net(x).data
+        assert np.allclose(a, b)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net_a, net_b = build_net(), build_net()
+        net_b.load_state_dict(net_a.state_dict())
+        x = Tensor(RNG.normal(size=(3, 4)))
+        net_a.eval(), net_b.eval()
+        assert np.allclose(net_a(x).data, net_b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        net = build_net()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_mismatched_keys_raise(self):
+        net = build_net()
+        state = net.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_mismatched_shape_raises(self):
+        net = build_net()
+        state = net.state_dict()
+        state["fc1.bias"] = np.zeros(99)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        net = build_net()
+        x = Tensor(RNG.normal(size=(3, 4)))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())

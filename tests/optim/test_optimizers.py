@@ -1,0 +1,103 @@
+"""Optimizer behaviour: convergence, weight decay, clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.tensor import Tensor
+
+
+def quadratic_loss(param):
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.zeros(2), requires_grad=True)
+            opt = optim.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return quadratic_loss(p).item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0, -2.0], atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        p1 = Tensor(np.zeros(2), requires_grad=True)
+        p2 = Tensor(np.ones(2), requires_grad=True)
+        opt = optim.Adam([p1, p2], lr=0.1)
+        opt.zero_grad()
+        quadratic_loss(p1).backward()
+        opt.step()
+        assert np.allclose(p2.data, 1.0)
+
+    def test_trains_a_network_to_overfit(self):
+        """End-to-end: a tiny MLP memorizes 8 random binary labels."""
+        rng = np.random.default_rng(3)
+        net = nn.MLP([4, 16, 1], rng)
+        x = Tensor(rng.normal(size=(8, 4)))
+        y = (rng.random(8) > 0.5).astype(float)
+        opt = optim.Adam(net.parameters(), lr=0.05)
+        from repro.tensor import binary_cross_entropy
+        for _ in range(200):
+            opt.zero_grad()
+            probs = net(x).sigmoid().reshape(8)
+            binary_cross_entropy(probs, y).backward()
+            opt.step()
+        preds = (net(x).sigmoid().data.reshape(8) > 0.5).astype(float)
+        assert np.array_equal(preds, y)
+
+
+class TestClipping:
+    def test_clips_large_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 100.0)
+        pre = optim.clip_grad_norm([p], max_norm=1.0)
+        assert pre > 1.0
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 0.01)
+        optim.clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+    def test_ignores_gradless(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        assert optim.clip_grad_norm([p], max_norm=1.0) == 0.0

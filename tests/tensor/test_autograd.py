@@ -1,0 +1,110 @@
+"""Autograd graph mechanics: accumulation, reuse, no_grad, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
+
+
+class TestBackward:
+    def test_reused_tensor_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a + b).sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.1 ** 50])
+
+    def test_backward_non_scalar_requires_grad_argument(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.array([1.0, 1.0]))
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_backward_on_constant_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_repeated_backward_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_flag_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_graph_recorded(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+    def test_restored_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach() * 2.0
+        assert not y.requires_grad
+        assert np.allclose(y.data, [12.0])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_prepended_axes_summed(self):
+        g = np.ones((5, 3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+        assert np.all(unbroadcast(g, (3, 4)) == 5.0)
+
+    def test_stretched_axes_summed(self):
+        g = np.ones((3, 4))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        assert np.all(out == 4.0)
+
+    def test_combined(self):
+        g = np.ones((2, 3, 4))
+        out = unbroadcast(g, (1, 4))
+        assert out.shape == (1, 4)
+        assert np.all(out == 6.0)

@@ -1,0 +1,175 @@
+"""Tests for functional ops: concat/stack/where/embedding/softmax/dropout."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (Tensor, binary_cross_entropy, concat, dropout,
+                          embedding, log_softmax, masked_softmax, softmax,
+                          stack, where)
+from repro.utils import gradcheck
+
+RNG = np.random.default_rng(7)
+
+
+def leaf(*shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        a, b = Tensor([[1.0]]), Tensor([[2.0]])
+        assert np.allclose(concat([a, b], axis=1).data, [[1.0, 2.0]])
+
+    def test_concat_grad(self):
+        a, b = leaf(2, 3), leaf(2, 2)
+        gradcheck(lambda x, y: (concat([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_concat_axis0_grad(self):
+        a, b = leaf(1, 4), leaf(3, 4)
+        gradcheck(lambda x, y: (concat([x, y], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_grad(self):
+        a, b = leaf(2, 3), leaf(2, 3)
+        gradcheck(lambda x, y: (stack([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_shape(self):
+        parts = [leaf(4) for _ in range(3)]
+        assert stack(parts, axis=0).shape == (3, 4)
+        assert stack(parts, axis=1).shape == (4, 3)
+
+
+class TestWhere:
+    def test_values(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_grad_routing(self):
+        cond = np.array([True, False, True])
+        a, b = leaf(3), leaf(3)
+        gradcheck(lambda x, y: (where(cond, x, y) ** 2).sum(), [a, b])
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        weight = leaf(10, 4)
+        idx = np.array([[1, 2], [3, 4]])
+        assert embedding(weight, idx).shape == (2, 2, 4)
+
+    def test_grad_scatter_accumulates(self):
+        weight = Tensor(np.zeros((5, 2)), requires_grad=True)
+        idx = np.array([1, 1, 3])
+        embedding(weight, idx).sum().backward()
+        expected = np.zeros((5, 2))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        assert np.allclose(weight.grad, expected)
+
+    def test_gradcheck(self):
+        weight = leaf(6, 3)
+        idx = np.array([0, 2, 2, 5])
+        gradcheck(lambda w: (embedding(w, idx) ** 2).sum(), [weight])
+
+    def test_rejects_float_indices(self):
+        with pytest.raises(TypeError):
+            embedding(leaf(4, 2), np.array([0.5]))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(leaf(5, 7)).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_grad(self):
+        x = leaf(3, 4)
+        gradcheck(lambda t: (softmax(t) ** 2).sum(), [x])
+
+    def test_shift_invariance(self):
+        x = RNG.normal(size=(2, 5))
+        assert np.allclose(softmax(Tensor(x)).data,
+                           softmax(Tensor(x + 100.0)).data)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = leaf(4, 6)
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_log_softmax_grad(self):
+        x = leaf(2, 5)
+        gradcheck(lambda t: (log_softmax(t) * log_softmax(t)).sum(), [x])
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_zero(self):
+        mask = np.array([[True, False, True]])
+        out = masked_softmax(leaf(1, 3), mask).data
+        assert out[0, 1] == 0.0
+        assert np.allclose(out.sum(), 1.0)
+
+    def test_fully_masked_row_is_zero_not_nan(self):
+        mask = np.zeros((2, 3), dtype=bool)
+        out = masked_softmax(leaf(2, 3), mask).data
+        assert np.all(out == 0.0)
+
+    def test_grad_with_partial_mask(self):
+        mask = np.array([[True, True, False, True]])
+        x = leaf(1, 4)
+        gradcheck(lambda t: (masked_softmax(t, mask) ** 2).sum(), [x])
+
+    def test_matches_softmax_when_all_allowed(self):
+        x = leaf(3, 5)
+        mask = np.ones((3, 5), dtype=bool)
+        assert np.allclose(masked_softmax(x, mask).data, softmax(x).data)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = leaf(10, 10)
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_rate_identity(self):
+        x = leaf(4)
+        assert dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, np.random.default_rng(0)).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            dropout(leaf(3), 1.5, np.random.default_rng(0))
+
+    def test_grad_masks_match_forward(self):
+        x = leaf(50)
+        out = dropout(x, 0.5, np.random.default_rng(3))
+        out.sum().backward()
+        dropped = out.data == 0.0
+        assert np.all(x.grad[dropped] == 0.0)
+        assert np.all(x.grad[~dropped] == 2.0)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        probs = Tensor([0.9999999, 0.0000001])
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-5
+
+    def test_value_matches_formula(self):
+        p = np.array([0.8, 0.3])
+        y = np.array([1.0, 0.0])
+        expected = -(np.log(0.8) + np.log(0.7)) / 2
+        loss = binary_cross_entropy(Tensor(p), y)
+        assert np.isclose(loss.item(), expected)
+
+    def test_weights_exclude_padding(self):
+        p = Tensor([0.8, 0.5])
+        y = np.array([1.0, 1.0])
+        w = np.array([1.0, 0.0])
+        loss = binary_cross_entropy(p, y, weights=w)
+        assert np.isclose(loss.item(), -np.log(0.8))
+
+    def test_grad(self):
+        x = leaf(6)
+        y = (RNG.random(6) > 0.5).astype(float)
+        gradcheck(lambda t: binary_cross_entropy(t.sigmoid(), y), [x])

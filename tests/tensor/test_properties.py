@@ -1,0 +1,77 @@
+"""Hypothesis property tests for the autodiff substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, softmax, unbroadcast
+from repro.utils import gradcheck
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_softmax_is_distribution(x):
+    out = softmax(Tensor(x)).data
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_exp_log_roundtrip(x):
+    t = Tensor(x)
+    assert np.allclose(t.exp().log().data, x, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_tanh_bounded(x):
+    out = Tensor(x).tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=3),
+              elements=st.floats(-3.0, 3.0)))
+def test_mul_gradcheck_random_shapes(x):
+    a = Tensor(x.copy(), requires_grad=True)
+    b = Tensor(x.copy() + 0.5, requires_grad=True)
+    gradcheck(lambda u, v: (u * v).sum(), [a, b])
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_unbroadcast_restores_shape_after_broadcast(x):
+    target_shape = x.shape
+    broadcast = np.broadcast_to(x, (2,) + target_shape)
+    reduced = unbroadcast(np.asarray(broadcast, dtype=np.float64), target_shape)
+    assert reduced.shape == target_shape
+    assert np.allclose(reduced, 2.0 * x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4))
+def test_matmul_grad_matches_transpose_rule(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    a = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+    b = Tensor(rng.normal(size=(m, n)), requires_grad=True)
+    (a @ b).sum().backward()
+    # d(sum(AB))/dA = ones @ B^T
+    expected = np.ones((n, n)) @ b.data.T
+    assert np.allclose(a.grad, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(finite_arrays)
+def test_sigmoid_symmetry(x):
+    t = Tensor(x)
+    left = t.sigmoid().data
+    right = 1.0 - Tensor(-x).sigmoid().data
+    assert np.allclose(left, right, atol=1e-12)

@@ -1,0 +1,173 @@
+"""Gradient and semantics checks for Tensor method operators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.utils import gradcheck
+
+RNG = np.random.default_rng(1234)
+
+
+def leaf(*shape, scale=1.0, offset=0.0):
+    return Tensor(RNG.normal(size=shape) * scale + offset, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_grad(self):
+        a, b = leaf(3, 4), leaf(3, 4)
+        gradcheck(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_broadcast_grad(self):
+        a, b = leaf(3, 4), leaf(4)
+        gradcheck(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_scalar(self):
+        a = leaf(2, 2)
+        gradcheck(lambda x: (x + 2.5).sum(), [a])
+
+    def test_sub_grad(self):
+        a, b = leaf(2, 5), leaf(2, 5)
+        gradcheck(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_rsub(self):
+        a = leaf(3)
+        assert np.allclose((1.0 - a).data, 1.0 - a.data)
+
+    def test_mul_grad(self):
+        a, b = leaf(4, 3), leaf(4, 3)
+        gradcheck(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_mul_broadcast_both_sides(self):
+        a, b = leaf(1, 3), leaf(4, 1)
+        gradcheck(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div_grad(self):
+        a, b = leaf(3, 3), leaf(3, 3, offset=3.0)
+        gradcheck(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_pow_grad(self):
+        a = leaf(4, offset=2.0)
+        gradcheck(lambda x: (x ** 3).sum(), [a])
+
+    def test_neg_grad(self):
+        a = leaf(5)
+        gradcheck(lambda x: (-x).sum(), [a])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_grad(self, name):
+        a = leaf(3, 4, offset=0.1)
+        gradcheck(lambda x: getattr(x, name)().sum(), [a])
+
+    def test_log_grad(self):
+        a = leaf(3, 3, scale=0.1, offset=2.0)
+        gradcheck(lambda x: x.log().sum(), [a])
+
+    def test_sqrt_grad(self):
+        a = leaf(3, 3, scale=0.1, offset=2.0)
+        gradcheck(lambda x: x.sqrt().sum(), [a])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor([-1000.0, 0.0, 1000.0])
+        out = a.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] < 1e-6 and abs(out[1] - 0.5) < 1e-12 and out[2] > 1 - 1e-6
+
+    def test_clip_grad_zero_outside(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_grad_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_minimum_values(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([2.0, 3.0])
+        assert np.allclose(a.minimum(b).data, [1.0, 3.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = leaf(2, 3, 4)
+        assert a.sum(axis=1).shape == (2, 4)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1, 4)
+
+    def test_sum_grad(self):
+        a = leaf(2, 3)
+        gradcheck(lambda x: (x.sum(axis=0) ** 2).sum(), [a])
+
+    def test_mean_grad(self):
+        a = leaf(3, 4)
+        gradcheck(lambda x: (x.mean(axis=1) ** 2).sum(), [a])
+
+    def test_mean_value(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(a.mean().item(), 2.5)
+
+    def test_max_grad_unique(self):
+        a = Tensor(np.array([[1.0, 3.0], [2.0, 0.5]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestMatmul:
+    def test_2d_grad(self):
+        a, b = leaf(3, 4), leaf(4, 5)
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_batched_grad(self):
+        a, b = leaf(2, 3, 4), leaf(2, 4, 5)
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_broadcast_batch_grad(self):
+        a, b = leaf(2, 6, 3, 4), leaf(4, 5)
+        gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_values(self):
+        a = Tensor(np.eye(3))
+        b = Tensor(np.arange(9.0).reshape(3, 3))
+        assert np.allclose((a @ b).data, b.data)
+
+
+class TestShapes:
+    def test_reshape_grad(self):
+        a = leaf(2, 6)
+        gradcheck(lambda x: (x.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose_grad(self):
+        a = leaf(2, 3, 4)
+        gradcheck(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_swapaxes_roundtrip(self):
+        a = leaf(2, 3, 4)
+        assert a.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_slice_grad(self):
+        a = leaf(4, 5)
+        gradcheck(lambda x: (x[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_integer_array_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_expand_squeeze(self):
+        a = leaf(3, 4)
+        assert a.expand_dims(1).shape == (3, 1, 4)
+        assert a.expand_dims(1).squeeze(1).shape == (3, 4)

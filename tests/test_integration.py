@@ -1,0 +1,93 @@
+"""End-to-end integration: the full user journey on one small corpus.
+
+simulate -> preprocess -> CSV round-trip -> 5-fold CV split -> train RCKT
+-> evaluate -> explain -> trace proficiency -> recommend -> checkpoint ->
+reload -> identical predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig, evaluate_rckt, fit_rckt
+from repro.data import (Interaction, collate, k_fold_splits, load_csv,
+                        make_eedi, save_csv)
+from repro.interpret import (explain_prediction, recommend_questions,
+                             related_questions, trace_proficiency)
+from repro.utils import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def journey(tmp_path_factory):
+    root = tmp_path_factory.mktemp("journey")
+    dataset = make_eedi(scale=0.12, seed=21)
+
+    # Persistence round-trip feeds the rest of the pipeline.
+    csv_path = root / "eedi.csv"
+    save_csv(dataset, csv_path)
+    reloaded = load_csv(csv_path, name="eedi",
+                        num_questions=dataset.num_questions,
+                        num_concepts=dataset.num_concepts)
+
+    fold = next(k_fold_splits(reloaded, k=5, seed=0))
+    config = RCKTConfig(encoder="dkt", dim=8, layers=1, epochs=2,
+                        batch_size=16, lr=3e-3, seed=0)
+    model = RCKT(reloaded.num_questions, reloaded.num_concepts, config)
+    fit_rckt(model, fold.train, fold.validation, eval_stride=3)
+    return root, reloaded, fold, model, config
+
+
+class TestEndToEnd:
+    def test_dataset_round_trip_preserved(self, journey):
+        _, dataset, _, _, _ = journey
+        assert dataset.num_responses > 0
+
+    def test_evaluation_works(self, journey):
+        _, _, fold, model, _ = journey
+        metrics = evaluate_rckt(model, fold.test, stride=2)
+        assert 0.0 <= metrics["auc"] <= 1.0
+        assert 0.0 <= metrics["acc"] <= 1.0
+
+    def test_explanation_pipeline(self, journey):
+        _, _, fold, model, _ = journey
+        sequence = next(s for s in fold.test if len(s) >= 6)
+        explanation = explain_prediction(model, sequence[:6])
+        assert len(explanation.rows) == 5
+        assert "prediction:" in explanation.render()
+
+    def test_proficiency_pipeline(self, journey):
+        _, dataset, fold, model, _ = journey
+        sequence = next(s for s in fold.test if len(s) >= 6)[:6]
+        concept = sequence[0].concept_ids[0]
+        pool = related_questions(dataset, concept)
+        trace = trace_proficiency(model, sequence, concept, pool,
+                                  steps=[2, 4])
+        assert trace.proficiencies.shape == (2,)
+
+    def test_recommendation_pipeline(self, journey):
+        _, dataset, fold, model, _ = journey
+        sequence = next(s for s in fold.test if len(s) >= 6)[:6]
+        candidates = [Interaction(q, 1, (1,))
+                      for q in range(1, 5)]
+        recs = recommend_questions(model, sequence, candidates, top_k=2)
+        assert len(recs) == 2
+
+    def test_checkpoint_round_trip_predictions(self, journey):
+        root, dataset, fold, model, config = journey
+        path = root / "rckt.npz"
+        save_model(path, model, metadata={"encoder": config.encoder})
+        clone = RCKT(dataset.num_questions, dataset.num_concepts, config)
+        meta = load_model(path, clone)
+        assert meta["encoder"] == "dkt"
+        sequence = fold.test[0]
+        batch = collate([sequence])
+        cols = np.array([len(sequence) - 1])
+        assert np.allclose(model.predict_scores(batch, cols),
+                           clone.predict_scores(batch, cols))
+
+    def test_folds_cover_everything_once(self, journey):
+        _, dataset, _, _, _ = journey
+        seen = []
+        for fold in k_fold_splits(dataset, k=5, seed=0):
+            seen.extend(id(s) for s in fold.test)
+        assert len(seen) == len(dataset)
+        assert len(set(seen)) == len(seen)
