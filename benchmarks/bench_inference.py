@@ -1,0 +1,197 @@
+"""Inference throughput: old per-prefix path vs the multi-target engine.
+
+Two workloads, both scored identically by construction (the golden-parity
+suite in ``tests/core/test_multi_target_parity.py`` pins the score
+equality this benchmark asserts as a by-product):
+
+* **evaluation sweep** — score every position of every sequence, the
+  Table IV protocol.  Old path: ``predict_dataset(legacy=True)``, one
+  re-collated prefix batch per target bucket.  New path: the shared
+  forward-stream engine of :mod:`repro.core.multi_target`.
+* **serving** — one "how would this student do on question q next?"
+  probe per student, the production workload ``repro.serve`` exists for.
+  Old path: the seed's serving idiom (one collated single-row
+  ``predict_scores`` call per probe, exactly as
+  ``repro.interpret.recommendation`` scores candidates).  New path:
+  :class:`repro.serve.InferenceEngine` micro-batching all probes over
+  its cached student histories.
+
+Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
+throughput ratio for the default encoder) to start the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_inference.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import RCKT, RCKTConfig
+from repro.data import (SimulationConfig, StudentSimulator, build_dataset,
+                        collate)
+from repro.serve import InferenceEngine, ScoreRequest
+
+
+def build_corpus(num_students: int, seed: int = 11):
+    config = SimulationConfig(num_students=num_students, num_questions=200,
+                              num_concepts=20, sequence_length=(8, 50))
+    simulator = StudentSimulator(config, seed=seed)
+    return build_dataset("bench", simulator.simulate(seed=seed + 1),
+                         config.num_questions, config.num_concepts)
+
+
+def build_model(dataset, encoder: str, dim: int, layers: int) -> RCKT:
+    return RCKT(dataset.num_questions, dataset.num_concepts,
+                RCKTConfig(encoder=encoder, dim=dim, layers=layers, seed=1))
+
+
+def bench_eval_sweep(model: RCKT, dataset, stride: int) -> dict:
+    start = time.perf_counter()
+    _, legacy_scores = model.predict_dataset(dataset, stride=stride,
+                                             legacy=True)
+    legacy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    _, fast_scores = model.predict_dataset(dataset, stride=stride)
+    fast_seconds = time.perf_counter() - start
+    # Path outputs are ordered differently (length buckets vs sorted
+    # groups); sorting compares the score multisets, which the
+    # target-aligned parity tests pin down exactly.
+    max_diff = float(np.max(np.abs(np.sort(legacy_scores)
+                                   - np.sort(fast_scores))))
+    targets = len(legacy_scores)
+    return {
+        "targets": targets,
+        "legacy_seconds": round(legacy_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "legacy_targets_per_sec": round(targets / legacy_seconds, 1),
+        "fast_targets_per_sec": round(targets / fast_seconds, 1),
+        "speedup": round(legacy_seconds / fast_seconds, 2),
+        "max_abs_score_diff": max_diff,
+    }
+
+
+def bench_serving(model: RCKT, dataset, rounds: int) -> dict:
+    sequences = list(dataset)
+    rng = np.random.default_rng(7)
+    probe_questions = rng.integers(1, dataset.num_questions + 1,
+                                   size=(rounds, len(sequences)))
+
+    # Old path: the seed idiom — collate one probe row per request
+    # (repro.interpret.recommendation._target_score).
+    from repro.data import Interaction, StudentSequence
+    start = time.perf_counter()
+    old_scores = []
+    for round_index in range(rounds):
+        for k, sequence in enumerate(sequences):
+            question = int(probe_questions[round_index, k])
+            probe = Interaction(question, 1, (1 + question % 20,))
+            extended = StudentSequence(sequence.student_id,
+                                       list(sequence.interactions) + [probe])
+            batch = collate([extended])
+            old_scores.append(model.predict_scores(
+                batch, np.array([len(extended) - 1]))[0])
+    old_seconds = time.perf_counter() - start
+    old_scores = np.array(old_scores)
+
+    # New path: the serving engine, warm per-student history cache.
+    engine = InferenceEngine(model)
+    engine.load_dataset(dataset)
+    start = time.perf_counter()
+    new_scores = []
+    for round_index in range(rounds):
+        requests = [
+            ScoreRequest(sequence.student_id,
+                         int(probe_questions[round_index, k]),
+                         (1 + int(probe_questions[round_index, k]) % 20,))
+            for k, sequence in enumerate(sequences)
+        ]
+        new_scores.append(engine.score_batch(requests))
+    new_seconds = time.perf_counter() - start
+    new_scores = np.concatenate(new_scores)
+
+    requests_total = rounds * len(sequences)
+    return {
+        "requests": requests_total,
+        "legacy_seconds": round(old_seconds, 4),
+        "fast_seconds": round(new_seconds, 4),
+        "legacy_targets_per_sec": round(requests_total / old_seconds, 1),
+        "fast_targets_per_sec": round(requests_total / new_seconds, 1),
+        "speedup": round(old_seconds / new_seconds, 2),
+        "max_abs_score_diff": float(np.max(np.abs(old_scores - new_scores))),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus, default encoder only (CI smoke)")
+    parser.add_argument("--students", type=int, default=None)
+    parser.add_argument("--stride", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="serving rounds (requests per student)")
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--encoders", nargs="*", default=None)
+    parser.add_argument("--output", default="BENCH_inference.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        students = args.students or 100
+        stride = args.stride or 4
+        encoders = args.encoders or ["dkt"]
+    else:
+        students = args.students or 120
+        stride = args.stride or 2
+        encoders = args.encoders or ["dkt", "sakt", "akt"]
+
+    dataset = build_corpus(students)
+    print(f"corpus: {len(dataset)} sequences, "
+          f"{dataset.num_responses} responses")
+
+    results = {
+        "benchmark": "multi-target inference engine vs legacy prefix path",
+        "quick": args.quick,
+        "corpus": {"students": students,
+                   "sequences": len(dataset),
+                   "responses": int(dataset.num_responses)},
+        "model": {"dim": args.dim, "layers": args.layers},
+        "platform": platform.platform(),
+        "eval_sweep": {},
+        "serving": {},
+    }
+    for encoder in encoders:
+        model = build_model(dataset, encoder, args.dim, args.layers)
+        sweep = bench_eval_sweep(model, dataset, stride)
+        serving = bench_serving(model, dataset, args.rounds)
+        results["eval_sweep"][encoder] = sweep
+        results["serving"][encoder] = serving
+        print(f"{encoder}: eval sweep {sweep['speedup']}x "
+              f"({sweep['legacy_targets_per_sec']} -> "
+              f"{sweep['fast_targets_per_sec']} targets/s, "
+              f"diff {sweep['max_abs_score_diff']:.2e}) | "
+              f"serving {serving['speedup']}x "
+              f"({serving['legacy_targets_per_sec']} -> "
+              f"{serving['fast_targets_per_sec']} req/s, "
+              f"diff {serving['max_abs_score_diff']:.2e})")
+
+    headline = results["serving"][encoders[0]]
+    results["headline_workload"] = "serving"
+    results["headline_encoder"] = encoders[0]
+    results["speedup"] = headline["speedup"]
+    results["legacy_targets_per_sec"] = headline["legacy_targets_per_sec"]
+    results["fast_targets_per_sec"] = headline["fast_targets_per_sec"]
+
+    path = Path(args.output)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"headline: serving speedup {results['speedup']}x "
+          f"-> {path.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

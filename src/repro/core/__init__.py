@@ -10,6 +10,8 @@ from .losses import counterfactual_loss, joint_bce_losses
 from .masking import (COUNTERFACTUAL_VARIANTS, JOINT_VARIANTS, MASKED,
                       VARIANT_ORDER, VariantSet, build_exact_counterfactual,
                       build_variants)
+from .multi_target import (MultiTargetContext, predict_dataset_fast,
+                           score_batch_targets, score_targets)
 from .rckt import RCKT, replicate_batch
 from .trainer import RCKTTrainResult, evaluate_rckt, fit_rckt
 
@@ -23,5 +25,7 @@ __all__ = [
     "InfluenceComputation", "ExactInfluenceResult", "compute_influences",
     "counterfactual_loss", "joint_bce_losses",
     "RCKT", "replicate_batch",
+    "MultiTargetContext", "predict_dataset_fast",
+    "score_batch_targets", "score_targets",
     "fit_rckt", "evaluate_rckt", "RCKTTrainResult",
 ]

@@ -51,12 +51,32 @@ def shift_and_combine(forward_stream: Tensor, backward_stream: Tensor) -> Tensor
 
 
 class BidirectionalEncoder(nn.Module, abc.ABC):
-    """Maps interaction embeddings ``(B, L, d)`` to hidden states ``h_i``."""
+    """Maps interaction embeddings ``(B, L, d)`` to hidden states ``h_i``.
+
+    The two directional streams are exposed separately because the
+    multi-target fast path exploits an asymmetry of Eq. 25: the *forward*
+    stream at position ``j`` only reads inputs ``<= j``, which for every
+    counterfactual variant are independent of the target column, so one
+    forward pass per sequence serves all of its targets.  Only the
+    *backward* stream (which consumes the intervened target first) needs
+    one row per target.
+    """
 
     @abc.abstractmethod
+    def forward_stream(self, interactions: Tensor,
+                       mask: Optional[np.ndarray] = None) -> Tensor:
+        """Directional states summarizing inputs ``<= j`` at position ``j``."""
+
+    @abc.abstractmethod
+    def backward_stream(self, interactions: Tensor,
+                        mask: Optional[np.ndarray] = None) -> Tensor:
+        """Directional states summarizing inputs ``>= j`` at position ``j``."""
+
     def forward(self, interactions: Tensor,
                 mask: Optional[np.ndarray] = None) -> Tensor:
         """``mask`` is ``(B, L)`` with True at real positions."""
+        return shift_and_combine(self.forward_stream(interactions, mask),
+                                 self.backward_stream(interactions, mask))
 
 
 class BiDKTEncoder(BidirectionalEncoder):
@@ -71,18 +91,26 @@ class BiDKTEncoder(BidirectionalEncoder):
             [nn.LSTM(dim, dim, rng, reverse=True) for _ in range(layers)])
         self.dropout = nn.Dropout(dropout, rng) if dropout > 0 else None
 
-    def _run_stack(self, layers: nn.ModuleList, x: Tensor) -> Tensor:
+    def _run_stack(self, layers: nn.ModuleList, x: Tensor,
+                   mask: Optional[np.ndarray] = None) -> Tensor:
+        # Only thread the mask through the recurrence when it actually
+        # truncates rows: an all-True mask is a no-op, and skipping it keeps
+        # the exact-length bucket paths free of per-step select overhead.
+        if mask is not None and mask.all():
+            mask = None
         for i, layer in enumerate(layers):
-            x = layer(x)
+            x = layer(x, mask=mask)
             if self.dropout is not None and i + 1 < len(layers):
                 x = self.dropout(x)
         return x
 
-    def forward(self, interactions: Tensor,
-                mask: Optional[np.ndarray] = None) -> Tensor:
-        forward_stream = self._run_stack(self.forward_layers, interactions)
-        backward_stream = self._run_stack(self.backward_layers, interactions)
-        return shift_and_combine(forward_stream, backward_stream)
+    def forward_stream(self, interactions: Tensor,
+                       mask: Optional[np.ndarray] = None) -> Tensor:
+        return self._run_stack(self.forward_layers, interactions, mask=mask)
+
+    def backward_stream(self, interactions: Tensor,
+                        mask: Optional[np.ndarray] = None) -> Tensor:
+        return self._run_stack(self.backward_layers, interactions, mask=mask)
 
 
 class _DirectionalTransformer(nn.Module):
@@ -139,11 +167,13 @@ class BiSAKTEncoder(BidirectionalEncoder):
         self.backward_stack = _DirectionalTransformer(
             dim, heads, layers, rng, dropout, self.monotonic, reverse=True)
 
-    def forward(self, interactions: Tensor,
-                mask: Optional[np.ndarray] = None) -> Tensor:
-        forward_stream = self.forward_stack(interactions, mask)
-        backward_stream = self.backward_stack(interactions, mask)
-        return shift_and_combine(forward_stream, backward_stream)
+    def forward_stream(self, interactions: Tensor,
+                       mask: Optional[np.ndarray] = None) -> Tensor:
+        return self.forward_stack(interactions, mask)
+
+    def backward_stream(self, interactions: Tensor,
+                        mask: Optional[np.ndarray] = None) -> Tensor:
+        return self.backward_stack(interactions, mask)
 
 
 class BiAKTEncoder(BiSAKTEncoder):

@@ -47,6 +47,19 @@ class Batch:
     def lengths(self) -> np.ndarray:
         return self.mask.sum(axis=1)
 
+    def truncated(self, length: int) -> "Batch":
+        """Drop columns past ``length`` (views share the parent's memory).
+
+        Only valid when the dropped columns carry no real positions the
+        caller still needs; the multi-target fast path uses it to shrink a
+        chunk of expanded rows to the chunk's longest target.
+        """
+        if length >= self.length:
+            return self
+        return Batch(self.questions[:, :length], self.responses[:, :length],
+                     self.concepts[:, :length], self.concept_counts[:, :length],
+                     self.mask[:, :length])
+
 
 def collate(sequences: Sequence[StudentSequence],
             pad_to: Optional[int] = None) -> Batch:
@@ -80,6 +93,42 @@ def collate(sequences: Sequence[StudentSequence],
             counts[row, col] = len(ids)
             mask[row, col] = True
     return Batch(questions, responses, concepts, counts, mask)
+
+
+def expand_targets(batch: Batch, row_indices: np.ndarray,
+                   target_cols: np.ndarray) -> Batch:
+    """Expand target positions of a collated batch into one row per target.
+
+    ``row_indices[k]`` picks the source row of expanded row ``k`` and
+    ``target_cols[k]`` its target position.  The expanded row keeps the
+    source row's questions/responses/concepts but its mask is truncated
+    immediately after the target, so downstream consumers (attention masks,
+    the mask-aware LSTM recurrence) treat the row as if the sequence ended
+    at the target — the multi-target fast path's replacement for physically
+    re-collating each ``seq[:col + 1]`` prefix.
+
+    All work is NumPy fancy indexing: no per-interaction Python loops, so
+    expanding ``T`` targets out of one collated sequence costs O(T·L) array
+    copies instead of the O(T²) loop work of ``T`` prefix collations.
+    """
+    rows = np.asarray(row_indices)
+    cols = np.asarray(target_cols)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError("row_indices and target_cols must be 1-D and equal "
+                         "length")
+    if np.any(cols < 0) or np.any(cols >= batch.length):
+        raise ValueError("target_cols out of range")
+    if not batch.mask[rows, cols].all():
+        raise ValueError("every target position must be a real response")
+    columns = np.arange(batch.length)[None, :]
+    truncated = batch.mask[rows] & (columns <= cols[:, None])
+    return Batch(
+        questions=batch.questions[rows],
+        responses=batch.responses[rows],
+        concepts=batch.concepts[rows],
+        concept_counts=batch.concept_counts[rows],
+        mask=truncated,
+    )
 
 
 def iterate_batches(sequences: List[StudentSequence], batch_size: int,

@@ -4,7 +4,7 @@ from .attention import (MultiHeadAttention, anti_causal_mask, causal_mask)
 from .layers import (MLP, Dropout, Embedding, LayerNorm, Linear, ReLU,
                      Sigmoid, Tanh)
 from .module import Module, ModuleList
-from .rnn import LSTM, BiLSTM, LSTMCell
+from .rnn import LSTM, BiLSTM, LSTMCell, inference_kernel
 from .transformer import (FeedForward, PositionalEncoding, TransformerBlock,
                           TransformerEncoder, sinusoidal_positions)
 
@@ -12,7 +12,7 @@ __all__ = [
     "Module", "ModuleList",
     "Linear", "Embedding", "Dropout", "LayerNorm", "MLP",
     "ReLU", "Tanh", "Sigmoid",
-    "LSTMCell", "LSTM", "BiLSTM",
+    "LSTMCell", "LSTM", "BiLSTM", "inference_kernel",
     "MultiHeadAttention", "causal_mask", "anti_causal_mask",
     "TransformerBlock", "TransformerEncoder", "FeedForward",
     "PositionalEncoding", "sinusoidal_positions",

@@ -10,13 +10,39 @@ the caller indexing ``forward[i-1]`` and ``backward[i+1]``.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tensor import Tensor, concat, init, stack
+from repro.tensor import (Tensor, concat, init, is_grad_enabled,
+                          sigmoid_array, stack, where)
 
 from .module import Module
+
+
+_INFERENCE_KERNEL = True
+
+
+@contextlib.contextmanager
+def inference_kernel(enabled: bool):
+    """Toggle the fused no-grad LSTM kernel (default on).
+
+    ``inference_kernel(False)`` runs the original per-step autograd cell
+    even under ``no_grad`` — a debugging aid for comparing the kernel
+    and graph paths directly (see ``tests/nn/test_rnn.py``).  Note the
+    inference benchmarks do *not* use this: both arms of
+    ``benchmarks/bench_inference.py`` share the kernel, so the reported
+    speedups are purely structural (batching/stream sharing), not
+    kernel-vs-no-kernel.
+    """
+    global _INFERENCE_KERNEL
+    previous = _INFERENCE_KERNEL
+    _INFERENCE_KERNEL = enabled
+    try:
+        yield
+    finally:
+        _INFERENCE_KERNEL = previous
 
 
 class LSTMCell(Module):
@@ -62,23 +88,81 @@ class LSTM(Module):
         self.reverse = reverse
 
     def forward(self, x: Tensor,
-                state: Optional[Tuple[Tensor, Tensor]] = None) -> Tensor:
+                state: Optional[Tuple[Tensor, Tensor]] = None,
+                mask: Optional[np.ndarray] = None) -> Tensor:
         """Return the hidden state after each step, shape ``(B, L, H)``.
 
         With ``reverse=True`` the sequence is consumed right-to-left but the
         outputs are returned in the original order: position ``i`` then
         holds the state after consuming inputs ``i..L``.
+
+        ``mask`` (``(B, L)`` bool, True at real steps) makes the recurrence
+        skip padded steps entirely: state carries through unchanged and the
+        carried state is emitted.  A reversed LSTM whose row is padded after
+        position ``t`` therefore reaches ``t`` with its initial (zero)
+        state, exactly as if the sequence ended there — this is what lets
+        one full-length padded batch reproduce exact-length prefix batches
+        bit-for-bit (the multi-target fast path relies on it).
         """
         batch, length, _ = x.shape
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
         if state is None:
+            if _INFERENCE_KERNEL and not is_grad_enabled():
+                return Tensor(self._forward_inference(x.data, mask))
             state = self.cell.initial_state(batch)
         steps = range(length - 1, -1, -1) if self.reverse else range(length)
         outputs: list = [None] * length
         h, c = state
         for t in steps:
-            h, c = self.cell(x[:, t, :], (h, c))
+            h_new, c_new = self.cell(x[:, t, :], (h, c))
+            if mask is not None:
+                step = mask[:, t][:, None]
+                h_new = where(step, h_new, h)
+                c_new = where(step, c_new, c)
+            h, c = h_new, c_new
             outputs[t] = h
         return stack(outputs, axis=1)
+
+    def _forward_inference(self, x: np.ndarray,
+                           mask: Optional[np.ndarray]) -> np.ndarray:
+        """No-grad kernel: raw-NumPy recurrence with the input projection
+        hoisted into one ``(B*L, D) @ (D, 4H)`` gemm instead of one small
+        gemm per step.  The per-element gate math matches the autograd cell
+        (shared :func:`repro.tensor.sigmoid_array`)."""
+        cell = self.cell
+        batch, length, _ = x.shape
+        hidden = cell.hidden_dim
+        projected = (x.reshape(batch * length, -1) @ cell.weight_x.data)
+        projected = projected.reshape(batch, length, 4 * hidden)
+        # Step-major layout keeps each step's slab contiguous in cache.
+        projected = np.ascontiguousarray(projected.swapaxes(0, 1))
+        weight_h = cell.weight_h.data
+        bias = cell.bias.data
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        outputs = np.empty((batch, length, hidden))
+        steps = range(length - 1, -1, -1) if self.reverse else range(length)
+        for t in steps:
+            z = (projected[t] + h @ weight_h) + bias
+            in_forget = sigmoid_array(z[:, :2 * hidden])
+            i_gate = in_forget[:, :hidden]
+            f_gate = in_forget[:, hidden:]
+            g_gate = np.tanh(z[:, 2 * hidden:3 * hidden])
+            o_gate = sigmoid_array(z[:, 3 * hidden:])
+            c_new = f_gate * c + i_gate * g_gate
+            h_new = o_gate * np.tanh(c_new)
+            if mask is not None:
+                step = mask[:, t]
+                # Column-sorted target chunks make most steps all-active;
+                # the select is only paid where rows actually diverge.
+                if not step.all():
+                    step = step[:, None]
+                    h_new = np.where(step, h_new, h)
+                    c_new = np.where(step, c_new, c)
+            h, c = h_new, c_new
+            outputs[:, t, :] = h
+        return outputs
 
 
 class BiLSTM(Module):

@@ -1,0 +1,25 @@
+"""Serving subsystem: checkpointed RCKT inference behind a micro-batcher.
+
+``repro.serve`` turns the repository's counterfactual scorer into an
+engine shaped like a production inference service:
+
+* :class:`InferenceEngine` — holds one loaded model, per-student cached
+  interaction arrays, and a pending-request queue.
+* :class:`ScoreRequest` / :class:`PendingScore` — the submit/flush
+  micro-batch lifecycle (see :mod:`repro.serve.engine` for the walkthrough).
+* :class:`HistoryStore` / :class:`StudentHistory` — O(1)-append response
+  logs assembled into padded batches without per-interaction Python work.
+
+All scoring goes through the multi-target fast path
+(:mod:`repro.core.multi_target`), which the golden-parity suite pins to
+the legacy per-prefix scores, so the engine is exactly as accurate as the
+paper's evaluation protocol — just batched.
+"""
+
+from .engine import InferenceEngine, PendingScore, ScoreRequest
+from .history import HistoryStore, StudentHistory
+
+__all__ = [
+    "InferenceEngine", "ScoreRequest", "PendingScore",
+    "HistoryStore", "StudentHistory",
+]

@@ -1,0 +1,198 @@
+"""Per-student interaction caches for the inference engine.
+
+Serving a score request needs the student's full history as dense arrays.
+Rebuilding :class:`~repro.data.StudentSequence` objects and re-collating
+them per request costs O(history) Python-loop work every time; instead the
+store keeps each student's log as geometrically-grown NumPy arrays, so
+
+* appending one new response is an O(1) amortized array write, and
+* assembling a request batch is one row-slice memcpy per student — no
+  per-interaction Python loops anywhere on the request path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data import Batch, PAD_ID, StudentSequence
+
+
+class StudentHistory:
+    """One student's growable interaction log."""
+
+    __slots__ = ("student_id", "length", "_questions", "_responses",
+                 "_concepts", "_concept_counts")
+
+    INITIAL_CAPACITY = 8
+
+    def __init__(self, student_id):
+        self.student_id = student_id
+        self.length = 0
+        capacity = self.INITIAL_CAPACITY
+        self._questions = np.zeros(capacity, dtype=np.int64)
+        self._responses = np.zeros(capacity, dtype=np.int64)
+        self._concepts = np.full((capacity, 1), PAD_ID, dtype=np.int64)
+        self._concept_counts = np.ones(capacity, dtype=np.int64)
+
+    @property
+    def concept_width(self) -> int:
+        return self._concepts.shape[1]
+
+    def _grow(self, min_capacity: int, min_width: int) -> None:
+        capacity = len(self._questions)
+        new_capacity = max(capacity, min_capacity)
+        if min_capacity > capacity:
+            new_capacity = max(2 * capacity, min_capacity)
+        width = self.concept_width
+        new_width = max(width, min_width)
+        if new_capacity == capacity and new_width == width:
+            return
+        for name in ("_questions", "_responses", "_concept_counts"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_capacity, dtype=np.int64)
+            if name == "_concept_counts":
+                fresh[:] = 1
+            fresh[:self.length] = old[:self.length]
+            setattr(self, name, fresh)
+        fresh = np.full((new_capacity, new_width), PAD_ID, dtype=np.int64)
+        fresh[:self.length, :width] = self._concepts[:self.length]
+        self._concepts = fresh
+
+    def append(self, question_id: int, correct: int,
+               concept_ids: Sequence[int]) -> None:
+        if question_id <= PAD_ID:
+            raise ValueError(f"question_id must be positive, got {question_id}")
+        if correct not in (0, 1):
+            raise ValueError(f"correct must be 0 or 1, got {correct}")
+        concept_ids = tuple(concept_ids)
+        if not concept_ids or any(c <= PAD_ID for c in concept_ids):
+            raise ValueError("concept ids must be a non-empty positive tuple")
+        self._grow(self.length + 1, len(concept_ids))
+        row = self.length
+        self._questions[row] = question_id
+        self._responses[row] = correct
+        self._concepts[row, :len(concept_ids)] = concept_ids
+        self._concept_counts[row] = len(concept_ids)
+        self.length += 1
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(questions, responses, concepts, concept_counts) live views."""
+        n = self.length
+        return (self._questions[:n], self._responses[:n],
+                self._concepts[:n], self._concept_counts[:n])
+
+    def to_sequence(self) -> StudentSequence:
+        """Materialize as a :class:`StudentSequence` (interop/debugging)."""
+        from repro.data import Interaction
+        sequence = StudentSequence(self.student_id)
+        for i in range(self.length):
+            ids = tuple(int(c) for c in
+                        self._concepts[i, :self._concept_counts[i]])
+            sequence.append(Interaction(int(self._questions[i]),
+                                        int(self._responses[i]), ids, i + 1))
+        return sequence
+
+
+class HistoryStore:
+    """All students' caches plus vectorized request-batch assembly."""
+
+    def __init__(self):
+        self._students: Dict[object, StudentHistory] = {}
+
+    def __len__(self) -> int:
+        return len(self._students)
+
+    def __contains__(self, student_id) -> bool:
+        return student_id in self._students
+
+    def peek(self, student_id) -> Optional[StudentHistory]:
+        """Non-creating lookup: None for unknown students."""
+        return self._students.get(student_id)
+
+    def get(self, student_id) -> StudentHistory:
+        """Lookup that registers an empty history for unknown students.
+
+        Write paths only — read/score paths use :meth:`peek` (plus a
+        transient empty history) so probing a misspelled id doesn't
+        pollute the store.
+        """
+        history = self._students.get(student_id)
+        if history is None:
+            history = StudentHistory(student_id)
+            self._students[student_id] = history
+        return history
+
+    def record(self, student_id, question_id: int, correct: int,
+               concept_ids: Sequence[int]) -> StudentHistory:
+        history = self.get(student_id)
+        history.append(question_id, correct, concept_ids)
+        return history
+
+    def load_sequence(self, sequence: StudentSequence,
+                      student_id=None) -> StudentHistory:
+        """Bulk-load an existing sequence (e.g. an offline training log)."""
+        history = self.get(sequence.student_id if student_id is None
+                           else student_id)
+        for interaction in sequence:
+            history.append(interaction.question_id, interaction.correct,
+                           interaction.concept_ids)
+        return history
+
+    def assemble(self, student_ids: Iterable,
+                 probes: Optional[List[Optional[Tuple[int, Sequence[int]]]]]
+                 = None) -> Tuple[Batch, np.ndarray]:
+        """Build a padded batch of the named students' histories.
+
+        ``probes[k]`` — an optional ``(question_id, concept_ids)`` pair —
+        appends a *virtual* next interaction to row ``k`` (its response
+        value is irrelevant: the counterfactual variants overwrite the
+        target response).  Returns ``(batch, target_cols)`` where the
+        target column is the probe position (or the last real position
+        when no probe is given).
+        """
+        ids = list(student_ids)
+        if not ids:
+            raise ValueError("assemble needs at least one student")
+        if probes is None:
+            probes = [None] * len(ids)
+        if len(probes) != len(ids):
+            raise ValueError("one probe slot per student required")
+        # Unknown students get a transient empty history: scoring a
+        # cold-start probe is legitimate, but reading must not register
+        # junk entries in the store.
+        histories = [self.peek(student_id) or StudentHistory(student_id)
+                     for student_id in ids]
+        lengths = np.array([h.length + (1 if probe is not None else 0)
+                            for h, probe in zip(histories, probes)],
+                           dtype=np.int64)
+        if np.any(lengths == 0):
+            raise ValueError("cannot score a student with no history and "
+                             "no probe")
+        width = max(max(h.concept_width for h in histories),
+                    max((len(p[1]) for p in probes if p is not None),
+                        default=1))
+        rows = len(ids)
+        length = int(lengths.max())
+        questions = np.full((rows, length), PAD_ID, dtype=np.int64)
+        responses = np.zeros((rows, length), dtype=np.int64)
+        concepts = np.full((rows, length, width), PAD_ID, dtype=np.int64)
+        counts = np.ones((rows, length), dtype=np.int64)
+        mask = np.zeros((rows, length), dtype=bool)
+        for row, (history, probe) in enumerate(zip(histories, probes)):
+            q, r, c, k = history.view()
+            n = history.length
+            questions[row, :n] = q
+            responses[row, :n] = r
+            concepts[row, :n, :history.concept_width] = c
+            counts[row, :n] = k
+            mask[row, :lengths[row]] = True
+            if probe is not None:
+                probe_q, probe_concepts = probe
+                probe_concepts = tuple(probe_concepts)
+                questions[row, n] = probe_q
+                concepts[row, n, :len(probe_concepts)] = probe_concepts
+                counts[row, n] = len(probe_concepts)
+        batch = Batch(questions, responses, concepts, counts, mask)
+        return batch, lengths - 1

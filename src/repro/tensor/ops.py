@@ -113,10 +113,14 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     # A fully masked row would give exp(-inf - -inf) = nan; guard with 0.
     row_max = neg.max(axis=axis, keepdims=True)
     row_max = np.where(np.isneginf(row_max), 0.0, row_max)
-    exp = np.where(mask, np.exp(neg - row_max), 0.0)
+    # exp(-inf) == +0.0, so masked positions zero out without a second
+    # select; in-place ops keep the big (B, H, L, L) attention temporaries
+    # to a single allocation.
+    np.subtract(neg, row_max, out=neg)
+    exp = np.exp(neg, out=neg)
     denom = exp.sum(axis=axis, keepdims=True)
     safe = np.where(denom == 0.0, 1.0, denom)
-    out = exp / safe
+    out = np.divide(exp, safe, out=exp)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:

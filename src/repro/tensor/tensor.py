@@ -79,6 +79,27 @@ def _as_array(value: Arrayable, dtype=np.float64) -> np.ndarray:
     return np.asarray(value, dtype=dtype)
 
 
+def sigmoid_array(data: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function on a raw array.
+
+    Shared by :meth:`Tensor.sigmoid` and the no-grad inference kernels
+    (e.g. the LSTM fast path) so both compute bit-identical values.
+    ``exp`` runs once on ``-|x|`` (never overflows); for ``x >= 0`` this is
+    exactly the ``exp(-x)`` of ``1/(1+exp(-x))`` and for ``x < 0`` exactly
+    the ``exp(x)`` of ``exp(x)/(1+exp(x))``, so each element matches the
+    textbook two-branch form bit for bit.
+    """
+    positive = data >= 0
+    clipped = np.clip(data, -500, 500)
+    np.abs(clipped, out=clipped)
+    np.negative(clipped, out=clipped)
+    exp = np.exp(clipped, out=clipped)
+    denominator = exp + 1.0
+    out = np.where(positive, 1.0, exp)
+    np.divide(out, denominator, out=out)
+    return out
+
+
 class Tensor:
     """A NumPy-backed array with reverse-mode autodiff support."""
 
@@ -309,11 +330,7 @@ class Tensor:
         return Tensor.make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic function.
-        data = np.where(self.data >= 0,
-                        1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-                        np.exp(np.clip(self.data, -500, 500))
-                        / (1.0 + np.exp(np.clip(self.data, -500, 500))))
+        data = sigmoid_array(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -1,0 +1,97 @@
+"""Property tests for ``compute_influences`` (Sec. IV-C, Eq. 12-13).
+
+The module documents two invariants the rest of the system leans on:
+
+* all three ``SCORE_NORMALIZATIONS`` are odd monotone transforms of the
+  gap ``Δ+ − Δ−``, so the Eq. 13 *decision* is identical under each;
+* rows with no history carry no influence evidence and score exactly 0.5
+  regardless of the variant probabilities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_variants, compute_influences
+from repro.core.influence import SCORE_NORMALIZATIONS
+from repro.core.masking import COUNTERFACTUAL_VARIANTS
+from repro.tensor import Tensor
+
+
+def random_case(seed, batch=5, length=9, allow_empty_history=False):
+    rng = np.random.default_rng(seed)
+    responses = rng.integers(0, 2, size=(batch, length))
+    mask = np.ones((batch, length), dtype=bool)
+    low = 0 if allow_empty_history else 1
+    targets = rng.integers(low, length, size=batch)
+    variants = build_variants(responses, mask, targets)
+    probabilities = {
+        name: Tensor(rng.uniform(0.0, 1.0, size=(batch, length)))
+        for name in COUNTERFACTUAL_VARIANTS
+    }
+    return probabilities, variants
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_normalizations_share_eq13_decisions(seed):
+    probabilities, variants = random_case(seed)
+    decisions = [
+        compute_influences(probabilities, variants,
+                           normalization=norm).decision()
+        for norm in SCORE_NORMALIZATIONS
+    ]
+    for other in decisions[1:]:
+        assert np.array_equal(decisions[0], other)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_decision_is_gap_sign(seed):
+    """Eq. 13: predict correct iff Δ+ − Δ− >= 0, under every scoring."""
+    probabilities, variants = random_case(seed)
+    for norm in SCORE_NORMALIZATIONS:
+        influence = compute_influences(probabilities, variants,
+                                       normalization=norm)
+        gap = influence.delta_plus.data - influence.delta_minus.data
+        assert np.array_equal(influence.decision(),
+                              (gap >= 0).astype(np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_empty_history_scores_exactly_half(seed):
+    probabilities, variants = random_case(seed, allow_empty_history=True)
+    empty = variants.history_mask.sum(axis=1) == 0
+    for norm in SCORE_NORMALIZATIONS:
+        influence = compute_influences(probabilities, variants,
+                                       normalization=norm)
+        assert np.all(influence.scores[empty] == 0.5)
+        assert np.all(influence.history_lengths[empty] == 0)
+
+
+def test_all_empty_batch_is_neutral():
+    """Targets at column 0 everywhere: pure 0.5 output, decision 1."""
+    rng = np.random.default_rng(0)
+    responses = rng.integers(0, 2, size=(4, 6))
+    variants = build_variants(responses, np.ones((4, 6), dtype=bool),
+                              np.zeros(4, dtype=np.int64))
+    probabilities = {name: Tensor(rng.uniform(size=(4, 6)))
+                     for name in COUNTERFACTUAL_VARIANTS}
+    influence = compute_influences(probabilities, variants)
+    assert np.all(influence.scores == 0.5)
+    assert np.all(influence.decision() == 1)
+
+
+def test_unknown_normalization_rejected():
+    probabilities, variants = random_case(1)
+    with pytest.raises(ValueError, match="normalization"):
+        compute_influences(probabilities, variants, normalization="bogus")
+
+
+def test_missing_variant_rejected():
+    probabilities, variants = random_case(2)
+    del probabilities["cf_plus"]
+    with pytest.raises(KeyError, match="cf_plus"):
+        compute_influences(probabilities, variants)

@@ -1,0 +1,129 @@
+"""Edge cases for ``build_variants`` / ``VariantSet.stacked`` (Sec. IV-B).
+
+Covers the boundary shapes the multi-target fast path feeds the masking
+layer: a target at column 0 (empty history), uniformly correct/incorrect
+histories, truncated masks, and the "-mono" ablation — asserting the
+retention invariant throughout: MASKED never appears at retained
+positions (the monotonicity rule only ever *masks* unreliable responses,
+it never touches the retained side).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (COUNTERFACTUAL_VARIANTS, MASKED, VARIANT_ORDER,
+                        build_variants)
+
+
+def variants_for(row, target, mask=None, use_monotonicity=True):
+    responses = np.array([row])
+    if mask is None:
+        mask = np.ones_like(responses, dtype=bool)
+    else:
+        mask = np.array([mask], dtype=bool)
+    return build_variants(responses, mask, np.array([target]),
+                          use_monotonicity=use_monotonicity)
+
+
+class TestTargetAtColumnZero:
+    """No history: nothing to retain, nothing to mask."""
+
+    def test_all_variants_differ_only_at_target(self):
+        row = [1, 0, 1, 0]
+        vs = variants_for(row, 0)
+        assert not vs.history_mask.any()
+        assert not vs.correct_mask.any()
+        assert not vs.incorrect_mask.any()
+        for name in VARIANT_ORDER:
+            np.testing.assert_array_equal(vs.variants[name][0, 1:],
+                                          np.array(row)[1:])
+        assert vs.variants["f_plus"][0, 0] == 1
+        assert vs.variants["cf_plus"][0, 0] == 1
+        assert vs.variants["f_minus"][0, 0] == 0
+        assert vs.variants["cf_minus"][0, 0] == 0
+        assert vs.variants["factual"][0, 0] == MASKED
+
+
+class TestUniformHistories:
+    def test_all_correct_history(self):
+        """CF- masks the whole history, CF+ retains it untouched."""
+        vs = variants_for([1, 1, 1, 1], 3)
+        assert vs.variants["cf_minus"][0].tolist() == [MASKED] * 3 + [0]
+        assert vs.variants["cf_plus"][0].tolist() == [1, 1, 1, 1]
+        assert not vs.incorrect_mask.any()
+
+    def test_all_incorrect_history(self):
+        vs = variants_for([0, 0, 0, 0], 3)
+        assert vs.variants["cf_plus"][0].tolist() == [MASKED] * 3 + [1]
+        assert vs.variants["cf_minus"][0].tolist() == [0, 0, 0, 0]
+        assert not vs.correct_mask.any()
+
+
+class TestRetentionInvariant:
+    """MASKED never appears at retained positions."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_monotonicity", [True, False])
+    def test_random_batches(self, seed, use_monotonicity):
+        rng = np.random.default_rng(seed)
+        responses = rng.integers(0, 2, size=(6, 10))
+        mask = np.ones((6, 10), dtype=bool)
+        targets = rng.integers(1, 10, size=6)
+        vs = build_variants(responses, mask, targets,
+                            use_monotonicity=use_monotonicity)
+        # CF- retains the incorrect history; CF+ retains the correct one.
+        assert not (vs.variants["cf_minus"][vs.incorrect_mask]
+                    == MASKED).any()
+        assert not (vs.variants["cf_plus"][vs.correct_mask] == MASKED).any()
+        # Retained positions keep their factual values verbatim.
+        np.testing.assert_array_equal(
+            vs.variants["cf_minus"][vs.incorrect_mask],
+            responses[vs.incorrect_mask])
+        np.testing.assert_array_equal(
+            vs.variants["cf_plus"][vs.correct_mask],
+            responses[vs.correct_mask])
+        # F+/F- never mask anything anywhere.
+        for name in ("f_plus", "f_minus"):
+            assert not (vs.variants[name] == MASKED).any()
+
+    def test_mono_ablation_never_masks_history(self):
+        """-mono: counterfactual rows keep every other response factual."""
+        rng = np.random.default_rng(1)
+        responses = rng.integers(0, 2, size=(4, 8))
+        vs = build_variants(responses, np.ones((4, 8), dtype=bool),
+                            np.array([7, 3, 5, 1]), use_monotonicity=False)
+        history = vs.history_mask
+        for name in COUNTERFACTUAL_VARIANTS:
+            np.testing.assert_array_equal(vs.variants[name][history],
+                                          responses[history])
+
+
+class TestTruncatedMasks:
+    """The fast path passes masks truncated after the target."""
+
+    def test_positions_after_target_excluded_from_history(self):
+        row = [1, 0, 1, 1, 0, 1]
+        mask = [True, True, True, True, False, False]
+        vs = variants_for(row, 3, mask=mask)
+        assert vs.history_mask[0].tolist() == [True, True, True, False,
+                                               False, False]
+        # Monotonicity masking never reaches past the target.
+        assert (vs.variants["cf_minus"][0, 4:] == np.array(row)[4:]).all()
+
+    def test_target_must_be_real(self):
+        with pytest.raises(ValueError, match="real response"):
+            variants_for([1, 0, 1], 2, mask=[True, True, False])
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            variants_for([1, 0, 1], 3)
+
+
+class TestStacked:
+    def test_stacked_concatenates_in_name_order(self):
+        vs = variants_for([1, 0, 1, 1], 3)
+        stacked = vs.stacked(COUNTERFACTUAL_VARIANTS)
+        assert stacked.shape == (len(COUNTERFACTUAL_VARIANTS), 4)
+        for index, name in enumerate(COUNTERFACTUAL_VARIANTS):
+            np.testing.assert_array_equal(stacked[index],
+                                          vs.variants[name][0])

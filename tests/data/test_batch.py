@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.data import Interaction, StudentSequence, collate, iterate_batches
+from repro.data import (Interaction, StudentSequence, collate,
+                        expand_targets, iterate_batches)
 
 
 def seq_of(lengths_concepts, student_id=1):
@@ -79,3 +80,44 @@ class TestIterateBatches:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             list(iterate_batches(self._sequences(3), 0))
+
+
+class TestExpandTargets:
+    def _batch(self):
+        a = seq_of([(1,), (2,), (3,), (1,)])
+        b = seq_of([(2,), (3,)], student_id=2)
+        return collate([a, b])
+
+    def test_rows_share_content_and_truncate_mask(self):
+        batch = self._batch()
+        expanded = expand_targets(batch, np.array([0, 0, 1]),
+                                  np.array([1, 3, 1]))
+        assert expanded.batch_size == 3
+        # Content is gathered verbatim from the source rows...
+        np.testing.assert_array_equal(expanded.questions[0],
+                                      batch.questions[0])
+        np.testing.assert_array_equal(expanded.questions[2],
+                                      batch.questions[1])
+        # ...but the mask ends right after each target.
+        assert expanded.mask[0].tolist() == [True, True, False, False]
+        assert expanded.mask[1].tolist() == [True] * 4
+        assert expanded.mask[2].tolist() == [True, True, False, False]
+
+    def test_rejects_padding_targets(self):
+        batch = self._batch()
+        with pytest.raises(ValueError, match="real response"):
+            expand_targets(batch, np.array([1]), np.array([3]))
+        with pytest.raises(ValueError, match="out of range"):
+            expand_targets(batch, np.array([0]), np.array([4]))
+        with pytest.raises(ValueError, match="1-D"):
+            expand_targets(batch, np.array([0, 1]), np.array([1]))
+
+    def test_truncated_drops_trailing_columns(self):
+        batch = self._batch()
+        trimmed = batch.truncated(2)
+        assert trimmed.length == 2
+        np.testing.assert_array_equal(trimmed.questions,
+                                      batch.questions[:, :2])
+        # Truncating to the current length is a no-op (same object).
+        assert batch.truncated(4) is batch
+        assert batch.truncated(9) is batch

@@ -85,3 +85,50 @@ class TestBiLSTM:
         _, bwd2 = bi(Tensor(perturbed))
         # backward stream at position >= 1 ignores position 0
         assert np.allclose(bwd2.data[0, 1:], base[0, 1:])
+
+
+class TestMaskedLSTM:
+    """Truncated masks must reproduce exact-length runs (up to gemm-shape
+    ulps) — the invariant the multi-target fast path stands on."""
+
+    def test_masked_rows_match_short_runs_exactly(self):
+        from repro.tensor import no_grad
+        lstm = nn.LSTM(3, 4, RNG)
+        reverse = nn.LSTM(3, 4, RNG, reverse=True)
+        x = RNG.normal(size=(2, 6, 3))
+        mask = np.zeros((2, 6), dtype=bool)
+        mask[0, :4] = True
+        mask[1, :6] = True
+        with no_grad():
+            padded_fwd = lstm(Tensor(x), mask=mask).data
+            padded_bwd = reverse(Tensor(x), mask=mask).data
+            exact_fwd = lstm(Tensor(x[:1, :4])).data
+            exact_bwd = reverse(Tensor(x[:1, :4])).data
+        np.testing.assert_allclose(padded_fwd[0, :4], exact_fwd[0],
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(padded_bwd[0, :4], exact_bwd[0],
+                                   rtol=0, atol=1e-12)
+        # Masked steps carry state: the reversed stream reaches the last
+        # real position with its initial (zero) state intact.
+        assert np.array_equal(padded_bwd[0, 4:], np.zeros((2, 4)))
+
+    def test_graph_and_kernel_paths_agree(self):
+        from repro.tensor import no_grad
+        lstm = nn.LSTM(2, 3, RNG)
+        x = RNG.normal(size=(3, 5, 2))
+        mask = np.ones((3, 5), dtype=bool)
+        mask[1, 3:] = False
+        with no_grad():
+            kernel = lstm(Tensor(x), mask=mask).data
+            with nn.inference_kernel(False):
+                graph = lstm(Tensor(x), mask=mask).data
+        assert np.allclose(kernel, graph, atol=1e-12)
+
+    def test_all_true_mask_matches_no_mask(self):
+        from repro.tensor import no_grad
+        lstm = nn.LSTM(2, 3, RNG)
+        x = RNG.normal(size=(2, 4, 2))
+        with no_grad():
+            masked = lstm(Tensor(x), mask=np.ones((2, 4), dtype=bool)).data
+            plain = lstm(Tensor(x)).data
+        assert np.array_equal(masked, plain)

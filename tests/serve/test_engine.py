@@ -1,0 +1,232 @@
+"""The serving engine: history caching, micro-batching, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig
+from repro.data import (Interaction, SimulationConfig, StudentSequence,
+                        StudentSimulator, build_dataset, collate)
+from repro.interpret import recommend_questions
+from repro.serve import (HistoryStore, InferenceEngine, PendingScore,
+                         ScoreRequest, StudentHistory)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SimulationConfig(num_students=10, num_questions=50,
+                              num_concepts=8, sequence_length=(5, 16))
+    simulator = StudentSimulator(config, seed=5)
+    return build_dataset("serve", simulator.simulate(seed=6),
+                         config.num_questions, config.num_concepts)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return RCKT(dataset.num_questions, dataset.num_concepts,
+                RCKTConfig(encoder="dkt", dim=8, layers=2, seed=3))
+
+
+@pytest.fixture()
+def engine(model, dataset):
+    engine = InferenceEngine(model, max_batch=4)
+    engine.load_dataset(dataset)
+    return engine
+
+
+def seed_idiom_score(model, sequence, question_id, concept_ids):
+    """The pre-engine serving path: one collated probe row per request."""
+    probe = Interaction(question_id, 1, tuple(concept_ids))
+    extended = StudentSequence(sequence.student_id,
+                               list(sequence.interactions) + [probe])
+    return model.predict_scores(collate([extended]),
+                                np.array([len(extended) - 1]))[0]
+
+
+class TestStudentHistory:
+    def test_growth_past_initial_capacity(self):
+        history = StudentHistory("s")
+        for step in range(1, 2 * StudentHistory.INITIAL_CAPACITY + 2):
+            history.append(step, step % 2, (1 + step % 3,))
+        assert history.length == 2 * StudentHistory.INITIAL_CAPACITY + 1
+        questions, responses, _, _ = history.view()
+        assert questions[0] == 1 and questions[-1] == history.length
+        assert responses.tolist() == [s % 2 for s in
+                                      range(1, history.length + 1)]
+
+    def test_concept_width_expands(self):
+        history = StudentHistory("s")
+        history.append(1, 1, (2,))
+        history.append(2, 0, (1, 3, 4))
+        _, _, concepts, counts = history.view()
+        assert concepts.shape[1] == 3
+        assert counts.tolist() == [1, 3]
+        assert concepts[0].tolist() == [2, 0, 0]
+
+    def test_validation(self):
+        history = StudentHistory("s")
+        with pytest.raises(ValueError):
+            history.append(0, 1, (1,))
+        with pytest.raises(ValueError):
+            history.append(1, 2, (1,))
+        with pytest.raises(ValueError):
+            history.append(1, 1, ())
+
+    def test_roundtrip_to_sequence(self):
+        history = StudentHistory(7)
+        history.append(3, 1, (2, 5))
+        history.append(9, 0, (1,))
+        sequence = history.to_sequence()
+        assert [i.question_id for i in sequence] == [3, 9]
+        assert [i.concept_ids for i in sequence] == [(2, 5), (1,)]
+
+
+class TestHistoryStoreAssembly:
+    def test_ragged_batch_with_probes(self):
+        store = HistoryStore()
+        store.record("a", 1, 1, (1,))
+        store.record("a", 2, 0, (2,))
+        store.record("b", 3, 1, (1, 2))
+        batch, cols = store.assemble(["a", "b"],
+                                     probes=[(5, (3,)), (6, (1,))])
+        assert batch.questions.shape == (2, 3)
+        assert cols.tolist() == [2, 1]
+        assert batch.questions[0].tolist() == [1, 2, 5]
+        assert batch.questions[1, :2].tolist() == [3, 6]
+        assert batch.mask.tolist() == [[True, True, True],
+                                       [True, True, False]]
+
+    def test_empty_student_needs_probe(self):
+        store = HistoryStore()
+        with pytest.raises(ValueError, match="no history"):
+            store.assemble(["ghost"])
+        batch, cols = store.assemble(["ghost"], probes=[(4, (1,))])
+        assert cols.tolist() == [0]
+
+
+class TestScoring:
+    def test_matches_seed_serving_idiom(self, engine, model, dataset):
+        for sequence in list(dataset)[:4]:
+            reference = seed_idiom_score(model, sequence, 7, (3,))
+            assert abs(engine.score(sequence.student_id, 7, (3,))
+                       - reference) < 1e-10
+
+    def test_score_batch_mixed_students(self, engine, model, dataset):
+        sequences = list(dataset)
+        requests = [ScoreRequest(s.student_id, 1 + k % 50, (1 + k % 8,))
+                    for k, s in enumerate(sequences)]
+        scores = engine.score_batch(requests)
+        for request, score, sequence in zip(requests, scores, sequences):
+            reference = seed_idiom_score(model, sequence,
+                                         request.question_id,
+                                         request.concept_ids)
+            assert abs(score - reference) < 1e-10
+
+    def test_empty_history_is_neutral(self, engine):
+        assert engine.score("brand-new", 3, (1,)) == 0.5
+
+    def test_out_of_vocabulary_ids_rejected(self, engine):
+        with pytest.raises(ValueError, match="question_id 9999"):
+            engine.score("anyone", 9999, (1,))
+        with pytest.raises(ValueError, match="concept id 999"):
+            engine.score("anyone", 3, (999,))
+        with pytest.raises(ValueError, match="question_id 0"):
+            engine.record("anyone", 0, 1, (1,))
+
+    def test_read_paths_do_not_pollute_the_store(self, engine):
+        before = len(engine.students)
+        engine.score("who-is-this", 3, (1,))
+        assert engine.history_length("who-is-this") == 0
+        with pytest.raises(ValueError):
+            engine.influences("nor-this-one")
+        assert len(engine.students) == before
+
+    def test_record_changes_scores(self, engine):
+        before = engine.score("learner", 5, (2,))
+        for _ in range(4):
+            engine.record("learner", 5, 1, (2,))
+        after = engine.score("learner", 5, (2,))
+        assert engine.history_length("learner") == 4
+        assert before == 0.5 and after != before
+
+
+class TestMicroBatching:
+    def test_submit_flush_lifecycle(self, engine, dataset):
+        sequences = list(dataset)[:3]
+        handles = [engine.submit(ScoreRequest(s.student_id, 9, (4,)))
+                   for s in sequences]
+        assert all(isinstance(h, PendingScore) and not h.done
+                   for h in handles)
+        with pytest.raises(RuntimeError, match="not flushed"):
+            _ = handles[0].value
+        engine.flush()
+        assert all(h.done for h in handles)
+        direct = engine.score_batch([h.request for h in handles])
+        np.testing.assert_allclose([h.value for h in handles], direct,
+                                   rtol=0, atol=0)
+
+    def test_auto_flush_at_max_batch(self, engine, dataset):
+        sequences = list(dataset)[:4]  # max_batch = 4
+        handles = [engine.submit(ScoreRequest(s.student_id, 2, (1,)))
+                   for s in sequences]
+        assert all(h.done for h in handles)
+
+    def test_flush_empty_queue(self, engine):
+        assert engine.flush() == []
+
+    def test_invalid_submit_rejected_without_poisoning_queue(self, engine,
+                                                             dataset):
+        good = engine.submit(ScoreRequest(list(dataset)[0].student_id,
+                                          2, (1,)))
+        with pytest.raises(ValueError, match="question_id 9999"):
+            engine.submit(ScoreRequest("x", 9999, (1,)))
+        engine.flush()
+        assert good.done
+
+
+class TestCheckpointRoundtrip:
+    def test_scores_survive_save_load(self, engine, dataset, tmp_path):
+        path = tmp_path / "engine.npz"
+        engine.save(path)
+        restored = InferenceEngine.from_checkpoint(path)
+        restored.load_dataset(dataset)
+        student = list(dataset)[0].student_id
+        assert restored.score(student, 7, (3,)) == \
+            engine.score(student, 7, (3,))
+
+    def test_missing_metadata_rejected(self, model, tmp_path):
+        from repro.utils import save_checkpoint
+        path = tmp_path / "bare.npz"
+        save_checkpoint(path, model.state_dict(), {"config":
+                                                   model.config.__dict__})
+        with pytest.raises(ValueError, match="engine metadata"):
+            InferenceEngine.from_checkpoint(path)
+
+
+class TestInterpretation:
+    def test_influences_endpoint(self, engine, dataset):
+        sequence = next(s for s in dataset if len(s) >= 4)
+        influence = engine.influences(sequence.student_id)
+        assert influence.scores.shape == (1,)
+        assert influence.history_lengths[0] == len(sequence) - 1
+
+    def test_influences_need_history(self, engine):
+        with pytest.raises(ValueError, match="at least two"):
+            engine.influences("brand-new-2")
+
+    def test_recommend_matches_seed_implementation(self, engine, model,
+                                                   dataset):
+        sequence = next(s for s in dataset if len(s) >= 6)
+        candidates = [ScoreRequest(sequence.student_id, q, (1 + q % 8,))
+                      for q in (3, 11, 27, 40)]
+        batched = engine.recommend(sequence.student_id, candidates,
+                                   top_k=4)
+        probes = [Interaction(c.question_id, 1, c.concept_ids)
+                  for c in candidates]
+        reference = recommend_questions(model, sequence, probes, top_k=4)
+        assert [r.question_id for r in batched] == \
+            [r.question_id for r in reference]
+        for mine, ref in zip(batched, reference):
+            assert abs(mine.score - ref.score) < 1e-10
+            assert abs(mine.success_probability
+                       - ref.success_probability) < 1e-10
+            assert abs(mine.value - ref.value) < 1e-10
