@@ -16,10 +16,24 @@ equality this benchmark asserts as a by-product):
   :class:`repro.serve.InferenceEngine` micro-batching all probes over
   its cached student histories.
 
+Two more sections track the PR 2 serving work:
+
+* **serving_incremental** — the steady-state record/score loop with the
+  per-student forward-stream caches (:mod:`repro.serve.forward_cache`)
+  against the same engine with caching disabled (the PR 1 path): warm
+  caches skip the forward half of the encoder, so ``record`` costs one
+  step and ``score`` only runs the per-request backward streams.
+* **sweep_workers** — ``predict_dataset(workers=N)`` vs the
+  single-threaded sweep: the column-banded chunks are independent, so
+  they thread cleanly wherever NumPy releases the GIL (the measured
+  ratio is hardware-bound: expect ~1x on single-core CI runners).
+
 Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
 throughput ratio for the default encoder) to start the perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_inference.py --quick
+
+``benchmarks/check_regression.py`` gates CI on these numbers.
 """
 
 from __future__ import annotations
@@ -127,6 +141,83 @@ def bench_serving(model: RCKT, dataset, rounds: int) -> dict:
     }
 
 
+def bench_serving_incremental(model: RCKT, dataset, rounds: int) -> dict:
+    """Steady-state serving: interleaved record/score, cache vs no cache."""
+    rng = np.random.default_rng(13)
+    sequences = list(dataset)
+    probe_questions = rng.integers(1, dataset.num_questions + 1,
+                                   size=(rounds, len(sequences)))
+    record_questions = rng.integers(1, dataset.num_questions + 1,
+                                    size=(rounds, len(sequences)))
+    record_answers = rng.integers(0, 2, size=(rounds, len(sequences)))
+
+    def run_loop(engine: InferenceEngine) -> tuple:
+        engine.load_dataset(dataset)
+        # Pre-warm: the first score pays the one-off cache build; the
+        # benchmark measures the steady state that follows it.
+        engine.score_batch([
+            ScoreRequest(s.student_id, 1, (1,)) for s in sequences])
+        start = time.perf_counter()
+        scores = []
+        for round_index in range(rounds):
+            for k, sequence in enumerate(sequences):
+                question = int(record_questions[round_index, k])
+                engine.record(sequence.student_id, question,
+                              int(record_answers[round_index, k]),
+                              (1 + question % 20,))
+            requests = [
+                ScoreRequest(sequence.student_id,
+                             int(probe_questions[round_index, k]),
+                             (1 + int(probe_questions[round_index, k]) % 20,))
+                for k, sequence in enumerate(sequences)
+            ]
+            scores.append(engine.score_batch(requests))
+        return time.perf_counter() - start, np.concatenate(scores)
+
+    nocache_seconds, nocache_scores = run_loop(
+        InferenceEngine(model, stream_cache_bytes=0))
+    cached_engine = InferenceEngine(model)
+    cached_seconds, cached_scores = run_loop(cached_engine)
+
+    requests_total = rounds * len(sequences)
+    return {
+        "requests": requests_total,
+        "records": requests_total,
+        "nocache_seconds": round(nocache_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "nocache_targets_per_sec": round(requests_total / nocache_seconds, 1),
+        "cached_targets_per_sec": round(requests_total / cached_seconds, 1),
+        "speedup": round(nocache_seconds / cached_seconds, 2),
+        "max_abs_score_diff": float(np.max(np.abs(nocache_scores
+                                                  - cached_scores))),
+        "cache_stats": cached_engine.stream_cache_stats(),
+    }
+
+
+def bench_sweep_workers(model: RCKT, dataset, stride: int,
+                        workers: int) -> dict:
+    """Threaded vs single-threaded evaluation sweep (same chunks)."""
+    start = time.perf_counter()
+    _, single_scores = model.predict_dataset(dataset, stride=stride)
+    single_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    _, threaded_scores = model.predict_dataset(dataset, stride=stride,
+                                               workers=workers)
+    threaded_seconds = time.perf_counter() - start
+    targets = len(single_scores)
+    return {
+        "targets": targets,
+        "workers": workers,
+        "single_seconds": round(single_seconds, 4),
+        "threaded_seconds": round(threaded_seconds, 4),
+        "single_targets_per_sec": round(targets / single_seconds, 1),
+        "threaded_targets_per_sec": round(targets / threaded_seconds, 1),
+        "speedup": round(single_seconds / threaded_seconds, 2),
+        "max_abs_score_diff": float(np.max(np.abs(single_scores
+                                                  - threaded_scores))),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -135,6 +226,9 @@ def main() -> None:
     parser.add_argument("--stride", type=int, default=None)
     parser.add_argument("--rounds", type=int, default=2,
                         help="serving rounds (requests per student)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="thread count for the sweep_workers section "
+                             "(default: min(4, cpu count))")
     parser.add_argument("--dim", type=int, default=32)
     parser.add_argument("--layers", type=int, default=2)
     parser.add_argument("--encoders", nargs="*", default=None)
@@ -150,6 +244,9 @@ def main() -> None:
         stride = args.stride or 2
         encoders = args.encoders or ["dkt", "sakt", "akt"]
 
+    import os
+    workers = args.workers or min(4, os.cpu_count() or 1)
+
     dataset = build_corpus(students)
     print(f"corpus: {len(dataset)} sequences, "
           f"{dataset.num_responses} responses")
@@ -162,15 +259,22 @@ def main() -> None:
                    "responses": int(dataset.num_responses)},
         "model": {"dim": args.dim, "layers": args.layers},
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "eval_sweep": {},
         "serving": {},
+        "serving_incremental": {},
+        "sweep_workers": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
         sweep = bench_eval_sweep(model, dataset, stride)
         serving = bench_serving(model, dataset, args.rounds)
+        incremental = bench_serving_incremental(model, dataset, args.rounds)
+        sweep_threads = bench_sweep_workers(model, dataset, stride, workers)
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
+        results["serving_incremental"][encoder] = incremental
+        results["sweep_workers"][encoder] = sweep_threads
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -179,6 +283,12 @@ def main() -> None:
               f"({serving['legacy_targets_per_sec']} -> "
               f"{serving['fast_targets_per_sec']} req/s, "
               f"diff {serving['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: incremental serving {incremental['speedup']}x "
+              f"({incremental['nocache_targets_per_sec']} -> "
+              f"{incremental['cached_targets_per_sec']} req/s, "
+              f"diff {incremental['max_abs_score_diff']:.2e}) | "
+              f"sweep x{workers} workers {sweep_threads['speedup']}x "
+              f"(diff {sweep_threads['max_abs_score_diff']:.2e})")
 
     headline = results["serving"][encoders[0]]
     results["headline_workload"] = "serving"

@@ -1,0 +1,136 @@
+"""Benchmark regression gate for CI.
+
+Compares a fresh ``bench_inference.py --quick`` result against the
+committed ``BENCH_inference.json`` baseline and fails (exit 1) when:
+
+* **score drift** — any section of the fresh run reports a
+  ``max_abs_score_diff`` above roundoff (``--drift-threshold``,
+  default 1e-9).  Every benchmark workload doubles as a parity check
+  between an optimized path and its golden reference, so drift here
+  means a numerics regression, not noise.
+* **throughput regression** — a (section, encoder) pair present in
+  both files lost more than ``--max-regression`` (default 25%) of its
+  baseline *speedup*.  Speedups are ratios of two arms measured on the
+  same machine in the same process, so they transfer across hardware
+  the way absolute requests/sec never could; a collapsing ratio means
+  the optimized path itself got slower relative to its reference.
+
+Usage (what ``.github/workflows/ci.yml`` runs after the smoke step)::
+
+    PYTHONPATH=src python benchmarks/bench_inference.py --quick \\
+        --output BENCH_fresh.json
+    python benchmarks/check_regression.py BENCH_fresh.json \\
+        --baseline BENCH_inference_quick.json
+
+Two baselines are committed: ``BENCH_inference.json`` (full run, the
+showcase numbers) and ``BENCH_inference_quick.json`` (quick mode, the
+CI gate reference — like-for-like with what CI regenerates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SECTIONS = ("eval_sweep", "serving", "serving_incremental", "sweep_workers")
+
+# sweep_workers measures hardware parallelism, not an algorithmic win:
+# on a single-core runner its honest speedup is ~1x and the noise floor
+# of tiny quick-mode timings dominates.  Gate it only on score drift.
+THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental")
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        sys.exit(f"check_regression: {path} not found")
+    except json.JSONDecodeError as error:
+        sys.exit(f"check_regression: {path} is not valid JSON ({error})")
+
+
+def iter_entries(results: dict, section: str):
+    for encoder, entry in sorted(results.get(section, {}).items()):
+        yield encoder, entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated benchmark JSON")
+    parser.add_argument("--baseline", default="BENCH_inference.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative speedup loss (0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=1e-9,
+        help="maximum tolerated max_abs_score_diff in the fresh run",
+    )
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = []
+    checked = 0
+
+    if fresh.get("quick") != baseline.get("quick"):
+        # Quick and full runs measure different corpora/strides, which
+        # systematically biases the speedups being compared — enough to
+        # eat much of the regression allowance.  CI gates a --quick run
+        # against the committed quick-mode baseline for this reason.
+        print(
+            f"warning: comparing quick={fresh.get('quick')} run against "
+            f"quick={baseline.get('quick')} baseline; speedups are not "
+            f"like-for-like"
+        )
+
+    for section in SECTIONS:
+        for encoder, entry in iter_entries(fresh, section):
+            drift = entry.get("max_abs_score_diff")
+            if drift is not None and drift > args.drift_threshold:
+                failures.append(
+                    f"{section}/{encoder}: score drift {drift:.3e} exceeds "
+                    f"{args.drift_threshold:.1e}"
+                )
+            checked += 1
+
+    for section in THROUGHPUT_GATED:
+        baseline_entries = dict(iter_entries(baseline, section))
+        for encoder, entry in iter_entries(fresh, section):
+            reference = baseline_entries.get(encoder)
+            if reference is None:
+                continue
+            if "speedup" not in entry or "speedup" not in reference:
+                continue
+            floor = (1.0 - args.max_regression) * reference["speedup"]
+            status = "ok" if entry["speedup"] >= floor else "REGRESSION"
+            print(
+                f"{section}/{encoder}: speedup {entry['speedup']:.2f}x "
+                f"(baseline {reference['speedup']:.2f}x, floor "
+                f"{floor:.2f}x) {status}"
+            )
+            if status != "ok":
+                failures.append(
+                    f"{section}/{encoder}: speedup {entry['speedup']:.2f}x "
+                    f"fell below {floor:.2f}x "
+                    f"(baseline {reference['speedup']:.2f}x "
+                    f"- {args.max_regression:.0%})"
+                )
+
+    if failures:
+        print(f"\ncheck_regression: {len(failures)} failure(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"\ncheck_regression: ok ({checked} section entries checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

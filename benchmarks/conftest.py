@@ -11,7 +11,6 @@ Tune with environment variables:
 * ``REPRO_EPOCHS`` (default 6)   — training epochs per model
 """
 
-import os
 from pathlib import Path
 
 import pytest

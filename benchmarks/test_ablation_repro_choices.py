@@ -15,8 +15,6 @@ gets an ablation so their impact is measured, not asserted:
    the trained generator's probability at masked vs revealed positions.
 """
 
-import numpy as np
-
 from repro.core import RCKT, evaluate_rckt, fit_rckt
 from repro.experiments import Budget, cached_dataset, rckt_config_for, single_fold
 from repro.interpret import comparison_table

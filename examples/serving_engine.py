@@ -70,6 +70,16 @@ def main() -> None:
     for rec in engine.recommend(students[0], candidates, top_k=3):
         print("   " + rec.describe())
 
+    print("5) incremental forward-stream cache ...")
+    stats = engine.stream_cache_stats()
+    print(f"   {stats['entries']} students cached "
+          f"({stats['bytes'] / 1024:.1f} KiB of "
+          f"{stats['budget_bytes'] // 2**20} MiB budget), "
+          f"{stats['hits']} hits / {stats['misses']} misses, "
+          f"{stats['evictions']} evictions")
+    print("   record() extends each cached encoder state by one step; "
+          "score() only runs the per-request backward streams")
+
 
 if __name__ == "__main__":
     main()

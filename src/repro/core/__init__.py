@@ -1,8 +1,10 @@
 """RCKT core: the paper's contribution (Sec. IV)."""
 
 from .config import ENCODERS, PAPER_HYPERPARAMETERS, RCKTConfig, paper_config
-from .encoders import (BiAKTEncoder, BiDKTEncoder, BidirectionalEncoder,
-                       BiSAKTEncoder, build_encoder, shift_and_combine)
+from .encoders import (AttentionStreamState, BiAKTEncoder, BiDKTEncoder,
+                       BidirectionalEncoder, BiSAKTEncoder,
+                       ForwardStreamState, LSTMStreamState, build_encoder,
+                       shift_and_combine)
 from .generator import ResponseProbabilityGenerator
 from .influence import (ExactInfluenceResult, InfluenceComputation,
                         compute_influences)
@@ -10,7 +12,8 @@ from .losses import counterfactual_loss, joint_bce_losses
 from .masking import (COUNTERFACTUAL_VARIANTS, JOINT_VARIANTS, MASKED,
                       VARIANT_ORDER, VariantSet, build_exact_counterfactual,
                       build_variants)
-from .multi_target import (MultiTargetContext, predict_dataset_fast,
+from .multi_target import (MultiTargetContext, column_banded_chunks,
+                           map_chunks, predict_dataset_fast,
                            score_batch_targets, score_targets)
 from .rckt import RCKT, replicate_batch
 from .trainer import RCKTTrainResult, evaluate_rckt, fit_rckt
@@ -19,13 +22,14 @@ __all__ = [
     "RCKTConfig", "paper_config", "PAPER_HYPERPARAMETERS", "ENCODERS",
     "BidirectionalEncoder", "BiDKTEncoder", "BiSAKTEncoder", "BiAKTEncoder",
     "build_encoder", "shift_and_combine",
+    "ForwardStreamState", "LSTMStreamState", "AttentionStreamState",
     "ResponseProbabilityGenerator",
     "MASKED", "VARIANT_ORDER", "COUNTERFACTUAL_VARIANTS", "JOINT_VARIANTS",
     "VariantSet", "build_variants", "build_exact_counterfactual",
     "InfluenceComputation", "ExactInfluenceResult", "compute_influences",
     "counterfactual_loss", "joint_bce_losses",
     "RCKT", "replicate_batch",
-    "MultiTargetContext", "predict_dataset_fast",
-    "score_batch_targets", "score_targets",
+    "MultiTargetContext", "column_banded_chunks", "map_chunks",
+    "predict_dataset_fast", "score_batch_targets", "score_targets",
     "fit_rckt", "evaluate_rckt", "RCKTTrainResult",
 ]

@@ -26,7 +26,7 @@ Three adapters mirror the paper's Sec. V-A4:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,56 @@ from repro import nn
 from repro.tensor import Tensor, concat
 
 MAX_ENCODED_LENGTH = 128
+
+
+class ForwardStreamState(abc.ABC):
+    """Opaque per-row forward-encoder state, extensible one step at a time.
+
+    The forward stream of Eq. 25 is strictly causal, so the state after
+    position ``j`` fully determines how positions ``> j`` will encode —
+    this is what the serving layer caches per student so ``record()``
+    appends a step instead of re-encoding the history
+    (:mod:`repro.serve.forward_cache`).  Concrete layouts: LSTM carry
+    ``(h, c)`` per layer; attention projected key/value prefixes per
+    layer (:class:`repro.nn.KVCache`).
+    """
+
+    length: int
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Approximate resident bytes (drives the serving LRU budget)."""
+
+
+class LSTMStreamState(ForwardStreamState):
+    """Per-layer carry states of a stacked forward LSTM."""
+
+    __slots__ = ("h", "c", "length")
+
+    def __init__(self, h: List[np.ndarray], c: List[np.ndarray],
+                 length: int = 0):
+        self.h = h
+        self.c = c
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.h) + sum(a.nbytes for a in self.c)
+
+
+class AttentionStreamState(ForwardStreamState):
+    """Per-layer projected key/value prefixes of a directional stack."""
+
+    __slots__ = ("caches", "length")
+
+    def __init__(self, caches: List[nn.KVCache], length: int = 0):
+        self.caches = caches
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return sum(cache.nbytes for cache in self.caches)
 
 
 def shift_and_combine(forward_stream: Tensor, backward_stream: Tensor) -> Tensor:
@@ -78,6 +128,42 @@ class BidirectionalEncoder(nn.Module, abc.ABC):
         return shift_and_combine(self.forward_stream(interactions, mask),
                                  self.backward_stream(interactions, mask))
 
+    # ------------------------------------------------------------------
+    # Incremental forward-stream serving API (no-grad, eval mode)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def new_forward_state(self, rows: int) -> ForwardStreamState:
+        """Empty per-row state for incremental forward-stream encoding."""
+
+    @abc.abstractmethod
+    def extend_forward_state(self, state: ForwardStreamState,
+                             x: np.ndarray) -> np.ndarray:
+        """Advance ``state`` by one appended position.
+
+        ``x`` is the ``(rows, dim)`` raw interaction embedding of the new
+        position; returns the final-layer forward-stream output at that
+        position, exactly what :meth:`forward_stream` would emit there
+        (to roundoff) had the whole sequence been re-encoded.
+        """
+
+    @abc.abstractmethod
+    def forward_stream_with_capture(self, interactions: Tensor,
+                                    mask: Optional[np.ndarray] = None
+                                    ) -> Tuple[np.ndarray, object]:
+        """Batched :meth:`forward_stream` that also captures per-layer
+        internals (``capture``), from which :meth:`state_from_capture`
+        cuts per-row extensible states — the warm-up path that builds a
+        cold student's cache in one vectorized pass.
+        """
+
+    @abc.abstractmethod
+    def state_from_capture(self, capture: object, row_indices,
+                           length: int) -> ForwardStreamState:
+        """Extract the state of ``row_indices`` (all of real length
+        ``length``) from a :meth:`forward_stream_with_capture` capture.
+        Copies: the returned state outlives the batch arrays.
+        """
+
 
 class BiDKTEncoder(BidirectionalEncoder):
     """Stacked bidirectional LSTM (the RCKT-DKT backbone)."""
@@ -111,6 +197,47 @@ class BiDKTEncoder(BidirectionalEncoder):
     def backward_stream(self, interactions: Tensor,
                         mask: Optional[np.ndarray] = None) -> Tensor:
         return self._run_stack(self.backward_layers, interactions, mask=mask)
+
+    # ------------------------------------------------------------------
+    # Incremental forward-stream serving API
+    # ------------------------------------------------------------------
+    def new_forward_state(self, rows: int) -> LSTMStreamState:
+        h = [np.zeros((rows, layer.hidden_dim))
+             for layer in self.forward_layers]
+        c = [np.zeros((rows, layer.hidden_dim))
+             for layer in self.forward_layers]
+        return LSTMStreamState(h, c)
+
+    def extend_forward_state(self, state: LSTMStreamState,
+                             x: np.ndarray) -> np.ndarray:
+        for index, layer in enumerate(self.forward_layers):
+            h, c = layer.step_inference(x, state.h[index], state.c[index])
+            state.h[index] = h
+            state.c[index] = c
+            x = h
+        state.length += 1
+        return x
+
+    def forward_stream_with_capture(self, interactions: Tensor,
+                                    mask: Optional[np.ndarray] = None
+                                    ) -> Tuple[np.ndarray, object]:
+        x = interactions.data
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.all():
+                mask = None
+        finals = []
+        for layer in self.forward_layers:
+            x, h, c = layer.forward_inference_with_state(x, mask)
+            finals.append((h, c))
+        return x, finals
+
+    def state_from_capture(self, capture, row_indices,
+                           length: int) -> LSTMStreamState:
+        rows = np.asarray(row_indices)
+        h = [layer_h[rows].copy() for layer_h, _ in capture]
+        c = [layer_c[rows].copy() for _, layer_c in capture]
+        return LSTMStreamState(h, c, length)
 
 
 class _DirectionalTransformer(nn.Module):
@@ -148,6 +275,27 @@ class _DirectionalTransformer(nn.Module):
             x = block(x, mask=allowed)
         return x
 
+    def forward_capture(self, x: Tensor, mask: Optional[np.ndarray]
+                        ) -> Tuple[np.ndarray, List]:
+        """:meth:`forward` that also returns each block's projected
+        key/value arrays (forward direction only — the capture feeds the
+        serving cache, and only causal streams are extensible)."""
+        if self.reverse:
+            raise ValueError("key/value capture only applies to the "
+                             "forward (causal) stream")
+        attentions = [block.attention for block in self.blocks]
+        for attention in attentions:
+            attention.capture_kv = True
+        try:
+            out = self.forward(x, mask)
+        finally:
+            for attention in attentions:
+                attention.capture_kv = False
+        captured = [attention.last_kv for attention in attentions]
+        for attention in attentions:
+            attention.last_kv = None
+        return out.data, captured
+
 
 class BiSAKTEncoder(BidirectionalEncoder):
     """Directional transformer pair (the RCKT-SAKT backbone).
@@ -174,6 +322,46 @@ class BiSAKTEncoder(BidirectionalEncoder):
     def backward_stream(self, interactions: Tensor,
                         mask: Optional[np.ndarray] = None) -> Tensor:
         return self.backward_stack(interactions, mask)
+
+    # ------------------------------------------------------------------
+    # Incremental forward-stream serving API
+    # ------------------------------------------------------------------
+    def new_forward_state(self, rows: int) -> AttentionStreamState:
+        stack = self.forward_stack
+        dim = stack.positions._table.shape[1]
+        return AttentionStreamState(
+            [nn.KVCache(rows, dim) for _ in stack.blocks])
+
+    def extend_forward_state(self, state: AttentionStreamState,
+                             x: np.ndarray) -> np.ndarray:
+        position = state.length
+        stack = self.forward_stack
+        table = stack.positions._table
+        if position >= table.shape[0]:
+            raise ValueError(f"sequence length {position + 1} exceeds "
+                             f"positional table size {table.shape[0]}")
+        x = x + table[position]
+        for block, cache in zip(stack.blocks, state.caches):
+            x = block.step_inference(x, cache)
+        state.length += 1
+        return x
+
+    def forward_stream_with_capture(self, interactions: Tensor,
+                                    mask: Optional[np.ndarray] = None
+                                    ) -> Tuple[np.ndarray, object]:
+        return self.forward_stack.forward_capture(interactions, mask)
+
+    def state_from_capture(self, capture, row_indices,
+                           length: int) -> AttentionStreamState:
+        rows = np.asarray(row_indices)
+        dim = self.forward_stack.positions._table.shape[1]
+        caches = [
+            nn.KVCache(len(rows), dim,
+                       keys=keys[rows, :length],
+                       values=values[rows, :length])
+            for keys, values in capture
+        ]
+        return AttentionStreamState(caches, length)
 
 
 class BiAKTEncoder(BiSAKTEncoder):

@@ -20,8 +20,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
-
-from repro.data import Batch
 from repro.tensor import Tensor
 
 from .masking import COUNTERFACTUAL_VARIANTS, VariantSet

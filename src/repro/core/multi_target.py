@@ -61,12 +61,21 @@ class MultiTargetContext:
     (row, target-column) pairs against this cache.
     """
 
-    def __init__(self, model, base: Batch):
+    def __init__(self, model, base: Batch,
+                 question_vectors: np.ndarray = None,
+                 forward_streams: Dict[str, np.ndarray] = None):
+        """``question_vectors`` / ``forward_streams`` inject precomputed
+        values (the serving layer's per-student incremental caches —
+        :mod:`repro.serve.forward_cache`); both must cover ``base``'s
+        full ``(B, L)`` grid.  Omitted, they are computed here.
+        """
         self.base = base
         generator = model.generator
         self.normalization = model.config.score_normalization
         self.use_monotonicity = model.config.use_monotonicity
-        self.question_vectors = generator.embedder.question_vectors(base).data
+        if question_vectors is None:
+            question_vectors = generator.embedder.question_vectors(base).data
+        self.question_vectors = question_vectors
         real = base.mask
         responses = base.responses
         if self.use_monotonicity:
@@ -81,17 +90,24 @@ class MultiTargetContext:
             # The "-mono" ablation keeps every non-intervened response
             # factual, so all variants share the factual forward stream.
             self.base_responses = {name: responses for name in FORWARD_BASES}
-        self.forward_streams = {}
-        encoded = {}
-        for name in FORWARD_BASES:
-            content = self.base_responses[name]
-            token = id(content)  # all three alias one array under "-mono"
-            if token not in encoded:
-                interactions = Tensor(self.question_vectors) \
-                    + generator.embedder.response_embedding(content)
-                encoded[token] = generator.encoder.forward_stream(
-                    interactions, mask=base.mask).data
-            self.forward_streams[name] = encoded[token]
+        if forward_streams is not None:
+            missing = set(FORWARD_BASES) - set(forward_streams)
+            if missing:
+                raise KeyError(f"injected forward streams missing "
+                               f"{sorted(missing)}")
+            self.forward_streams = forward_streams
+        else:
+            self.forward_streams = {}
+            encoded = {}
+            for name in FORWARD_BASES:
+                content = self.base_responses[name]
+                token = id(content)  # all three alias one array in "-mono"
+                if token not in encoded:
+                    interactions = Tensor(self.question_vectors) \
+                        + generator.embedder.response_embedding(content)
+                    encoded[token] = generator.encoder.forward_stream(
+                        interactions, mask=base.mask).data
+                self.forward_streams[name] = encoded[token]
         self._generator = generator
 
     def scores_for(self, row_indices: np.ndarray,
@@ -153,8 +169,64 @@ class MultiTargetContext:
         return influence.scores
 
 
+def column_banded_chunks(cols: np.ndarray, target_batch: int
+                         ) -> List[np.ndarray]:
+    """Split request indices into column-banded chunks.
+
+    Chunks grow over column-sorted requests until ``target_batch``
+    members or until the next request's column would pad the whole chunk
+    by more than ~25%, whichever comes first.  Ragged serving batches
+    then pay for their own history lengths, not the longest request's.
+    Chunks are mutually independent — the ``workers`` thread pools in
+    :func:`score_batch_targets` / :func:`predict_dataset_fast` exploit
+    exactly this.
+    """
+    order = np.argsort(cols, kind="stable")
+    chunks: List[np.ndarray] = []
+    start = 0
+    while start < len(order):
+        narrowest = int(cols[order[start]]) + 1
+        end = start + 1
+        while (end < len(order) and end - start < target_batch
+               and cols[order[end]] < 1.25 * narrowest + 2):
+            end += 1
+        chunks.append(order[start:end])
+        start = end
+    return chunks
+
+
+def map_chunks(worker, chunks, workers: int):
+    """Run ``worker`` over every chunk, optionally on a thread pool.
+
+    NumPy releases the GIL inside the hot gemm/reduction kernels, so
+    chunk-level threads scale on multi-core boxes without any change to
+    the numerics (each chunk's arithmetic is untouched, merely
+    concurrent).  ``workers <= 1`` stays on the caller's thread.
+
+    The grad flag is thread-local (see :func:`repro.tensor.no_grad`),
+    so pool threads do not inherit the caller's inference scope — each
+    worker enters its own ``no_grad`` (this path is inference-only).
+    """
+    if workers <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            worker(chunk)
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.tensor import no_grad
+
+    def run_no_grad(chunk):
+        with no_grad():
+            return worker(chunk)
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        # Materialize to surface the first worker exception, if any.
+        list(pool.map(run_no_grad, chunks))
+
+
 def score_batch_targets(model, base: Batch, target_cols,
-                        target_batch: int = 64) -> np.ndarray:
+                        target_batch: int = 64,
+                        workers: int = 1) -> np.ndarray:
     """Influence scores for one explicit target per row of ``base``.
 
     The serving-shaped entry point: each row is one student/request and
@@ -163,6 +235,7 @@ def score_batch_targets(model, base: Batch, target_cols,
     near-singleton batches when every student sits at a different history
     length — requests are chunked by sorted target column with truncated
     masks, so arbitrary mixes of lengths share full-width stacked passes.
+    ``workers > 1`` scores the (independent) chunks on that many threads.
     Returns scores in row order.  The caller is responsible for ``eval``
     mode and ``no_grad``.
     """
@@ -171,26 +244,17 @@ def score_batch_targets(model, base: Batch, target_cols,
         raise ValueError("one target column per row required")
     if len(cols) == 0:
         return np.array([])
-    order = np.argsort(cols, kind="stable")
     scores = np.empty(len(cols), dtype=np.float64)
-    start = 0
-    while start < len(order):
-        # Column-banded chunks: grow until target_batch requests or until
-        # the next request's column would pad the whole chunk by more
-        # than ~25%, whichever comes first.  Ragged serving batches then
-        # pay for their own history lengths, not the longest request's.
-        narrowest = int(cols[order[start]]) + 1
-        end = start + 1
-        while (end < len(order) and end - start < target_batch
-               and cols[order[end]] < 1.25 * narrowest + 2):
-            end += 1
-        chunk = order[start:end]
-        start = end
+
+    def score_chunk(chunk: np.ndarray) -> None:
         chunk_cols = cols[chunk]
         width = int(chunk_cols.max()) + 1
         sub_base = expand_targets(base.truncated(width), chunk, chunk_cols)
         context = MultiTargetContext(model, sub_base)
         scores[chunk] = context.scores_for(np.arange(len(chunk)), chunk_cols)
+
+    map_chunks(score_chunk, column_banded_chunks(cols, target_batch),
+                workers)
     return scores
 
 
@@ -206,10 +270,16 @@ def score_targets(model, sequences, target_cols, target_batch: int = 64
 
 
 def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
-                         stride: int = 1, target_batch: int = 64
+                         stride: int = 1, target_batch: int = 64,
+                         workers: int = 1
                          ) -> Tuple[np.ndarray, np.ndarray]:
     """(labels, scores) over every evaluated target, collating each
     sequence exactly once.
+
+    ``workers > 1`` spreads each group's target chunks over that many
+    threads; chunks share the group's read-only
+    :class:`MultiTargetContext` and write disjoint output slots, so the
+    result is identical to the sequential sweep in value *and* order.
 
     The caller is responsible for ``eval`` mode and ``no_grad`` (see
     :meth:`repro.core.RCKT.predict_dataset`, which wraps this).
@@ -239,9 +309,16 @@ def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
         rows, cols = rows[order], cols[order]
         labels.append(base.responses[rows, cols].astype(np.float64))
         context = MultiTargetContext(model, base)
-        for chunk in range(0, len(rows), target_batch):
-            piece = slice(chunk, chunk + target_batch)
-            scores.append(context.scores_for(rows[piece], cols[piece]))
+        group_scores = np.empty(len(rows), dtype=np.float64)
+
+        def score_chunk(piece: slice, context=context, rows=rows,
+                        cols=cols, out=group_scores) -> None:
+            out[piece] = context.scores_for(rows[piece], cols[piece])
+
+        pieces = [slice(chunk, chunk + target_batch)
+                  for chunk in range(0, len(rows), target_batch)]
+        map_chunks(score_chunk, pieces, workers)
+        scores.append(group_scores)
     if not labels:
         return np.array([]), np.array([])
     return np.concatenate(labels), np.concatenate(scores)

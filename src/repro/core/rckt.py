@@ -133,7 +133,7 @@ class RCKT(nn.Module):
 
     def predict_dataset(self, dataset: KTDataset, batch_size: int = 32,
                         stride: int = 1, legacy: bool = False,
-                        target_batch: int = 64
+                        target_batch: int = 64, workers: int = 1
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """(labels, scores) treating every position >= 1 as a target.
 
@@ -152,6 +152,9 @@ class RCKT(nn.Module):
         checks the fast path against.  ``target_batch`` caps how many
         expanded targets share one stacked generator pass (each target
         becomes ``len(COUNTERFACTUAL_VARIANTS)`` generator rows).
+        ``workers > 1`` spreads the independent target chunks over that
+        many threads (NumPy's kernels release the GIL); scores and their
+        order are identical to the single-threaded sweep.
         """
         if legacy:
             return self._predict_dataset_legacy(dataset, batch_size, stride)
@@ -163,7 +166,8 @@ class RCKT(nn.Module):
                 return predict_dataset_fast(self, dataset,
                                             batch_size=batch_size,
                                             stride=stride,
-                                            target_batch=target_batch)
+                                            target_batch=target_batch,
+                                            workers=workers)
         finally:
             if was_training:
                 self.train()

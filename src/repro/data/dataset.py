@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
-from .events import Interaction, StudentSequence
+from .events import StudentSequence
 
 MAX_SUBSEQUENCE_LENGTH = 50
 MIN_SUBSEQUENCE_LENGTH = 5

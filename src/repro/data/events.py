@@ -11,7 +11,7 @@ repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 PAD_ID = 0
 

@@ -8,7 +8,7 @@ early stopping and hyper-parameter tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator
 
 import numpy as np
 

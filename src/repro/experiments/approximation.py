@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core import RCKT, evaluate_rckt, fit_rckt
+from repro.core import RCKT, fit_rckt
 from repro.data import collate
 from repro.eval import accuracy_score, auc_score
 from repro.interpret import comparison_table

@@ -15,9 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.core import RCKT, RCKTConfig, evaluate_rckt, fit_rckt, paper_config
 from repro.data import Fold, KTDataset, make_dataset, train_test_split

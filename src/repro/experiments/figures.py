@@ -15,7 +15,7 @@ import numpy as np
 from repro.core import RCKT, fit_rckt
 from repro.data import StudentSequence
 from repro.interpret import (CaseStudy, ProficiencyTrace, build_case_study,
-                             influence_bars, line_chart, related_questions,
+                             influence_bars, line_chart,
                              trace_all_concepts)
 from repro.models import SAKTPlus, TrainConfig, fit_sequential
 

@@ -52,9 +52,19 @@ class InteractionEmbedder(nn.Module):
         self.response_embedding = nn.Embedding(3, dim, rng)
 
     def question_vectors(self, batch: Batch) -> Tensor:
-        """``e_i`` for every position: question id + mean concept ids."""
+        """``e_i`` for every position: question id + mean concept ids.
+
+        Padded concept slots (id 0 beyond each step's real count) are
+        excluded from the sum: the pad embedding row is *not* zero, so
+        without the mask the vector would depend on how wide the batch
+        happened to be collated — the same interaction would embed
+        differently across batches, which both violates Eq. 23 and makes
+        per-student caching (``repro.serve``) unsound.
+        """
         question = self.question_embedding(batch.questions)
-        concept_sum = self.concept_embedding(batch.concepts).sum(axis=2)
+        real = (batch.concepts != 0)[..., None].astype(np.float64)
+        concept_sum = (self.concept_embedding(batch.concepts)
+                       * Tensor(real)).sum(axis=2)
         counts = batch.concept_counts[..., None].astype(np.float64)
         return question + concept_sum * Tensor(1.0 / counts)
 

@@ -1,6 +1,7 @@
 """Neural-network layers built on the :mod:`repro.tensor` substrate."""
 
-from .attention import (MultiHeadAttention, anti_causal_mask, causal_mask)
+from .attention import (KVCache, MultiHeadAttention, anti_causal_mask,
+                        causal_mask)
 from .layers import (MLP, Dropout, Embedding, LayerNorm, Linear, ReLU,
                      Sigmoid, Tanh)
 from .module import Module, ModuleList
@@ -13,7 +14,7 @@ __all__ = [
     "Linear", "Embedding", "Dropout", "LayerNorm", "MLP",
     "ReLU", "Tanh", "Sigmoid",
     "LSTMCell", "LSTM", "BiLSTM", "inference_kernel",
-    "MultiHeadAttention", "causal_mask", "anti_causal_mask",
+    "MultiHeadAttention", "KVCache", "causal_mask", "anti_causal_mask",
     "TransformerBlock", "TransformerEncoder", "FeedForward",
     "PositionalEncoding", "sinusoidal_positions",
 ]

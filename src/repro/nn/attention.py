@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tensor import Tensor, init, masked_softmax, ops
+from repro.tensor import Tensor, init, masked_softmax
 
 from .layers import Dropout, Linear
 from .module import Module
@@ -24,6 +24,63 @@ from .module import Module
 def _softplus(x: Tensor) -> Tensor:
     """Numerically adequate softplus for small-magnitude decay parameters."""
     return (x.clip(-30.0, 30.0).exp() + 1.0).log()
+
+
+def _softplus_array(x: np.ndarray) -> np.ndarray:
+    """Raw-NumPy twin of :func:`_softplus` (same ops, same roundoff)."""
+    return np.log(np.exp(np.clip(x, -30.0, 30.0)) + 1.0)
+
+
+class KVCache:
+    """Growable projected key/value prefix for one attention layer.
+
+    Serving keeps one of these per (student, encoder layer): the causal
+    forward stream only ever *appends* positions, so the projected keys
+    and values of the prefix can be reused verbatim while each new step
+    attends over them (:meth:`MultiHeadAttention.attend_step`).  Arrays
+    grow geometrically like :class:`repro.serve.history.StudentHistory`.
+    """
+
+    __slots__ = ("keys", "values", "length")
+
+    INITIAL_CAPACITY = 8
+
+    def __init__(self, rows: int, dim: int,
+                 keys: Optional[np.ndarray] = None,
+                 values: Optional[np.ndarray] = None):
+        if keys is not None:
+            self.length = keys.shape[1]
+            capacity = max(self.length, self.INITIAL_CAPACITY)
+            self.keys = np.empty((rows, capacity, dim))
+            self.values = np.empty((rows, capacity, dim))
+            self.keys[:, :self.length] = keys
+            self.values[:, :self.length] = values
+        else:
+            self.length = 0
+            self.keys = np.empty((rows, self.INITIAL_CAPACITY, dim))
+            self.values = np.empty((rows, self.INITIAL_CAPACITY, dim))
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Add one position: ``k``/``v`` are ``(rows, dim)``."""
+        capacity = self.keys.shape[1]
+        if self.length == capacity:
+            rows, _, dim = self.keys.shape
+            grown_k = np.empty((rows, 2 * capacity, dim))
+            grown_v = np.empty((rows, 2 * capacity, dim))
+            grown_k[:, :capacity] = self.keys
+            grown_v[:, :capacity] = self.values
+            self.keys, self.values = grown_k, grown_v
+        self.keys[:, self.length] = k
+        self.values[:, self.length] = v
+        self.length += 1
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Live ``(keys, values)`` views over the filled prefix."""
+        return self.keys[:, :self.length], self.values[:, :self.length]
+
+    @property
+    def nbytes(self) -> int:
+        return self.keys.nbytes + self.values.nbytes
 
 
 class MultiHeadAttention(Module):
@@ -57,6 +114,8 @@ class MultiHeadAttention(Module):
             # softplus(0.54) ~= 1.0; start with a mild decay.
             self.decay = init.normal((heads,), 0.1, rng)
         self.last_weights: Optional[np.ndarray] = None
+        self.capture_kv: bool = False
+        self.last_kv: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _split(self, x: Tensor, batch: int, length: int) -> Tensor:
         """(B, L, D) -> (B, H, L, Dh)."""
@@ -69,12 +128,20 @@ class MultiHeadAttention(Module):
         ``mask`` is a boolean array broadcastable to ``(B, H, Lq, Lk)`` with
         True marking *allowed* positions.  Rows with no allowed key yield a
         zero context vector (see :func:`repro.tensor.masked_softmax`).
+
+        When :attr:`capture_kv` is set (serving warm-up), the pre-split
+        projected keys/values of this pass are stashed on
+        :attr:`last_kv` as plain ``(B, Lk, D)`` arrays.
         """
         batch, q_len, _ = query.shape
         k_len = key.shape[1]
+        projected_k = self.key_proj(key)
+        projected_v = self.value_proj(value)
+        if self.capture_kv:
+            self.last_kv = (projected_k.data, projected_v.data)
         q = self._split(self.query_proj(query), batch, q_len)
-        k = self._split(self.key_proj(key), batch, k_len)
-        v = self._split(self.value_proj(value), batch, k_len)
+        k = self._split(projected_k, batch, k_len)
+        v = self._split(projected_v, batch, k_len)
 
         logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         if self.monotonic:
@@ -97,6 +164,57 @@ class MultiHeadAttention(Module):
         context = weights @ v
         context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.dim)
         return self.out_proj(context)
+
+
+    # ------------------------------------------------------------------
+    # No-grad incremental inference (forward-stream serving cache)
+    # ------------------------------------------------------------------
+    def project_kv_step(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Projected key/value for one new position; ``x`` is ``(B, D)``.
+
+        Matches the batch path's ``key_proj``/``value_proj`` outputs
+        before the head split, so the results can be appended to a
+        :class:`KVCache` holding batch-computed prefixes.
+        """
+        k = x @ self.key_proj.weight.data + self.key_proj.bias.data
+        v = x @ self.value_proj.weight.data + self.value_proj.bias.data
+        return k, v
+
+    def attend_step(self, x: np.ndarray, keys: np.ndarray,
+                    values: np.ndarray, position: int) -> np.ndarray:
+        """Causal attention for the single query at ``position``.
+
+        ``x`` is the ``(B, D)`` layer input at the new position;
+        ``keys``/``values`` are the ``(B, n, D)`` projected prefix with
+        ``n == position + 1`` (the new position's own key/value already
+        appended — the non-strict causal mask lets a position attend to
+        itself).  All prefix positions are real by construction, so no
+        mask is needed; the softmax mirrors
+        :func:`repro.tensor.masked_softmax`'s stable form op-for-op.
+        """
+        batch, dim = x.shape
+        n = keys.shape[1]
+        if n != position + 1:
+            raise ValueError(f"key/value prefix of length {n} does not "
+                             f"cover query position {position}")
+        q = x @ self.query_proj.weight.data + self.query_proj.bias.data
+        q = q.reshape(batch, self.heads, 1, self.head_dim)
+        k = keys.reshape(batch, n, self.heads, self.head_dim)
+        k = k.transpose(0, 2, 1, 3)
+        v = values.reshape(batch, n, self.heads, self.head_dim)
+        v = v.transpose(0, 2, 1, 3)
+        logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if self.monotonic:
+            distance = (position - np.arange(n)).astype(np.float64)
+            theta = _softplus_array(self.decay.data)
+            logits = logits - (theta.reshape(1, self.heads, 1, 1)
+                               * distance[None, None, None, :])
+        row_max = logits.max(axis=-1, keepdims=True)
+        np.subtract(logits, row_max, out=logits)
+        exp = np.exp(logits, out=logits)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        context = (weights @ v).transpose(0, 2, 1, 3).reshape(batch, dim)
+        return context @ self.out_proj.weight.data + self.out_proj.bias.data
 
 
 def causal_mask(length: int, strict: bool = True) -> np.ndarray:

@@ -28,6 +28,13 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """No-grad NumPy twin of :meth:`forward` (serving step kernels)."""
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
 
 class Embedding(Module):
     """ID-to-vector lookup table.
@@ -79,6 +86,14 @@ class LayerNorm(Module):
         variance = (centered * centered).mean(axis=-1, keepdims=True)
         normed = centered / (variance + self.eps).sqrt()
         return normed * self.gamma + self.beta
+
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """No-grad NumPy twin of :meth:`forward`, op-for-op."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / np.sqrt(variance + self.eps)
+        return normed * self.gamma.data + self.beta.data
 
 
 class ReLU(Module):

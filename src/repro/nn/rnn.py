@@ -15,8 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.tensor import (Tensor, concat, init, is_grad_enabled,
-                          sigmoid_array, stack, where)
+from repro.tensor import (Tensor, init, is_grad_enabled, sigmoid_array,
+                          stack, where)
 
 from .module import Module
 
@@ -43,6 +43,25 @@ def inference_kernel(enabled: bool):
         yield
     finally:
         _INFERENCE_KERNEL = previous
+
+
+def _lstm_gate_step(projected_t: np.ndarray, h: np.ndarray, c: np.ndarray,
+                    weight_h: np.ndarray, bias: np.ndarray,
+                    hidden: int) -> Tuple[np.ndarray, np.ndarray]:
+    """One fused-gate LSTM step on pre-projected inputs (no-grad NumPy).
+
+    Shared by the batched inference kernel and the serving single-step
+    extension path so the two stay numerically aligned op-for-op.
+    """
+    z = (projected_t + h @ weight_h) + bias
+    in_forget = sigmoid_array(z[:, :2 * hidden])
+    i_gate = in_forget[:, :hidden]
+    f_gate = in_forget[:, hidden:]
+    g_gate = np.tanh(z[:, 2 * hidden:3 * hidden])
+    o_gate = sigmoid_array(z[:, 3 * hidden:])
+    c_new = f_gate * c + i_gate * g_gate
+    h_new = o_gate * np.tanh(c_new)
+    return h_new, c_new
 
 
 class LSTMCell(Module):
@@ -126,10 +145,25 @@ class LSTM(Module):
 
     def _forward_inference(self, x: np.ndarray,
                            mask: Optional[np.ndarray]) -> np.ndarray:
-        """No-grad kernel: raw-NumPy recurrence with the input projection
-        hoisted into one ``(B*L, D) @ (D, 4H)`` gemm instead of one small
-        gemm per step.  The per-element gate math matches the autograd cell
-        (shared :func:`repro.tensor.sigmoid_array`)."""
+        """No-grad kernel; see :meth:`forward_inference_with_state`."""
+        outputs, _, _ = self.forward_inference_with_state(x, mask)
+        return outputs
+
+    def forward_inference_with_state(
+            self, x: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """No-grad kernel returning ``(outputs, h, c)``.
+
+        Raw-NumPy recurrence with the input projection hoisted into one
+        ``(B*L, D) @ (D, 4H)`` gemm instead of one small gemm per step.
+        The per-element gate math matches the autograd cell (shared
+        :func:`repro.tensor.sigmoid_array`).
+
+        The returned ``(h, c)`` is each row's carry state after its last
+        *real* step (the mask freezes state through trailing padding), so
+        a caller can keep extending the recurrence one step at a time via
+        :meth:`step_inference` — the serving forward-stream cache.
+        """
         cell = self.cell
         batch, length, _ = x.shape
         hidden = cell.hidden_dim
@@ -144,14 +178,8 @@ class LSTM(Module):
         outputs = np.empty((batch, length, hidden))
         steps = range(length - 1, -1, -1) if self.reverse else range(length)
         for t in steps:
-            z = (projected[t] + h @ weight_h) + bias
-            in_forget = sigmoid_array(z[:, :2 * hidden])
-            i_gate = in_forget[:, :hidden]
-            f_gate = in_forget[:, hidden:]
-            g_gate = np.tanh(z[:, 2 * hidden:3 * hidden])
-            o_gate = sigmoid_array(z[:, 3 * hidden:])
-            c_new = f_gate * c + i_gate * g_gate
-            h_new = o_gate * np.tanh(c_new)
+            h_new, c_new = _lstm_gate_step(projected[t], h, c, weight_h,
+                                           bias, hidden)
             if mask is not None:
                 step = mask[:, t]
                 # Column-sorted target chunks make most steps all-active;
@@ -162,7 +190,20 @@ class LSTM(Module):
                     c_new = np.where(step, c_new, c)
             h, c = h_new, c_new
             outputs[:, t, :] = h
-        return outputs
+        return outputs, h, c
+
+    def step_inference(self, x: np.ndarray, h: np.ndarray,
+                       c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One no-grad recurrence step: ``(B, D)`` input, carried state in,
+        new ``(h, c)`` out.  Shares the gate math with the batch kernel so
+        incrementally extended streams track re-encoded ones to roundoff.
+        Meaningless for ``reverse=True`` layers (anti-causal state cannot
+        be extended on the right); callers only cache forward streams.
+        """
+        cell = self.cell
+        projected = x @ cell.weight_x.data
+        return _lstm_gate_step(projected, h, c, cell.weight_h.data,
+                               cell.bias.data, cell.hidden_dim)
 
 
 class BiLSTM(Module):

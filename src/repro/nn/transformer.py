@@ -60,6 +60,12 @@ class FeedForward(Module):
             hidden = self.dropout(hidden)
         return self.fc2(hidden)
 
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """No-grad NumPy twin (eval mode: dropout is identity)."""
+        hidden = self.fc1.forward_np(x)
+        hidden = hidden * (hidden > 0)  # Tensor.relu's exact formulation
+        return self.fc2.forward_np(hidden)
+
 
 class TransformerBlock(Module):
     """Post-LN transformer encoder block (attention + FFN, residuals)."""
@@ -87,6 +93,23 @@ class TransformerBlock(Module):
         if self.dropout is not None:
             ffn_out = self.dropout(ffn_out)
         return self.norm2(x + ffn_out)
+
+    def step_inference(self, x: np.ndarray, kv_cache) -> np.ndarray:
+        """Self-attention step for one appended position (no-grad, eval).
+
+        ``x`` is the ``(B, D)`` block input at the new position;
+        ``kv_cache`` is the block's :class:`~repro.nn.attention.KVCache`
+        holding the projected prefix, which this call extends in place
+        before attending (non-strict causal: the position sees itself).
+        Returns the block output at the new position.
+        """
+        k, v = self.attention.project_kv_step(x)
+        kv_cache.append(k, v)
+        keys, values = kv_cache.view()
+        attended = self.attention.attend_step(x, keys, values,
+                                              kv_cache.length - 1)
+        x = self.norm1.forward_np(x + attended)
+        return self.norm2.forward_np(x + self.ffn.forward_np(x))
 
 
 class TransformerEncoder(Module):

@@ -9,17 +9,27 @@ engine shaped like a production inference service:
   micro-batch lifecycle (see :mod:`repro.serve.engine` for the walkthrough).
 * :class:`HistoryStore` / :class:`StudentHistory` — O(1)-append response
   logs assembled into padded batches without per-interaction Python work.
+* :class:`StreamCacheStore` / :class:`StudentStreamCache` — per-student
+  incremental forward-stream caches under an LRU byte budget
+  (:mod:`repro.serve.forward_cache`): ``record`` extends each cached
+  encoder state by one step, so steady-state scoring only pays for the
+  per-request backward streams.
 
 All scoring goes through the multi-target fast path
 (:mod:`repro.core.multi_target`), which the golden-parity suite pins to
 the legacy per-prefix scores, so the engine is exactly as accurate as the
-paper's evaluation protocol — just batched.
+paper's evaluation protocol — just batched, cached, and (optionally)
+threaded via the ``workers`` option.
 """
 
 from .engine import InferenceEngine, PendingScore, ScoreRequest
+from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
+                            StudentStreamCache, build_stream_caches)
 from .history import HistoryStore, StudentHistory
 
 __all__ = [
     "InferenceEngine", "ScoreRequest", "PendingScore",
     "HistoryStore", "StudentHistory",
+    "StreamCacheStore", "StudentStreamCache", "build_stream_caches",
+    "DEFAULT_STREAM_CACHE_BYTES",
 ]

@@ -26,16 +26,21 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import RCKT, RCKTConfig
-from repro.core.multi_target import score_batch_targets
-from repro.data import KTDataset, StudentSequence
-from repro.tensor import no_grad
+from repro.core.multi_target import (FORWARD_BASES, MultiTargetContext,
+                                     column_banded_chunks, map_chunks,
+                                     score_batch_targets)
+from repro.data import PAD_ID, Batch, KTDataset
+from repro.tensor import enable_grad, no_grad
 from repro.utils import load_checkpoint, save_checkpoint
 
+from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
+                            base_contents, build_stream_caches,
+                            question_vector_for)
 from .history import HistoryStore
 
 
@@ -82,16 +87,33 @@ class InferenceEngine:
     target_batch:
         Chunk size of the underlying stacked passes (see
         :func:`repro.core.multi_target.score_batch_targets`).
+    workers:
+        Thread count for the independent column-banded score chunks
+        (NumPy's kernels release the GIL; 1 disables pooling).
+    stream_cache_bytes:
+        LRU byte budget for the per-student incremental forward-stream
+        caches (:mod:`repro.serve.forward_cache`).  With a warm cache,
+        ``record`` extends the cached encoder state by one step and
+        ``score`` skips the forward half of the encoder entirely; 0 or
+        ``None`` disables caching and serves every request through the
+        batch re-encoding path (the golden reference the parity suite
+        compares against).
     """
 
     def __init__(self, model: RCKT, max_batch: int = 64,
-                 target_batch: int = 64):
+                 target_batch: int = 64, workers: int = 1,
+                 stream_cache_bytes: Optional[int]
+                 = DEFAULT_STREAM_CACHE_BYTES):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
         self.model = model
         self.max_batch = max_batch
         self.target_batch = target_batch
+        self.workers = workers
         self.students = HistoryStore()
+        self.stream_caches = StreamCacheStore(stream_cache_bytes)
         self._pending: List[PendingScore] = []
         self._lock = threading.Lock()
         embedder = model.generator.embedder
@@ -104,6 +126,10 @@ class InferenceEngine:
         if not 1 <= question_id <= self.num_questions:
             raise ValueError(f"question_id {question_id} outside the "
                              f"model's vocabulary [1, {self.num_questions}]")
+        if not concept_ids:
+            # Empty concept sets would divide by a zero concept count
+            # deep inside the embedder (Eq. 23 averages over concepts).
+            raise ValueError("concept_ids must be non-empty")
         for concept in concept_ids:
             if not 1 <= concept <= self.num_concepts:
                 raise ValueError(f"concept id {concept} outside the "
@@ -127,7 +153,9 @@ class InferenceEngine:
 
     @classmethod
     def from_checkpoint(cls, path, max_batch: int = 64,
-                        target_batch: int = 64) -> "InferenceEngine":
+                        target_batch: int = 64, workers: int = 1,
+                        stream_cache_bytes: Optional[int]
+                        = DEFAULT_STREAM_CACHE_BYTES) -> "InferenceEngine":
         state, metadata = load_checkpoint(path)
         try:
             config = RCKTConfig(**metadata["config"])
@@ -138,29 +166,131 @@ class InferenceEngine:
                              f"({missing})") from None
         model = RCKT(num_questions, num_concepts, config)
         model.load_state_dict(state)
-        return cls(model, max_batch=max_batch, target_batch=target_batch)
+        return cls(model, max_batch=max_batch, target_batch=target_batch,
+                   workers=workers, stream_cache_bytes=stream_cache_bytes)
+
+    def reload_checkpoint(self, path) -> None:
+        """Swap in refreshed weights (e.g. a periodic retrain).
+
+        Histories survive — they are ground-truth observations — but
+        every cached forward-stream state is invalidated: those arrays
+        are functions of the old weights, and serving them against the
+        new ones would silently mix models.  The next score per student
+        rebuilds the cache through the vectorized warm-up path.
+
+        The swap is atomic: weights load into a *fresh* model object
+        which replaces ``self.model`` under the lock, so a concurrent
+        score that already captured the old model finishes consistently
+        on the old weights instead of reading a half-updated (or mixed
+        old/new) parameter set.
+        """
+        state, metadata = load_checkpoint(path)
+        config = metadata.get("config")
+        if config is not None:
+            # The init seed is not architecture: a retrained checkpoint
+            # may legitimately carry a different one.
+            theirs = {k: v for k, v in
+                      RCKTConfig(**config).__dict__.items() if k != "seed"}
+            ours = {k: v for k, v in self.model.config.__dict__.items()
+                    if k != "seed"}
+            if theirs != ours:
+                raise ValueError(f"checkpoint at {path} was trained with a "
+                                 f"different model config; build a fresh "
+                                 f"engine via from_checkpoint instead")
+        for key in ("num_questions", "num_concepts"):
+            if key in metadata and int(metadata[key]) != getattr(self, key):
+                raise ValueError(f"checkpoint at {path} has a different "
+                                 f"{key} ({metadata[key]} vs "
+                                 f"{getattr(self, key)})")
+        with enable_grad():
+            # Parameter registration must see gradients enabled even if
+            # a scoring thread's no_grad scope is ambient here.
+            model = RCKT(self.num_questions, self.num_concepts,
+                         self.model.config)
+        model.load_state_dict(state)
+        model.eval()
+        with self._lock:
+            self.model = model
+            self.stream_caches.invalidate()
 
     # ------------------------------------------------------------------
     # History management
     # ------------------------------------------------------------------
     def record(self, student_id, question_id: int, correct: int,
                concept_ids: Sequence[int]) -> None:
-        """Append one observed response to a student's cached history."""
+        """Append one observed response to a student's cached history.
+
+        Rejects ids outside the checkpoint vocabulary (and non-binary
+        ``correct``) *before* touching any state — a bad event must
+        never poison the cached history or the stream cache.  With a
+        warm forward-stream cache, the append also advances the cached
+        encoder state by exactly one step (the incremental fast path).
+        """
         self._validate_ids(question_id, concept_ids)
+        if correct not in (0, 1):
+            raise ValueError(f"correct must be 0 or 1, got {correct}")
         with self._lock:
-            self.students.record(student_id, question_id, correct,
-                                 concept_ids)
+            history = self.students.record(student_id, question_id, correct,
+                                           concept_ids)
+            self._extend_stream_cache(student_id, history, question_id,
+                                      correct, concept_ids)
+
+    def _extend_stream_cache(self, student_id, history, question_id: int,
+                             correct: int, concept_ids) -> None:
+        """Advance a warm cache by the step just recorded (lock held)."""
+        if not self.stream_caches.enabled:
+            return
+        entry = self.stream_caches.peek(student_id)
+        if entry is None:
+            return  # cold/evicted: next score warm-builds in one pass
+        if entry.length != history.length - 1:
+            # Out of sync (e.g. a bulk load since the last score):
+            # stale states must not be extended.
+            self.stream_caches.discard(student_id)
+            return
+        generator = self.model.generator
+        question_vector = question_vector_for(generator.embedder,
+                                              question_id, concept_ids)
+        categories = base_contents(np.asarray(correct),
+                                   self.model.config.use_monotonicity)
+        try:
+            entry.extend(generator.encoder, question_vector, categories,
+                         generator.embedder.response_embedding.weight.data)
+        except ValueError:
+            # E.g. the transformer positional-table length cap: the
+            # cache must never make record() fail where the uncached
+            # engine would have accepted the event.
+            self.stream_caches.discard(student_id)
+            return
+        self.stream_caches.note_growth(student_id)
 
     def load_dataset(self, dataset: KTDataset) -> None:
-        """Warm the cache with an offline log (one entry per sequence)."""
+        """Warm the history store with an offline log.
+
+        Every interaction is validated against the checkpoint vocabulary
+        up front (same errors as :meth:`score`) so a corrupt log cannot
+        half-load.  Stream caches of touched students are invalidated:
+        bulk history changes are cheaper to re-encode once at the next
+        score than to replay step-by-step.
+        """
+        for sequence in dataset:
+            for interaction in sequence:
+                self._validate_ids(interaction.question_id,
+                                   interaction.concept_ids)
         with self._lock:
             for sequence in dataset:
                 self.students.load_sequence(sequence)
+                self.stream_caches.discard(sequence.student_id)
 
     def history_length(self, student_id) -> int:
         with self._lock:
             history = self.students.peek(student_id)
             return history.length if history is not None else 0
+
+    def stream_cache_stats(self) -> dict:
+        """Occupancy/hit/eviction counters of the forward-stream cache."""
+        with self._lock:
+            return self.stream_caches.stats()
 
     # ------------------------------------------------------------------
     # Scoring
@@ -199,18 +329,125 @@ class InferenceEngine:
         return batch
 
     def score_batch(self, requests: Sequence[ScoreRequest]) -> np.ndarray:
-        """Scores for many (student, next-question) probes at once."""
+        """Scores for many (student, next-question) probes at once.
+
+        With stream caching enabled (the default) the forward half of
+        the encoder work comes from the per-student caches — built in
+        one vectorized pass for any cold students in the batch — and
+        only the per-request backward streams run; otherwise the batch
+        re-encoding path serves the request.
+        """
         if not requests:
             return np.array([])
         for request in requests:
             self._validate_ids(request.question_id, request.concept_ids)
+        if self.stream_caches.enabled:
+            with no_grad():
+                with self._lock:
+                    context, cols = self._assemble_cached(requests)
+                return self._score_context(context, cols)
         with self._lock:
             base, cols = self.students.assemble(
                 [r.student_id for r in requests],
                 probes=[(r.question_id, r.concept_ids) for r in requests])
         with no_grad():
             return score_batch_targets(self.model, base, cols,
-                                       target_batch=self.target_batch)
+                                       target_batch=self.target_batch,
+                                       workers=self.workers)
+
+    def _assemble_cached(self, requests: Sequence[ScoreRequest]
+                         ) -> Tuple[MultiTargetContext, np.ndarray]:
+        """Build a scoring context from the stream caches (lock held).
+
+        Cold students (never scored, LRU-evicted, or bulk-reloaded) are
+        warm-built first in one stacked pass; the assembled arrays are
+        copies, so the heavy backward passes in :meth:`_score_context`
+        run outside the lock.
+        """
+        store = self.stream_caches
+        histories = [self.students.peek(r.student_id) for r in requests]
+        lengths = [h.length if h is not None else 0 for h in histories]
+
+        entries = {}
+        missing = {}
+        for request, history, length in zip(requests, histories, lengths):
+            student_id = request.student_id
+            if length == 0 or student_id in entries or student_id in missing:
+                continue
+            entry = store.get(student_id)
+            if entry is not None and entry.length != length:
+                store.discard(student_id)
+                entry = None
+            if entry is None:
+                missing[student_id] = history
+            else:
+                entries[student_id] = entry
+        if missing:
+            built = build_stream_caches(self.model, missing.values())
+            for student_id, entry in zip(missing, built):
+                # Keep a batch-local reference: the store may evict the
+                # entry immediately under a tiny byte budget, but this
+                # request still needs it.
+                entries[student_id] = entry
+                store.put(student_id, entry)
+
+        rows = len(requests)
+        width = max(lengths) + 1
+        dim = self.model.config.dim
+        responses = np.zeros((rows, width), dtype=np.int64)
+        mask = np.zeros((rows, width), dtype=bool)
+        question_vectors = np.zeros((rows, width, dim))
+        # Under "-mono" all base streams coincide (single cached row):
+        # alias one padded array instead of filling three copies.
+        base_names = (FORWARD_BASES if self.model.config.use_monotonicity
+                      else FORWARD_BASES[:1])
+        streams = {name: np.zeros((rows, width, dim))
+                   for name in base_names}
+        for name in FORWARD_BASES[len(base_names):]:
+            streams[name] = streams[FORWARD_BASES[0]]
+        cols = np.asarray(lengths, dtype=np.int64)
+        embedder = self.model.generator.embedder
+        for row, (request, history, length) in enumerate(
+                zip(requests, histories, lengths)):
+            mask[row, :length + 1] = True
+            question_vectors[row, length] = question_vector_for(
+                embedder, request.question_id, request.concept_ids)
+            if length == 0:
+                continue
+            responses[row, :length] = history.view()[1]
+            entry = entries[request.student_id]
+            question_vectors[row, :length] = \
+                entry.question_vectors[:length]
+            for name in base_names:
+                streams[name][row, :length] = entry.stream_for(name)
+
+        # Questions/concepts are never read once the fused question
+        # vectors are injected; placeholder arrays keep the Batch shape.
+        base = Batch(
+            questions=np.zeros((rows, width), dtype=np.int64),
+            responses=responses,
+            concepts=np.full((rows, width, 1), PAD_ID, dtype=np.int64),
+            concept_counts=np.ones((rows, width), dtype=np.int64),
+            mask=mask,
+        )
+        context = MultiTargetContext(self.model, base,
+                                     question_vectors=question_vectors,
+                                     forward_streams=streams)
+        return context, cols
+
+    def _score_context(self, context: MultiTargetContext,
+                       cols: np.ndarray) -> np.ndarray:
+        """Run the per-request backward passes, column-banded and
+        optionally threaded (chunks are independent)."""
+        scores = np.empty(len(cols), dtype=np.float64)
+
+        def score_chunk(chunk: np.ndarray) -> None:
+            scores[chunk] = context.scores_for(chunk, cols[chunk])
+
+        map_chunks(score_chunk,
+                    column_banded_chunks(cols, self.target_batch),
+                    self.workers)
+        return scores
 
     def score(self, student_id, question_id: int,
               concept_ids: Sequence[int]) -> float:
@@ -245,7 +482,6 @@ class InferenceEngine:
         passes instead of one collated call per probe (the seed idiom
         runs ``1 + 2 * horizon`` single-row passes per candidate).
         """
-        from repro.data import PAD_ID
         from repro.interpret.recommendation import QuestionRecommendation
         if not candidates:
             return []
@@ -308,7 +544,6 @@ class InferenceEngine:
                     cols[row] = n + 1
                     row += 1
 
-        from repro.data import Batch
         batch = Batch(questions, responses, concepts, counts, mask)
         with no_grad():
             scores = score_batch_targets(self.model, batch, cols,

@@ -15,21 +15,26 @@ Design notes
 * All binary operations support NumPy broadcasting.  The helper
   :func:`unbroadcast` reduces an output-shaped gradient back to the input
   shape by summing over broadcast axes.
-* Graph recording can be disabled globally with :func:`no_grad` (used for
-  inference), which makes evaluation allocation-free apart from the raw
-  NumPy work.
+* Graph recording can be disabled per-thread with :func:`no_grad` (used
+  for inference), which makes evaluation allocation-free apart from the
+  raw NumPy work; :func:`enable_grad` re-enables it within such a scope.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Per-thread, like torch's: the serving engine scores on worker threads
+# (and hot-reloads checkpoints concurrently), so a process-global flag
+# would let one thread's no_grad exit corrupt another thread's state —
+# worst case leaving gradients globally off after interleaved exits.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -38,20 +43,39 @@ def no_grad():
 
     Inside the block every operation produces constant tensors, which makes
     inference cheaper and guarantees that ``backward`` cannot reach into
-    evaluation-only code.
+    evaluation-only code.  The flag is thread-local: threads spawned
+    inside the block start with gradients *enabled* and must enter their
+    own ``no_grad`` (the chunk pools in ``repro.core.multi_target`` do).
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Re-enable graph construction inside a ``no_grad`` scope.
+
+    Needed when parameter-carrying modules must be *built* from code
+    that may run under ``no_grad`` — e.g. the serving engine
+    constructing a fresh model for an atomic checkpoint swap while
+    scoring threads hold ``no_grad``: without this, every parameter
+    would silently register as a constant.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = True
+    try:
+        yield
+    finally:
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -107,7 +131,7 @@ class Tensor:
 
     def __init__(self, data: Arrayable, requires_grad: bool = False):
         self.data: np.ndarray = _as_array(data)
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
@@ -127,7 +151,8 @@ class Tensor:
     def make(data: np.ndarray, parents: Sequence["Tensor"],
              backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create an op output node; records the graph only when needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad
+                                              for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

@@ -122,3 +122,47 @@ class TestFactory:
         (encoder(x) ** 2).sum().backward()
         assert x.grad is not None
         assert all(p.grad is not None for p in encoder.parameters())
+
+
+@pytest.mark.parametrize("name", ["dkt", "sakt", "akt"])
+@pytest.mark.parametrize("layers", [1, 2])
+class TestIncrementalForwardStream:
+    """The serving step APIs must reproduce the batch forward stream.
+
+    ``new_forward_state`` + ``extend_forward_state`` is the from-scratch
+    incremental path; ``forward_stream_with_capture`` +
+    ``state_from_capture`` is the vectorized warm-up that resumes it
+    mid-sequence.  Both must track ``forward_stream`` to roundoff.
+    """
+
+    ATOL = 1e-12
+
+    def test_stepwise_matches_batch(self, name, layers):
+        from repro.tensor import no_grad
+        encoder = encoder_factory(name, layers)
+        encoder.eval()
+        x = RNG.normal(size=(3, LENGTH, DIM))
+        with no_grad():
+            reference = encoder.forward_stream(Tensor(x)).data
+            state = encoder.new_forward_state(3)
+            stepped = np.stack(
+                [encoder.extend_forward_state(state, x[:, t])
+                 for t in range(LENGTH)], axis=1)
+        np.testing.assert_allclose(stepped, reference, rtol=0,
+                                   atol=self.ATOL)
+        assert state.length == LENGTH
+        assert state.nbytes > 0
+
+    def test_capture_resumes_incrementally(self, name, layers):
+        from repro.tensor import no_grad
+        encoder = encoder_factory(name, layers)
+        encoder.eval()
+        x = RNG.normal(size=(2, LENGTH + 1, DIM))
+        with no_grad():
+            _, capture = encoder.forward_stream_with_capture(
+                Tensor(x[:, :LENGTH]))
+            state = encoder.state_from_capture(capture, [0, 1], LENGTH)
+            extended = encoder.extend_forward_state(state, x[:, LENGTH])
+            reference = encoder.forward_stream(Tensor(x)).data
+        np.testing.assert_allclose(extended, reference[:, LENGTH],
+                                   rtol=0, atol=self.ATOL)

@@ -1,6 +1,5 @@
 """Five-fold CV protocol (Sec. V-A2): disjoint, covering, 10% validation."""
 
-import numpy as np
 import pytest
 
 from repro.data import (Interaction, KTDataset, StudentSequence,

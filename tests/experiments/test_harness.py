@@ -5,7 +5,6 @@ verify the harness plumbing — caching, registries, result containers,
 renderers — with the smallest budgets that still execute every code path.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (ABLATIONS, BASELINES, Budget, DATASETS,

@@ -1,6 +1,5 @@
 """Question recommendation built on response influences."""
 
-import numpy as np
 import pytest
 
 from repro.core import RCKT, RCKTConfig, fit_rckt

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import (Interaction, KTDataset, StudentSequence,
+from repro.data import (Interaction, StudentSequence,
                         make_assist09, train_test_split)
 from repro.models import (BKT, BKTParameters, IKT, TANClassifier,
                           evaluate_probabilistic)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import (Interaction, StudentSequence, collate, make_assist09,
+from repro.data import (collate, make_assist09,
                         train_test_split)
 from repro.models import (AKT, DIMKT, DKT, QIKT, SAKT, SAKTPlus, TrainConfig,
                           evaluate_sequential, fit_sequential,

@@ -1,0 +1,286 @@
+"""Incremental forward-stream cache correctness.
+
+The serving engine's warm-cache fast path must be *score-invisible*: any
+interleaving of ``record()`` / ``score()`` calls — including checkpoint
+reloads and LRU evictions mid-stream — produces the same scores as an
+engine with caching disabled, which serves every request through the
+batch re-encoding path the golden-parity suite pins to the paper's
+protocol.  Hypothesis drives the interleavings; the explicit tests pin
+the cache-lifecycle edges.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ENCODERS, RCKT, RCKTConfig
+from repro.data import (SimulationConfig, StudentSimulator, build_dataset)
+from repro.serve import InferenceEngine, ScoreRequest
+
+ATOL = 1e-10
+
+NUM_QUESTIONS = 30
+NUM_CONCEPTS = 6
+
+
+def make_model(encoder="dkt", **overrides):
+    settings_ = dict(dim=8, layers=2, seed=11)
+    settings_.update(overrides)
+    return RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                RCKTConfig(encoder=encoder, **settings_))
+
+
+def make_dataset(num_students=6, seed=9):
+    config = SimulationConfig(num_students=num_students,
+                              num_questions=NUM_QUESTIONS,
+                              num_concepts=NUM_CONCEPTS,
+                              sequence_length=(3, 10))
+    simulator = StudentSimulator(config, seed=seed)
+    return build_dataset("cache", simulator.simulate(seed=seed + 1),
+                         NUM_QUESTIONS, NUM_CONCEPTS)
+
+
+def paired_engines(model, **cached_kwargs):
+    """(cached, cache-disabled) engines over the same model."""
+    return (InferenceEngine(model, **cached_kwargs),
+            InferenceEngine(model, stream_cache_bytes=0))
+
+
+# Each event: (student, question, correct, concept, is_score_probe)
+EVENT = st.tuples(st.integers(0, 3), st.integers(1, NUM_QUESTIONS),
+                  st.integers(0, 1), st.integers(1, NUM_CONCEPTS),
+                  st.booleans())
+
+
+class TestInterleavedParityProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(events=st.lists(EVENT, min_size=1, max_size=25))
+    def test_dkt_interleavings_match_cold_engine(self, events):
+        self.run_interleaving(make_model("dkt"), events)
+
+    @settings(max_examples=6, deadline=None)
+    @given(events=st.lists(EVENT, min_size=1, max_size=18))
+    def test_sakt_interleavings_match_cold_engine(self, events):
+        self.run_interleaving(make_model("sakt"), events)
+
+    @settings(max_examples=6, deadline=None)
+    @given(events=st.lists(EVENT, min_size=1, max_size=18))
+    def test_akt_interleavings_match_cold_engine(self, events):
+        self.run_interleaving(make_model("akt"), events)
+
+    @settings(max_examples=8, deadline=None)
+    @given(events=st.lists(EVENT, min_size=1, max_size=20))
+    def test_tiny_lru_budget_never_changes_scores(self, events):
+        # A budget this small evicts constantly; only throughput may
+        # suffer, never scores.
+        self.run_interleaving(make_model("dkt"), events,
+                              stream_cache_bytes=4096)
+
+    @settings(max_examples=8, deadline=None)
+    @given(events=st.lists(EVENT, min_size=1, max_size=20))
+    def test_mono_ablation_single_base_cache(self, events):
+        self.run_interleaving(make_model("dkt", use_monotonicity=False),
+                              events)
+
+    @staticmethod
+    def run_interleaving(model, events, **cached_kwargs):
+        warm, cold = paired_engines(model, **cached_kwargs)
+        for student, question, correct, concept, is_probe in events:
+            if is_probe:
+                got = warm.score(student, question, (concept,))
+                expected = cold.score(student, question, (concept,))
+                assert abs(got - expected) < ATOL
+            else:
+                warm.record(student, question, correct, (concept,))
+                cold.record(student, question, correct, (concept,))
+        # Final sweep: every student's next-step probe must agree too.
+        requests = [ScoreRequest(s, 5, (2,)) for s in range(4)]
+        np.testing.assert_allclose(warm.score_batch(requests),
+                                   cold.score_batch(requests),
+                                   rtol=0, atol=ATOL)
+
+
+@pytest.mark.parametrize("encoder", ENCODERS)
+class TestCacheLifecycle:
+    def test_warm_path_actually_serves_hits(self, encoder):
+        engine = InferenceEngine(make_model(encoder))
+        for step in range(4):
+            engine.record("s", 1 + step, step % 2, (1 + step % 5,))
+        engine.score("s", 7, (3,))   # cold: builds the cache
+        engine.score("s", 9, (2,))   # warm: must hit
+        stats = engine.stream_cache_stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_record_extends_instead_of_rebuilding(self, encoder):
+        engine = InferenceEngine(make_model(encoder))
+        engine.record("s", 3, 1, (1,))
+        engine.score("s", 7, (3,))
+        misses_after_build = engine.stream_cache_stats()["misses"]
+        engine.record("s", 4, 0, (2,))
+        engine.score("s", 7, (3,))
+        assert engine.stream_cache_stats()["misses"] == misses_after_build
+
+    def test_eviction_mid_stream_recovers(self, encoder):
+        model = make_model(encoder)
+        warm, cold = paired_engines(model, stream_cache_bytes=1)
+        for student in range(3):
+            for step in range(4):
+                warm.record(student, 1 + step, step % 2, (1 + step,))
+                cold.record(student, 1 + step, step % 2, (1 + step,))
+        requests = [ScoreRequest(s, 6, (2,)) for s in range(3)]
+        np.testing.assert_allclose(warm.score_batch(requests),
+                                   cold.score_batch(requests),
+                                   rtol=0, atol=ATOL)
+        stats = warm.stream_cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["entries"] == 0   # budget of 1 byte keeps nothing
+
+    def test_bulk_load_invalidates_stale_cache(self, encoder):
+        model = make_model(encoder)
+        dataset = make_dataset()
+        warm, cold = paired_engines(model)
+        warm.load_dataset(dataset)
+        cold.load_dataset(dataset)
+        student = list(dataset)[0].student_id
+        warm.score(student, 5, (1,))          # builds a cache
+        warm.load_dataset(dataset)            # appends: cache is stale
+        cold.load_dataset(dataset)
+        assert abs(warm.score(student, 5, (1,))
+                   - cold.score(student, 5, (1,))) < ATOL
+
+
+class TestCheckpointReload:
+    def build_trained_pair(self, tmp_path):
+        old = make_model(seed=1)
+        new = make_model(seed=2)   # same architecture, different weights
+        path = tmp_path / "new.npz"
+        InferenceEngine(new).save(path)
+        return old, new, path
+
+    def test_reload_invalidates_and_matches_fresh_engine(self, tmp_path):
+        old, new, path = self.build_trained_pair(tmp_path)
+        engine = InferenceEngine(old)
+        fresh = InferenceEngine(new, stream_cache_bytes=0)
+        for step in range(5):
+            engine.record("s", 1 + step, step % 2, (1 + step % 5,))
+            fresh.record("s", 1 + step, step % 2, (1 + step % 5,))
+        stale_score = engine.score("s", 8, (4,))   # warms the cache
+        assert engine.stream_cache_stats()["entries"] == 1
+        engine.reload_checkpoint(path)
+        assert engine.stream_cache_stats()["entries"] == 0
+        reloaded_score = engine.score("s", 8, (4,))
+        assert abs(reloaded_score - fresh.score("s", 8, (4,))) < ATOL
+        assert reloaded_score != stale_score
+
+    def test_reload_mid_stream_then_extend(self, tmp_path):
+        old, new, path = self.build_trained_pair(tmp_path)
+        engine = InferenceEngine(old)
+        fresh = InferenceEngine(new, stream_cache_bytes=0)
+        for step in range(3):
+            engine.record("s", 1 + step, 1, (1,))
+            fresh.record("s", 1 + step, 1, (1,))
+        engine.score("s", 2, (1,))
+        engine.reload_checkpoint(path)
+        # Post-reload records must extend a rebuilt cache, not the stale
+        # one.
+        engine.record("s", 9, 0, (2,))
+        fresh.record("s", 9, 0, (2,))
+        engine.score("s", 2, (1,))   # rebuild under new weights
+        engine.record("s", 10, 1, (3,))
+        fresh.record("s", 10, 1, (3,))
+        assert abs(engine.score("s", 2, (1,))
+                   - fresh.score("s", 2, (1,))) < ATOL
+
+    def test_reload_rejects_mismatched_config(self, tmp_path):
+        engine = InferenceEngine(make_model(dim=8))
+        other = InferenceEngine(make_model(dim=8, layers=1))
+        path = tmp_path / "other.npz"
+        other.save(path)
+        with pytest.raises(ValueError, match="different model config"):
+            engine.reload_checkpoint(path)
+
+
+class TestValidationHardening:
+    def test_record_rejects_out_of_vocab_without_poisoning(self):
+        engine = InferenceEngine(make_model())
+        engine.record("s", 1, 1, (1,))
+        before = engine.score("s", 3, (1,))
+        with pytest.raises(ValueError, match="question_id"):
+            engine.record("s", NUM_QUESTIONS + 1, 1, (1,))
+        with pytest.raises(ValueError, match="concept id"):
+            engine.record("s", 1, 1, (NUM_CONCEPTS + 1,))
+        with pytest.raises(ValueError, match="correct must be 0 or 1"):
+            engine.record("s", 1, 2, (1,))
+        with pytest.raises(ValueError, match="non-empty"):
+            engine.record("s", 1, 1, ())
+        with pytest.raises(ValueError, match="non-empty"):
+            engine.score("s", 3, ())
+        assert engine.history_length("s") == 1
+        assert engine.score("s", 3, (1,)) == before
+
+    def test_load_dataset_validates_before_loading_anything(self):
+        # A model with a smaller vocabulary than the dataset was built
+        # against: every sequence is out of range.
+        small = RCKT(3, 2, RCKTConfig(encoder="dkt", dim=8, layers=1,
+                                      seed=1))
+        engine = InferenceEngine(small)
+        dataset = make_dataset()
+        with pytest.raises(ValueError, match="outside the"):
+            engine.load_dataset(dataset)
+        assert len(engine.students) == 0
+
+    def test_score_and_record_report_the_same_error(self):
+        engine = InferenceEngine(make_model())
+        with pytest.raises(ValueError) as record_error:
+            engine.record("s", NUM_QUESTIONS + 7, 1, (1,))
+        with pytest.raises(ValueError) as score_error:
+            engine.score("s", NUM_QUESTIONS + 7, (1,))
+        assert str(record_error.value) == str(score_error.value)
+
+
+class TestWorkers:
+    def test_threaded_engine_matches_sequential(self):
+        model = make_model()
+        dataset = make_dataset(num_students=8)
+        threaded = InferenceEngine(model, workers=3, target_batch=4)
+        sequential = InferenceEngine(model, target_batch=4)
+        threaded.load_dataset(dataset)
+        sequential.load_dataset(dataset)
+        requests = [ScoreRequest(s.student_id, 1 + k % NUM_QUESTIONS,
+                                 (1 + k % NUM_CONCEPTS,))
+                    for k, s in enumerate(dataset)]
+        np.testing.assert_allclose(threaded.score_batch(requests),
+                                   sequential.score_batch(requests),
+                                   rtol=0, atol=0)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            InferenceEngine(make_model(), workers=0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("encoder", ENCODERS)
+def test_long_interleaving_parity_slow(encoder):
+    """Opt-in (pytest -m slow): hundreds of interleaved record/score
+    events per encoder, with a mid-stream eviction-heavy budget."""
+    rng = np.random.default_rng(31)
+    model = make_model(encoder, dim=16)
+    warm, cold = paired_engines(model, stream_cache_bytes=64 * 1024)
+    for step in range(300):
+        student = int(rng.integers(0, 8))
+        if rng.random() < 0.35:
+            question = int(rng.integers(1, NUM_QUESTIONS + 1))
+            concept = int(rng.integers(1, NUM_CONCEPTS + 1))
+            got = warm.score(student, question, (concept,))
+            expected = cold.score(student, question, (concept,))
+            assert abs(got - expected) < ATOL, f"step {step}"
+        else:
+            question = int(rng.integers(1, NUM_QUESTIONS + 1))
+            correct = int(rng.integers(0, 2))
+            concepts = tuple(sorted(set(
+                int(c) for c in rng.integers(1, NUM_CONCEPTS + 1,
+                                             size=rng.integers(1, 3)))))
+            warm.record(student, question, correct, concepts)
+            cold.record(student, question, correct, concepts)
