@@ -28,6 +28,19 @@ Two more sections track the PR 2 serving work:
   they thread cleanly wherever NumPy releases the GIL (the measured
   ratio is hardware-bound: expect ~1x on single-core CI runners).
 
+And one for the PR 3 long-context work:
+
+* **long_context** — a single synthetic student far past the seed's
+  128-step ceiling, served through the steady-state record/score loop
+  twice: once with full (unbounded, growing positional tables)
+  histories and once with a sliding window
+  (``InferenceEngine(window=W)``).  ``speedup`` is full/windowed wall
+  time — windowed serving pays O(window) per score instead of
+  O(history).  The two arms intentionally condition on different
+  contexts, so ``max_abs_score_diff`` here compares the *windowed*
+  scores against a from-scratch recompute on each probe's anchored
+  window slice — the parity the long-context test suite pins at 1e-10.
+
 Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
 throughput ratio for the default encoder) to start the perf trajectory::
 
@@ -218,6 +231,78 @@ def bench_sweep_workers(model: RCKT, dataset, stride: int,
     }
 
 
+def bench_long_context(model: RCKT, num_concepts: int, length: int,
+                       window: int, score_every: int) -> dict:
+    """One long student: full-history serving vs sliding-window serving.
+
+    Both arms replay the same record/score trace; the windowed arm's
+    scores are additionally checked against a from-scratch recompute on
+    each probe's anchored window slice (``max_abs_score_diff``).
+    """
+    from repro.core import score_batch_targets
+    from repro.core.masking import window_start
+    from repro.data import Interaction, StudentSequence
+    from repro.tensor import no_grad
+
+    rng = np.random.default_rng(17)
+    num_questions = model.generator.embedder.question_embedding \
+        .num_embeddings - 1
+    questions = rng.integers(1, num_questions + 1, size=length)
+    answers = rng.integers(0, 2, size=length)
+    probe_questions = rng.integers(1, num_questions + 1, size=length + 1)
+
+    def concept_for(question: int) -> int:
+        return 1 + int(question) % num_concepts
+
+    def run_loop(engine: InferenceEngine) -> tuple:
+        start = time.perf_counter()
+        scores = []
+        for step in range(length):
+            question = int(questions[step])
+            engine.record("long", question, int(answers[step]),
+                          (concept_for(question),))
+            if (step + 1) % score_every == 0:
+                probe = int(probe_questions[step])
+                scores.append(engine.score("long", probe,
+                                           (concept_for(probe),)))
+        return time.perf_counter() - start, np.array(scores)
+
+    full_seconds, _ = run_loop(InferenceEngine(model))
+    windowed_engine = InferenceEngine(model, window=window)
+    windowed_seconds, windowed_scores = run_loop(windowed_engine)
+
+    # Parity: windowed scores vs full recompute on the anchored slice.
+    references = []
+    for step in range(score_every - 1, length, score_every):
+        anchor = window_start(step + 1, window, windowed_engine.window_hop)
+        interactions = [
+            Interaction(int(q), int(a), (concept_for(q),))
+            for q, a in zip(questions[anchor:step + 1],
+                            answers[anchor:step + 1])
+        ]
+        probe = int(probe_questions[step])
+        interactions.append(Interaction(probe, 1, (concept_for(probe),)))
+        batch = collate([StudentSequence("ref", interactions)])
+        with no_grad():
+            references.append(score_batch_targets(
+                model, batch, np.array([len(interactions) - 1]))[0])
+
+    probes = len(windowed_scores)
+    return {
+        "history_length": length,
+        "window": window,
+        "window_hop": windowed_engine.window_hop,
+        "probes": probes,
+        "full_seconds": round(full_seconds, 4),
+        "windowed_seconds": round(windowed_seconds, 4),
+        "full_probes_per_sec": round(probes / full_seconds, 1),
+        "windowed_probes_per_sec": round(probes / windowed_seconds, 1),
+        "speedup": round(full_seconds / windowed_seconds, 2),
+        "max_abs_score_diff": float(np.max(np.abs(
+            windowed_scores - np.array(references)))),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -239,10 +324,14 @@ def main() -> None:
         students = args.students or 100
         stride = args.stride or 4
         encoders = args.encoders or ["dkt"]
+        # Long enough that both timing arms sit well clear of the
+        # shared-runner noise floor the regression gate tolerates.
+        long_length, long_window, long_every = 600, 64, 25
     else:
         students = args.students or 120
         stride = args.stride or 2
         encoders = args.encoders or ["dkt", "sakt", "akt"]
+        long_length, long_window, long_every = 1200, 128, 60
 
     import os
     workers = args.workers or min(4, os.cpu_count() or 1)
@@ -264,6 +353,7 @@ def main() -> None:
         "serving": {},
         "serving_incremental": {},
         "sweep_workers": {},
+        "long_context": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -271,10 +361,14 @@ def main() -> None:
         serving = bench_serving(model, dataset, args.rounds)
         incremental = bench_serving_incremental(model, dataset, args.rounds)
         sweep_threads = bench_sweep_workers(model, dataset, stride, workers)
+        long_context = bench_long_context(model, dataset.num_concepts,
+                                          long_length, long_window,
+                                          long_every)
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
         results["serving_incremental"][encoder] = incremental
         results["sweep_workers"][encoder] = sweep_threads
+        results["long_context"][encoder] = long_context
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -289,6 +383,13 @@ def main() -> None:
               f"diff {incremental['max_abs_score_diff']:.2e}) | "
               f"sweep x{workers} workers {sweep_threads['speedup']}x "
               f"(diff {sweep_threads['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: long context ({long_context['history_length']} "
+              f"steps, window {long_context['window']}) "
+              f"{long_context['speedup']}x "
+              f"({long_context['full_probes_per_sec']} -> "
+              f"{long_context['windowed_probes_per_sec']} probes/s, "
+              f"window-recompute diff "
+              f"{long_context['max_abs_score_diff']:.2e})")
 
     headline = results["serving"][encoders[0]]
     results["headline_workload"] = "serving"

@@ -34,12 +34,22 @@ import json
 import sys
 from pathlib import Path
 
-SECTIONS = ("eval_sweep", "serving", "serving_incremental", "sweep_workers")
+SECTIONS = (
+    "eval_sweep",
+    "serving",
+    "serving_incremental",
+    "sweep_workers",
+    "long_context",
+)
 
 # sweep_workers measures hardware parallelism, not an algorithmic win:
 # on a single-core runner its honest speedup is ~1x and the noise floor
 # of tiny quick-mode timings dominates.  Gate it only on score drift.
-THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental")
+# (long_context's speedup, by contrast, is an algorithmic ratio — full
+# history vs window — and its drift entry compares windowed scores to a
+# from-scratch recompute on the window, so both checks apply.)
+THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental",
+                    "long_context")
 
 
 def load(path: str) -> dict:

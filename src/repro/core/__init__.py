@@ -11,7 +11,8 @@ from .influence import (ExactInfluenceResult, InfluenceComputation,
 from .losses import counterfactual_loss, joint_bce_losses
 from .masking import (COUNTERFACTUAL_VARIANTS, JOINT_VARIANTS, MASKED,
                       VARIANT_ORDER, VariantSet, build_exact_counterfactual,
-                      build_variants)
+                      build_variants, check_window, window_start,
+                      window_starts)
 from .multi_target import (MultiTargetContext, column_banded_chunks,
                            map_chunks, predict_dataset_fast,
                            score_batch_targets, score_targets)
@@ -26,6 +27,7 @@ __all__ = [
     "ResponseProbabilityGenerator",
     "MASKED", "VARIANT_ORDER", "COUNTERFACTUAL_VARIANTS", "JOINT_VARIANTS",
     "VariantSet", "build_variants", "build_exact_counterfactual",
+    "window_start", "window_starts", "check_window",
     "InfluenceComputation", "ExactInfluenceResult", "compute_influences",
     "counterfactual_loss", "joint_bce_losses",
     "RCKT", "replicate_batch",

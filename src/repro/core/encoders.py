@@ -33,6 +33,14 @@ import numpy as np
 from repro import nn
 from repro.tensor import Tensor, concat
 
+# Initial capacity of the transformer encoders' sinusoidal positional
+# tables.  This is *not* a sequence-length cap: the tables grow
+# geometrically on demand (:class:`repro.nn.PositionalEncoding.ensure`),
+# so arbitrarily long histories encode exactly — growth only re-derives
+# the deterministic sinusoid table, never changes existing rows.  Compute
+# still scales with length (quadratically for attention); long-history
+# *serving* bounds it with the sliding-window mode instead
+# (:func:`repro.core.masking.window_start`, ``InferenceEngine(window=...)``).
 MAX_ENCODED_LENGTH = 128
 
 
@@ -327,19 +335,23 @@ class BiSAKTEncoder(BidirectionalEncoder):
     # Incremental forward-stream serving API
     # ------------------------------------------------------------------
     def new_forward_state(self, rows: int) -> AttentionStreamState:
+        """Empty per-row attention state (one K/V prefix per block)."""
         stack = self.forward_stack
-        dim = stack.positions._table.shape[1]
         return AttentionStreamState(
-            [nn.KVCache(rows, dim) for _ in stack.blocks])
+            [nn.KVCache(rows, stack.positions.dim) for _ in stack.blocks])
 
     def extend_forward_state(self, state: AttentionStreamState,
                              x: np.ndarray) -> np.ndarray:
+        """Advance the K/V prefixes by one appended position.
+
+        The positional table grows on demand, so extension is never
+        length-bounded; the serving layer bounds *memory* instead by
+        re-anchoring its window (which rebuilds the state from the
+        window slice rather than extending past it).
+        """
         position = state.length
         stack = self.forward_stack
-        table = stack.positions._table
-        if position >= table.shape[0]:
-            raise ValueError(f"sequence length {position + 1} exceeds "
-                             f"positional table size {table.shape[0]}")
+        table = stack.positions.ensure(position + 1)
         x = x + table[position]
         for block, cache in zip(stack.blocks, state.caches):
             x = block.step_inference(x, cache)
@@ -354,7 +366,7 @@ class BiSAKTEncoder(BidirectionalEncoder):
     def state_from_capture(self, capture, row_indices,
                            length: int) -> AttentionStreamState:
         rows = np.asarray(row_indices)
-        dim = self.forward_stack.positions._table.shape[1]
+        dim = self.forward_stack.positions.dim
         caches = [
             nn.KVCache(len(rows), dim,
                        keys=keys[rows, :length],

@@ -27,19 +27,29 @@ Targets are processed in column-sorted chunks truncated to the chunk's
 longest target, so a target at column ``c`` pays O(c) recurrence steps
 (O(c^2) attention) like its exact prefix would, while sharing one stacked
 generator pass with ``target_batch - 1`` neighbours.
+
+Long histories can additionally be scored over a sliding ``window``: a
+target whose history exceeds the window is re-based onto its anchored
+window slice (:func:`repro.core.masking.window_start`,
+:func:`repro.data.expand_windowed_targets`) and scored exactly as if the
+history had been truncated there — the chunks of windowed targets are
+all near window-width, so the column banding respects window boundaries
+by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.data import Batch, KTDataset, collate, expand_targets
+from repro.data import (Batch, KTDataset, collate, expand_targets,
+                        expand_windowed_targets)
 from repro.tensor import Tensor, concat
 
 from .influence import compute_influences
-from .masking import COUNTERFACTUAL_VARIANTS, MASKED, VariantSet
+from .masking import (COUNTERFACTUAL_VARIANTS, MASKED, VariantSet,
+                      window_starts)
 
 # variant -> (forward-stream base row, intervention value at the target)
 VARIANT_BASES: Dict[str, Tuple[str, int]] = {
@@ -112,7 +122,14 @@ class MultiTargetContext:
 
     def scores_for(self, row_indices: np.ndarray,
                    target_cols: np.ndarray) -> np.ndarray:
-        """Influence scores for each (row, target-column) pair."""
+        """Influence scores for each (row, target-column) pair.
+
+        ``row_indices[k]`` picks a row of the context's base batch and
+        ``target_cols[k]`` the column to score there (a real response,
+        or the assembled probe column in serving).  Returns one score in
+        (0, 1) per pair; raises ``ValueError`` when a target lands on a
+        padded position.
+        """
         rows = np.asarray(row_indices)
         cols = np.asarray(target_cols)
         if not self.base.mask[rows, cols].all():
@@ -226,7 +243,9 @@ def map_chunks(worker, chunks, workers: int):
 
 def score_batch_targets(model, base: Batch, target_cols,
                         target_batch: int = 64,
-                        workers: int = 1) -> np.ndarray:
+                        workers: int = 1,
+                        window: Optional[int] = None,
+                        window_hop: int = 1) -> np.ndarray:
     """Influence scores for one explicit target per row of ``base``.
 
     The serving-shaped entry point: each row is one student/request and
@@ -235,30 +254,77 @@ def score_batch_targets(model, base: Batch, target_cols,
     near-singleton batches when every student sits at a different history
     length — requests are chunked by sorted target column with truncated
     masks, so arbitrary mixes of lengths share full-width stacked passes.
-    ``workers > 1`` scores the (independent) chunks on that many threads.
-    Returns scores in row order.  The caller is responsible for ``eval``
-    mode and ``no_grad``.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.core.RCKT` in eval mode; the caller is also
+        responsible for the ``no_grad`` scope.
+    base:
+        Collated batch with one row per request.
+    target_cols:
+        ``(B,)`` target column per row; must index a real response.
+    target_batch:
+        Cap on how many targets share one stacked generator pass.
+    workers:
+        ``> 1`` scores the (independent) chunks on that many threads.
+    window / window_hop:
+        Enable sliding-window contexts: a target whose history exceeds
+        ``window`` steps is scored over the re-based slice starting at
+        :func:`repro.core.masking.window_start` of its history length —
+        exactly as if the history had been truncated to that window and
+        re-collated.  Windowed targets all land in near-``window``-wide
+        chunks, so the column banding naturally respects window
+        boundaries.  ``None`` (default) scores full histories.
+
+    Returns
+    -------
+    np.ndarray
+        Scores in row order.
+
+    Raises
+    ------
+    ValueError
+        On row/target count mismatch, targets at padded positions, or an
+        invalid ``(window, window_hop)`` pair.
     """
     cols = np.asarray(target_cols, dtype=np.int64)
     if base.batch_size != len(cols):
         raise ValueError("one target column per row required")
     if len(cols) == 0:
         return np.array([])
+    # History length at column c is c (positions 0..c-1); the target
+    # itself rides on top of the window.  Chunking runs on the re-based
+    # columns, so windowed targets band together at near-window widths
+    # and the re-basing gather below stays per-chunk (rows whose history
+    # fits the window are never copied twice).
+    starts = window_starts(cols, window, window_hop) \
+        if window is not None else None
+    effective_cols = cols - starts if starts is not None else cols
     scores = np.empty(len(cols), dtype=np.float64)
 
     def score_chunk(chunk: np.ndarray) -> None:
-        chunk_cols = cols[chunk]
+        chunk_cols = effective_cols[chunk]
         width = int(chunk_cols.max()) + 1
-        sub_base = expand_targets(base.truncated(width), chunk, chunk_cols)
+        if starts is not None and starts[chunk].any():
+            sub_base, sub_cols = expand_windowed_targets(
+                base, chunk, cols[chunk], starts[chunk])
+            sub_base = sub_base.truncated(width)
+        else:
+            sub_base = expand_targets(base.truncated(width), chunk,
+                                      chunk_cols)
+            sub_cols = chunk_cols
         context = MultiTargetContext(model, sub_base)
-        scores[chunk] = context.scores_for(np.arange(len(chunk)), chunk_cols)
+        scores[chunk] = context.scores_for(np.arange(len(chunk)), sub_cols)
 
-    map_chunks(score_chunk, column_banded_chunks(cols, target_batch),
+    map_chunks(score_chunk,
+                column_banded_chunks(effective_cols, target_batch),
                 workers)
     return scores
 
 
-def score_targets(model, sequences, target_cols, target_batch: int = 64
+def score_targets(model, sequences, target_cols, target_batch: int = 64,
+                  window: Optional[int] = None, window_hop: int = 1
                   ) -> np.ndarray:
     """:func:`score_batch_targets` over a ragged list of sequences."""
     if len(sequences) != len(np.atleast_1d(target_cols)):
@@ -266,12 +332,14 @@ def score_targets(model, sequences, target_cols, target_batch: int = 64
     if len(sequences) == 0:
         return np.array([])
     return score_batch_targets(model, collate(sequences), target_cols,
-                               target_batch=target_batch)
+                               target_batch=target_batch, window=window,
+                               window_hop=window_hop)
 
 
 def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
                          stride: int = 1, target_batch: int = 64,
-                         workers: int = 1
+                         workers: int = 1, window: Optional[int] = None,
+                         window_hop: int = 1
                          ) -> Tuple[np.ndarray, np.ndarray]:
     """(labels, scores) over every evaluated target, collating each
     sequence exactly once.
@@ -280,6 +348,14 @@ def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
     threads; chunks share the group's read-only
     :class:`MultiTargetContext` and write disjoint output slots, so the
     result is identical to the sequential sweep in value *and* order.
+
+    ``window`` bounds every target's history to its last ``window`` steps
+    (see :func:`repro.core.masking.window_start` for the ``window_hop``
+    anchoring): targets whose history fits the window share the group's
+    forward-stream context exactly as before, while longer-history
+    targets are re-based onto their window slice and scored in dedicated
+    near-``window``-wide chunks — identical to evaluating the truncated
+    histories from scratch.
 
     The caller is responsible for ``eval`` mode and ``no_grad`` (see
     :meth:`repro.core.RCKT.predict_dataset`, which wraps this).
@@ -308,16 +384,31 @@ def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
         order = np.argsort(cols, kind="stable")
         rows, cols = rows[order], cols[order]
         labels.append(base.responses[rows, cols].astype(np.float64))
-        context = MultiTargetContext(model, base)
+        starts = window_starts(cols, window, window_hop)
+        near = np.flatnonzero(starts == 0)
+        far = np.flatnonzero(starts > 0)
+        # The group-wide context encodes full-length forward streams;
+        # skip it when the window pushes every target off of it.
+        context = MultiTargetContext(model, base) if len(near) else None
         group_scores = np.empty(len(rows), dtype=np.float64)
 
-        def score_chunk(piece: slice, context=context, rows=rows,
-                        cols=cols, out=group_scores) -> None:
-            out[piece] = context.scores_for(rows[piece], cols[piece])
+        def score_chunk(indices: np.ndarray, context=context, base=base,
+                        rows=rows, cols=cols, starts=starts,
+                        out=group_scores) -> None:
+            if starts[indices[0]] == 0:
+                out[indices] = context.scores_for(rows[indices],
+                                                  cols[indices])
+                return
+            sub_base, sub_cols = expand_windowed_targets(
+                base, rows[indices], cols[indices], starts[indices])
+            sub_context = MultiTargetContext(model, sub_base)
+            out[indices] = sub_context.scores_for(
+                np.arange(len(indices)), sub_cols)
 
-        pieces = [slice(chunk, chunk + target_batch)
-                  for chunk in range(0, len(rows), target_batch)]
-        map_chunks(score_chunk, pieces, workers)
+        chunks = [part[chunk:chunk + target_batch]
+                  for part in (near, far) if len(part)
+                  for chunk in range(0, len(part), target_batch)]
+        map_chunks(score_chunk, chunks, workers)
         scores.append(group_scores)
     if not labels:
         return np.array([]), np.array([])

@@ -133,7 +133,8 @@ class RCKT(nn.Module):
 
     def predict_dataset(self, dataset: KTDataset, batch_size: int = 32,
                         stride: int = 1, legacy: bool = False,
-                        target_batch: int = 64, workers: int = 1
+                        target_batch: int = 64, workers: int = 1,
+                        window: Optional[int] = None, window_hop: int = 1
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """(labels, scores) treating every position >= 1 as a target.
 
@@ -155,8 +156,17 @@ class RCKT(nn.Module):
         ``workers > 1`` spreads the independent target chunks over that
         many threads (NumPy's kernels release the GIL); scores and their
         order are identical to the single-threaded sweep.
+
+        ``window`` / ``window_hop`` bound every target's history to a
+        sliding window of its most recent responses (exact truncation
+        semantics — see :func:`repro.core.masking.window_start`); the
+        legacy path predates windowing, so combining ``legacy=True``
+        with a window raises ``ValueError``.
         """
         if legacy:
+            if window is not None:
+                raise ValueError("window is not supported on the legacy "
+                                 "per-prefix path")
             return self._predict_dataset_legacy(dataset, batch_size, stride)
         from .multi_target import predict_dataset_fast
         was_training = self.training
@@ -167,7 +177,9 @@ class RCKT(nn.Module):
                                             batch_size=batch_size,
                                             stride=stride,
                                             target_batch=target_batch,
-                                            workers=workers)
+                                            workers=workers,
+                                            window=window,
+                                            window_hop=window_hop)
         finally:
             if was_training:
                 self.train()

@@ -1,6 +1,7 @@
 """Data substrate: event types, preprocessing, folds, simulator, profiles."""
 
-from .batch import Batch, collate, expand_targets, iterate_batches
+from .batch import (Batch, collate, expand_targets, expand_windowed_targets,
+                    iterate_batches)
 from .dataset import (MAX_SUBSEQUENCE_LENGTH, MIN_SUBSEQUENCE_LENGTH,
                       KTDataset, build_dataset, preprocess)
 from .events import PAD_ID, Interaction, StudentSequence
@@ -17,7 +18,8 @@ __all__ = [
     "PAD_ID", "Interaction", "StudentSequence",
     "KTDataset", "build_dataset", "preprocess",
     "MAX_SUBSEQUENCE_LENGTH", "MIN_SUBSEQUENCE_LENGTH",
-    "Batch", "collate", "expand_targets", "iterate_batches",
+    "Batch", "collate", "expand_targets", "expand_windowed_targets",
+    "iterate_batches",
     "Fold", "k_fold_splits", "train_test_split",
     "save_csv", "load_csv",
     "SimulationConfig", "StudentSimulator", "QuestionBank",

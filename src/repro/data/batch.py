@@ -131,6 +131,72 @@ def expand_targets(batch: Batch, row_indices: np.ndarray,
     )
 
 
+def expand_windowed_targets(batch: Batch, row_indices: np.ndarray,
+                            target_cols: np.ndarray,
+                            window_starts: np.ndarray
+                            ) -> "tuple[Batch, np.ndarray]":
+    """:func:`expand_targets` with per-target sliding-window re-basing.
+
+    Each expanded row ``k`` is the slice ``[window_starts[k], target_cols[k]]``
+    of source row ``row_indices[k]``, shifted so the window's first step
+    lands at column 0.  Re-basing (rather than masking in place) keeps
+    positional encodings and recurrent states identical to a from-scratch
+    encode of the truncated history, which is what makes windowed scoring
+    exactly equal to full recompute on the window.
+
+    Parameters
+    ----------
+    batch:
+        The collated source batch.
+    row_indices / target_cols:
+        1-D, equal length: source row and target column per expanded row.
+    window_starts:
+        1-D per-target window start (e.g. from
+        :func:`repro.core.masking.window_starts` applied to the targets'
+        history lengths); must satisfy ``0 <= start <= target_col``.
+
+    Returns
+    -------
+    (Batch, np.ndarray)
+        The expanded, re-based batch and the re-based target columns
+        (``target_cols - window_starts``).
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches, out-of-range targets/starts, or targets at
+        padded positions.
+    """
+    rows = np.asarray(row_indices)
+    cols = np.asarray(target_cols)
+    starts = np.asarray(window_starts)
+    if not (rows.shape == cols.shape == starts.shape) or rows.ndim != 1:
+        raise ValueError("row_indices, target_cols and window_starts must "
+                         "be 1-D and equal length")
+    if np.any(cols < 0) or np.any(cols >= batch.length):
+        raise ValueError("target_cols out of range")
+    if np.any(starts < 0) or np.any(starts > cols):
+        raise ValueError("window_starts must satisfy 0 <= start <= target")
+    if not batch.mask[rows, cols].all():
+        raise ValueError("every target position must be a real response")
+    new_cols = cols - starts
+    width = int(new_cols.max()) + 1
+    # Gather columns [start, start + width) of each source row; positions
+    # past the target are clipped in-bounds and masked out below.
+    gather = starts[:, None] + np.arange(width)[None, :]
+    inside = gather <= cols[:, None]
+    gather = np.minimum(gather, batch.length - 1)
+    row_grid = rows[:, None]
+    mask = batch.mask[row_grid, gather] & inside
+    return Batch(
+        questions=batch.questions[row_grid, gather],
+        responses=batch.responses[row_grid, gather],
+        concepts=batch.concepts[row_grid, gather],
+        concept_counts=batch.concept_counts[row_grid, gather],
+        mask=mask,
+    ), new_cols
+
+
 def iterate_batches(sequences: List[StudentSequence], batch_size: int,
                     rng: Optional[np.random.Generator] = None,
                     pad_to: Optional[int] = None) -> Iterator[Batch]:

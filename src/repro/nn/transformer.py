@@ -30,18 +30,41 @@ def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
 
 
 class PositionalEncoding(Module):
-    """Adds fixed sinusoidal position information to a (B, L, D) tensor."""
+    """Adds fixed sinusoidal position information to a (B, L, D) tensor.
 
-    def __init__(self, max_length: int, dim: int):
+    The table starts at ``initial_length`` rows and grows geometrically on
+    demand: sinusoidal positions are a pure function of the index, so a
+    grown table's prefix is bit-identical to the original and any sequence
+    length encodes exactly as it would have with a bigger initial table.
+    Growth replaces the whole array atomically (readers that captured the
+    old reference keep a consistent — merely shorter — table), which keeps
+    concurrent inference threads safe without a lock: racing growers
+    compute identical tables.
+    """
+
+    def __init__(self, initial_length: int, dim: int):
         super().__init__()
-        self._table = sinusoidal_positions(max_length, dim)
+        self.dim = dim
+        self._table = sinusoidal_positions(initial_length, dim)
+
+    def ensure(self, length: int) -> np.ndarray:
+        """Return a table covering at least ``length`` positions.
+
+        Use the *returned* reference rather than re-reading the attribute:
+        the attribute may be swapped again by a concurrent caller.
+        """
+        table = self._table
+        if length <= table.shape[0]:
+            return table
+        grown = max(length, 2 * table.shape[0])
+        table = sinusoidal_positions(grown, self.dim)
+        self._table = table
+        return table
 
     def forward(self, x: Tensor) -> Tensor:
         length = x.shape[1]
-        if length > self._table.shape[0]:
-            raise ValueError(f"sequence length {length} exceeds positional "
-                             f"table size {self._table.shape[0]}")
-        return x + Tensor(self._table[:length])
+        table = self.ensure(length)
+        return x + Tensor(table[:length])
 
 
 class FeedForward(Module):

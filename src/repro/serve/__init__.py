@@ -15,21 +15,27 @@ engine shaped like a production inference service:
   encoder state by one step, so steady-state scoring only pays for the
   per-request backward streams.
 
+Histories are unbounded in length: positional tables grow on demand,
+and ``InferenceEngine(window=W)`` serves arbitrarily long students over
+a sliding window with exact truncation semantics (windowed scores equal
+a full recompute on the window slice — ``docs/SERVING.md`` documents
+the anchoring).
+
 All scoring goes through the multi-target fast path
 (:mod:`repro.core.multi_target`), which the golden-parity suite pins to
 the legacy per-prefix scores, so the engine is exactly as accurate as the
-paper's evaluation protocol — just batched, cached, and (optionally)
-threaded via the ``workers`` option.
+paper's evaluation protocol — just batched, cached, windowed, and
+(optionally) threaded via the ``workers`` option.
 """
 
 from .engine import InferenceEngine, PendingScore, ScoreRequest
 from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
                             StudentStreamCache, build_stream_caches)
-from .history import HistoryStore, StudentHistory
+from .history import HistoryStore, HistoryWindow, StudentHistory
 
 __all__ = [
     "InferenceEngine", "ScoreRequest", "PendingScore",
-    "HistoryStore", "StudentHistory",
+    "HistoryStore", "StudentHistory", "HistoryWindow",
     "StreamCacheStore", "StudentStreamCache", "build_stream_caches",
     "DEFAULT_STREAM_CACHE_BYTES",
 ]

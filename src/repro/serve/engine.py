@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import RCKT, RCKTConfig
+from repro.core.masking import check_window, window_start
 from repro.core.multi_target import (FORWARD_BASES, MultiTargetContext,
                                      column_banded_chunks, map_chunks,
                                      score_batch_targets)
@@ -98,16 +99,52 @@ class InferenceEngine:
         ``None`` disables caching and serves every request through the
         batch re-encoding path (the golden reference the parity suite
         compares against).
+    window:
+        Sliding-window context size: every score uses at most the
+        student's last ``window`` recorded responses as history (the
+        probe rides on top), so per-request compute and per-student
+        cache memory stay bounded no matter how long a history grows.
+        ``None`` (default) serves full histories — still unbounded in
+        length (positional tables grow on demand) but with compute that
+        scales with history length.  Windowed scores are exactly the
+        scores a full recompute on the truncated window produces.
+    window_hop:
+        Re-anchoring stride of the window (default ``max(1,
+        window // 8)``): the window start only advances in multiples of
+        ``hop``, so the cached encoder state is rebuilt once per ``hop``
+        records instead of on every append, at the cost of the context
+        length breathing in ``(window - hop, window]``.  See
+        :func:`repro.core.masking.window_start` — the anchored start is
+        a pure function of the history length, so cached, uncached, and
+        offline recompute paths all agree on the same window.
+
+    Raises
+    ------
+    ValueError
+        On non-positive ``max_batch``/``workers`` or an invalid
+        ``(window, window_hop)`` pair.
     """
 
     def __init__(self, model: RCKT, max_batch: int = 64,
                  target_batch: int = 64, workers: int = 1,
                  stream_cache_bytes: Optional[int]
-                 = DEFAULT_STREAM_CACHE_BYTES):
+                 = DEFAULT_STREAM_CACHE_BYTES,
+                 window: Optional[int] = None,
+                 window_hop: Optional[int] = None):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if window is None:
+            if window_hop is not None:
+                raise ValueError("window_hop requires a window")
+            window_hop = 1
+        else:
+            if window_hop is None:
+                window_hop = max(1, window // 8)
+            check_window(window, window_hop)
+        self.window = window
+        self.window_hop = window_hop
         self.model = model
         self.max_batch = max_batch
         self.target_batch = target_batch
@@ -120,6 +157,10 @@ class InferenceEngine:
         self.num_questions = embedder.question_embedding.num_embeddings - 1
         self.num_concepts = embedder.concept_embedding.num_embeddings - 1
         model.eval()
+
+    def _window_start(self, history_length: int) -> int:
+        """Anchored window start for a history of ``history_length`` steps."""
+        return window_start(history_length, self.window, self.window_hop)
 
     def _validate_ids(self, question_id: int,
                       concept_ids: Sequence[int]) -> None:
@@ -155,7 +196,15 @@ class InferenceEngine:
     def from_checkpoint(cls, path, max_batch: int = 64,
                         target_batch: int = 64, workers: int = 1,
                         stream_cache_bytes: Optional[int]
-                        = DEFAULT_STREAM_CACHE_BYTES) -> "InferenceEngine":
+                        = DEFAULT_STREAM_CACHE_BYTES,
+                        window: Optional[int] = None,
+                        window_hop: Optional[int] = None
+                        ) -> "InferenceEngine":
+        """Rebuild an engine from :meth:`save` output.
+
+        Raises ``ValueError`` when the checkpoint lacks the engine
+        metadata (config and id-space sizes) that :meth:`save` embeds.
+        """
         state, metadata = load_checkpoint(path)
         try:
             config = RCKTConfig(**metadata["config"])
@@ -167,7 +216,8 @@ class InferenceEngine:
         model = RCKT(num_questions, num_concepts, config)
         model.load_state_dict(state)
         return cls(model, max_batch=max_batch, target_batch=target_batch,
-                   workers=workers, stream_cache_bytes=stream_cache_bytes)
+                   workers=workers, stream_cache_bytes=stream_cache_bytes,
+                   window=window, window_hop=window_hop)
 
     def reload_checkpoint(self, path) -> None:
         """Swap in refreshed weights (e.g. a periodic retrain).
@@ -224,7 +274,16 @@ class InferenceEngine:
         ``correct``) *before* touching any state — a bad event must
         never poison the cached history or the stream cache.  With a
         warm forward-stream cache, the append also advances the cached
-        encoder state by exactly one step (the incremental fast path).
+        encoder state by exactly one step (the incremental fast path);
+        histories are never length-bounded — beyond the serving window
+        (or the initial positional-table size without one) the append
+        stays O(1) and scoring windows or grows transparently.
+
+        Raises
+        ------
+        ValueError
+            If ``question_id``/``concept_ids`` fall outside the model's
+            vocabulary or ``correct`` is not 0/1.
         """
         self._validate_ids(question_id, concept_ids)
         if correct not in (0, 1):
@@ -243,7 +302,14 @@ class InferenceEngine:
         entry = self.stream_caches.peek(student_id)
         if entry is None:
             return  # cold/evicted: next score warm-builds in one pass
-        if entry.length != history.length - 1:
+        if self._window_start(history.length) != entry.anchor:
+            # The serving window slid past the cached anchor: cached
+            # states are functions of their window-relative positions,
+            # so the entry cannot be extended — the next score rebuilds
+            # it from the new window slice in one vectorized pass.
+            self.stream_caches.discard(student_id)
+            return
+        if entry.length != history.length - 1 - entry.anchor:
             # Out of sync (e.g. a bulk load since the last score):
             # stale states must not be extended.
             self.stream_caches.discard(student_id)
@@ -257,9 +323,8 @@ class InferenceEngine:
             entry.extend(generator.encoder, question_vector, categories,
                          generator.embedder.response_embedding.weight.data)
         except ValueError:
-            # E.g. the transformer positional-table length cap: the
-            # cache must never make record() fail where the uncached
-            # engine would have accepted the event.
+            # Defensive: the cache must never make record() fail where
+            # the uncached engine would have accepted the event.
             self.stream_caches.discard(student_id)
             return
         self.stream_caches.note_growth(student_id)
@@ -283,6 +348,11 @@ class InferenceEngine:
                 self.stream_caches.discard(sequence.student_id)
 
     def history_length(self, student_id) -> int:
+        """Number of responses recorded for ``student_id`` (0 if unknown).
+
+        Always the *full* history: the serving window bounds what a
+        score conditions on, never what is stored.
+        """
         with self._lock:
             history = self.students.peek(student_id)
             return history.length if history is not None else 0
@@ -335,7 +405,13 @@ class InferenceEngine:
         the encoder work comes from the per-student caches — built in
         one vectorized pass for any cold students in the batch — and
         only the per-request backward streams run; otherwise the batch
-        re-encoding path serves the request.
+        re-encoding path serves the request.  Under a serving ``window``
+        each probe conditions on its student's anchored window slice;
+        both paths use the same anchoring, so their scores agree to
+        roundoff.
+
+        Returns scores in request order; raises ``ValueError`` on ids
+        outside the checkpoint vocabulary (before any work is done).
         """
         if not requests:
             return np.array([])
@@ -347,9 +423,16 @@ class InferenceEngine:
                     context, cols = self._assemble_cached(requests)
                 return self._score_context(context, cols)
         with self._lock:
+            ids = [r.student_id for r in requests]
+            starts = None
+            if self.window is not None:
+                histories = [self.students.peek(student) for student in ids]
+                starts = [self._window_start(h.length if h else 0)
+                          for h in histories]
             base, cols = self.students.assemble(
-                [r.student_id for r in requests],
-                probes=[(r.question_id, r.concept_ids) for r in requests])
+                ids,
+                probes=[(r.question_id, r.concept_ids) for r in requests],
+                starts=starts)
         with no_grad():
             return score_batch_targets(self.model, base, cols,
                                        target_batch=self.target_batch,
@@ -366,25 +449,38 @@ class InferenceEngine:
         """
         store = self.stream_caches
         histories = [self.students.peek(r.student_id) for r in requests]
-        lengths = [h.length if h is not None else 0 for h in histories]
+        full_lengths = [h.length if h is not None else 0 for h in histories]
+        # Windowed serving: each row's context is the anchored suffix of
+        # its history; the cached entry (if any) must sit at the same
+        # anchor — a stale anchor means the window slid since the entry
+        # was built, so it is rebuilt from the current window slice.
+        starts = [self._window_start(length) for length in full_lengths]
+        lengths = [length - start
+                   for length, start in zip(full_lengths, starts)]
 
         entries = {}
         missing = {}
-        for request, history, length in zip(requests, histories, lengths):
+        for request, history, length, start in zip(requests, histories,
+                                                   lengths, starts):
             student_id = request.student_id
             if length == 0 or student_id in entries or student_id in missing:
                 continue
             entry = store.get(student_id)
-            if entry is not None and entry.length != length:
+            if entry is not None and (entry.anchor != start
+                                      or entry.length != length):
                 store.discard(student_id)
                 entry = None
             if entry is None:
-                missing[student_id] = history
+                missing[student_id] = (history.suffix(start) if start
+                                       else history, start)
             else:
                 entries[student_id] = entry
         if missing:
-            built = build_stream_caches(self.model, missing.values())
-            for student_id, entry in zip(missing, built):
+            built = build_stream_caches(
+                self.model, [suffix for suffix, _ in missing.values()])
+            for (student_id, (_, start)), entry in zip(missing.items(),
+                                                       built):
+                entry.anchor = start
                 # Keep a batch-local reference: the store may evict the
                 # entry immediately under a tiny byte budget, but this
                 # request still needs it.
@@ -407,14 +503,14 @@ class InferenceEngine:
             streams[name] = streams[FORWARD_BASES[0]]
         cols = np.asarray(lengths, dtype=np.int64)
         embedder = self.model.generator.embedder
-        for row, (request, history, length) in enumerate(
-                zip(requests, histories, lengths)):
+        for row, (request, history, length, start) in enumerate(
+                zip(requests, histories, lengths, starts)):
             mask[row, :length + 1] = True
             question_vectors[row, length] = question_vector_for(
                 embedder, request.question_id, request.concept_ids)
             if length == 0:
                 continue
-            responses[row, :length] = history.view()[1]
+            responses[row, :length] = history.view()[1][start:]
             entry = entries[request.student_id]
             question_vectors[row, :length] = \
                 entry.question_vectors[:length]
@@ -451,7 +547,12 @@ class InferenceEngine:
 
     def score(self, student_id, question_id: int,
               concept_ids: Sequence[int]) -> float:
-        """Synchronous single score (still served by the batched path)."""
+        """Synchronous single score (still served by the batched path).
+
+        Returns P(correct) in (0, 1) for ``student_id`` answering
+        ``question_id`` next; raises ``ValueError`` on out-of-vocabulary
+        ids.  Unknown students score from an empty context (0.5).
+        """
         return float(self.score_batch(
             [ScoreRequest(student_id, question_id, tuple(concept_ids))])[0])
 
@@ -460,13 +561,24 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def influences(self, student_id):
         """Response influences of the student's history on their latest
-        response (the engine-side view of the paper's Fig. 3 readout)."""
+        response (the engine-side view of the paper's Fig. 3 readout).
+
+        With a serving window the influences cover the windowed context
+        only — positions the window slid past no longer contribute, which
+        mirrors exactly what a windowed :meth:`score` conditions on.
+
+        Raises ``ValueError`` when fewer than two responses are recorded.
+        """
         with self._lock:
             history = self.students.peek(student_id)
             if history is None or history.length < 2:
                 raise ValueError("influences need at least two recorded "
                                  "responses")
-            base, cols = self.students.assemble([student_id])
+            # The target is the last response; the window bounds the
+            # history *before* it.
+            start = self._window_start(history.length - 1)
+            base, cols = self.students.assemble(
+                [student_id], starts=[start] if start else None)
         with no_grad():
             return self.model.influences(base, cols)
 
@@ -481,6 +593,13 @@ class InferenceEngine:
         candidate probe and every assumed-answer world in shared stacked
         passes instead of one collated call per probe (the seed idiom
         runs ``1 + 2 * horizon`` single-row passes per candidate).
+        Candidates are probed against the student's windowed context
+        when a serving window is set.
+
+        Returns at most ``top_k`` :class:`~repro.interpret
+        .recommendation.QuestionRecommendation` objects, best first;
+        raises ``ValueError`` on invalid candidate ids or an empty
+        history.
         """
         from repro.interpret.recommendation import QuestionRecommendation
         if not candidates:
@@ -493,8 +612,11 @@ class InferenceEngine:
             history = self.students.peek(student_id)
             if history is None or history.length == 0:
                 raise ValueError("recommendation needs a non-empty history")
-            n = history.length
-            q_hist, r_hist, c_hist, k_hist = [a.copy()
+            # Candidates are probed against the same windowed context a
+            # score() for this student would use.
+            start = self._window_start(history.length)
+            n = history.length - start
+            q_hist, r_hist, c_hist, k_hist = [a[start:].copy()
                                               for a in history.view()]
             history_width = history.concept_width
         recent = list(range(max(0, n - horizon), n))

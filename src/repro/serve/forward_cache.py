@@ -68,14 +68,24 @@ class StudentStreamCache:
     (monotonicity off) every base name maps to row 0.  Arrays grow
     geometrically like the raw history log, so a ``record`` append is
     O(1) amortized on top of the encoder step itself.
+
+    ``anchor`` is the history position the cached window starts at
+    (0 without windowing): the cache covers history positions
+    ``[anchor, anchor + length)``, re-based so the window's first step
+    encodes at position 0.  When the serving window slides past the
+    anchor, the entry is *discarded* rather than trimmed — cached states
+    are functions of their window-relative positions (positional
+    encodings, LSTM carries), so the next score rebuilds from the new
+    window slice in one vectorized pass.  This is how long students stay
+    serveable under a bounded per-student memory footprint.
     """
 
-    __slots__ = ("state", "streams", "question_vectors", "length")
+    __slots__ = ("state", "streams", "question_vectors", "length", "anchor")
 
     INITIAL_CAPACITY = 8
 
     def __init__(self, state: ForwardStreamState, streams: np.ndarray,
-                 question_vectors: np.ndarray):
+                 question_vectors: np.ndarray, anchor: int = 0):
         bases, length, dim = streams.shape
         capacity = max(length, self.INITIAL_CAPACITY)
         self.state = state
@@ -84,6 +94,7 @@ class StudentStreamCache:
         self.question_vectors = np.empty((capacity, dim))
         self.question_vectors[:length] = question_vectors
         self.length = length
+        self.anchor = anchor
 
     @property
     def bases(self) -> int:
@@ -146,7 +157,9 @@ def build_stream_caches(model, histories) -> List[StudentStreamCache]:
     """Vectorized cold-start warm-up for many students at once.
 
     ``histories`` yields :class:`repro.serve.history.StudentHistory`
-    objects with at least one interaction each.  One stacked forward
+    objects — or :class:`~repro.serve.history.HistoryWindow` suffix
+    views, which is how windowed serving warm-builds anchored caches —
+    with at least one interaction each.  One stacked forward
     pass (students x variant bases) builds every cache, reusing the
     exact batch kernels the non-cached scorer runs — so a cache built
     here scores identically to the uncached path, and every later

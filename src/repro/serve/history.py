@@ -83,6 +83,18 @@ class StudentHistory:
         return (self._questions[:n], self._responses[:n],
                 self._concepts[:n], self._concept_counts[:n])
 
+    def suffix(self, start: int) -> "HistoryWindow":
+        """Read-only view of the interactions from position ``start`` on.
+
+        The sliding-window serving mode scores students over the suffix
+        that fits their window; a view (not a copy) keeps window
+        assembly O(window) memcpy work with no per-step loops.
+        """
+        if not 0 <= start <= self.length:
+            raise ValueError(f"suffix start {start} outside history of "
+                             f"length {self.length}")
+        return HistoryWindow(self, start)
+
     def to_sequence(self) -> StudentSequence:
         """Materialize as a :class:`StudentSequence` (interop/debugging)."""
         from repro.data import Interaction
@@ -93,6 +105,35 @@ class StudentHistory:
             sequence.append(Interaction(int(self._questions[i]),
                                         int(self._responses[i]), ids, i + 1))
         return sequence
+
+
+class HistoryWindow:
+    """Suffix view over a :class:`StudentHistory` (same read interface).
+
+    Duck-types the subset of :class:`StudentHistory` that batch assembly
+    and the stream-cache warm-up consume (``length``, ``concept_width``,
+    ``view()``), so windowed serving can pass truncated histories through
+    the exact code paths full histories take.
+    """
+
+    __slots__ = ("student_id", "start", "length", "_history")
+
+    def __init__(self, history: StudentHistory, start: int):
+        self.student_id = history.student_id
+        self.start = start
+        self.length = history.length - start
+        self._history = history
+
+    @property
+    def concept_width(self) -> int:
+        return self._history.concept_width
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Live array views over the suffix (no copies)."""
+        questions, responses, concepts, counts = self._history.view()
+        start = self.start
+        return (questions[start:], responses[start:], concepts[start:],
+                counts[start:])
 
 
 class HistoryStore:
@@ -142,15 +183,37 @@ class HistoryStore:
 
     def assemble(self, student_ids: Iterable,
                  probes: Optional[List[Optional[Tuple[int, Sequence[int]]]]]
-                 = None) -> Tuple[Batch, np.ndarray]:
+                 = None,
+                 starts: Optional[Sequence[int]] = None
+                 ) -> Tuple[Batch, np.ndarray]:
         """Build a padded batch of the named students' histories.
 
-        ``probes[k]`` — an optional ``(question_id, concept_ids)`` pair —
-        appends a *virtual* next interaction to row ``k`` (its response
-        value is irrelevant: the counterfactual variants overwrite the
-        target response).  Returns ``(batch, target_cols)`` where the
-        target column is the probe position (or the last real position
-        when no probe is given).
+        Parameters
+        ----------
+        student_ids:
+            One student per output row (repeats allowed).
+        probes:
+            ``probes[k]`` — an optional ``(question_id, concept_ids)``
+            pair — appends a *virtual* next interaction to row ``k``
+            (its response value is irrelevant: the counterfactual
+            variants overwrite the target response).
+        starts:
+            Optional per-row history start positions (sliding-window
+            serving): row ``k`` uses only interactions from
+            ``starts[k]`` on, re-based to column 0 — identical to
+            assembling a history truncated to that suffix.
+
+        Returns
+        -------
+        (Batch, np.ndarray)
+            The padded batch and per-row target columns — the probe
+            position, or the last real position when no probe is given.
+
+        Raises
+        ------
+        ValueError
+            On empty ``student_ids``, probe/start count mismatches, or a
+            row left with no history and no probe.
         """
         ids = list(student_ids)
         if not ids:
@@ -164,6 +227,11 @@ class HistoryStore:
         # junk entries in the store.
         histories = [self.peek(student_id) or StudentHistory(student_id)
                      for student_id in ids]
+        if starts is not None:
+            if len(starts) != len(ids):
+                raise ValueError("one window start per student required")
+            histories = [history if start == 0 else history.suffix(start)
+                         for history, start in zip(histories, starts)]
         lengths = np.array([h.length + (1 if probe is not None else 0)
                             for h, probe in zip(histories, probes)],
                            dtype=np.int64)

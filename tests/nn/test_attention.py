@@ -99,10 +99,23 @@ class TestTransformer:
         out = pe(x).data
         assert np.allclose(out[0], nn.sinusoidal_positions(5, 8))
 
-    def test_positional_encoding_length_guard(self):
+    def test_positional_encoding_grows_past_initial_length(self):
+        # The table is no longer a hard cap: longer inputs grow it on
+        # demand, and the grown table is bit-identical to a fresh
+        # sinusoid of the larger size (growth never perturbs encoding).
         pe = nn.PositionalEncoding(4, 8)
-        with pytest.raises(ValueError):
-            pe(Tensor(np.zeros((1, 5, 8))))
+        out = pe(Tensor(np.zeros((1, 5, 8)))).data
+        assert np.array_equal(out[0], nn.sinusoidal_positions(5, 8))
+        assert pe._table.shape[0] >= 8  # geometric growth
+
+    def test_positional_encoding_growth_is_prefix_exact(self):
+        pe = nn.PositionalEncoding(4, 8)
+        before = pe(Tensor(np.zeros((1, 4, 8)))).data.copy()
+        pe.ensure(1000)
+        after = pe(Tensor(np.zeros((1, 4, 8)))).data
+        assert np.array_equal(before, after)
+        assert np.array_equal(pe._table, nn.sinusoidal_positions(
+            pe._table.shape[0], 8))
 
     def test_last_attention_weights_exposed(self):
         enc = nn.TransformerEncoder(8, 2, 2, RNG)

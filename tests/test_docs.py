@@ -1,0 +1,76 @@
+"""The docs checker guards the equation-to-code table in CI.
+
+Runs ``tools/check_docs.py`` as a subprocess (exactly as the CI docs
+lane does), both against this repository — so a renamed symbol breaks
+tier-1, not just the separate docs lane — and against synthetic trees
+that prove the checker actually fails on rot.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def run_checker(root) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root)],
+        capture_output=True, text=True)
+
+
+def test_repository_docs_are_valid():
+    result = run_checker(REPO_ROOT)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ok" in result.stdout
+
+
+def write_minimal_tree(root: Path, table_row: str) -> None:
+    (root / "docs").mkdir()
+    (root / "src").mkdir()
+    (root / "src" / "mod.py").write_text(
+        "CONST = 1\n\n\ndef fn():\n    pass\n\n\n"
+        "class Klass:\n    def method(self):\n        pass\n")
+    (root / "docs" / "ARCHITECTURE.md").write_text(
+        "# Arch\n\n"
+        "| Equation | Implementation |\n| --- | --- |\n"
+        "| Eq. 12 | `src/mod.py:fn` |\n"
+        "| Eq. 13 | `src/mod.py:Klass.method` |\n"
+        "| Eq. 23 | `src/mod.py:CONST` |\n"
+        f"{table_row}\n")
+
+
+def test_checker_accepts_a_valid_tree(tmp_path):
+    write_minimal_tree(tmp_path, "| Eq. 25 | `src/mod.py:Klass` |")
+    result = run_checker(tmp_path)
+    assert result.returncode == 0, result.stdout
+
+
+def test_checker_fails_on_a_vanished_symbol(tmp_path):
+    write_minimal_tree(tmp_path, "| Eq. 25 | `src/mod.py:gone_function` |")
+    result = run_checker(tmp_path)
+    assert result.returncode == 1
+    assert "gone_function" in result.stdout
+
+
+def test_checker_fails_on_a_vanished_file(tmp_path):
+    write_minimal_tree(tmp_path, "| Eq. 25 | `src/missing.py:fn` |")
+    result = run_checker(tmp_path)
+    assert result.returncode == 1
+    assert "missing.py" in result.stdout
+
+
+def test_checker_fails_on_a_dropped_required_equation(tmp_path):
+    write_minimal_tree(tmp_path, "| Eq. 99 | `src/mod.py:fn` |")
+    result = run_checker(tmp_path)
+    assert result.returncode == 1
+    assert "Eq. 25" in result.stdout
+
+
+def test_checker_fails_on_a_broken_relative_link(tmp_path):
+    write_minimal_tree(tmp_path, "| Eq. 25 | `src/mod.py:Klass` |")
+    (tmp_path / "README.md").write_text("see [docs](docs/NOPE.md)\n")
+    result = run_checker(tmp_path)
+    assert result.returncode == 1
+    assert "NOPE.md" in result.stdout

@@ -1,0 +1,151 @@
+"""Documentation link & symbol checker (the CI docs lane).
+
+Docs rot silently: a refactor renames a function and the
+equation-to-code table in ``docs/ARCHITECTURE.md`` quietly points at
+nothing.  This checker makes that a CI failure.  Over ``README.md`` and
+every ``docs/*.md`` it verifies:
+
+* **Code references** — every backticked ``path/to/file.py:symbol``
+  span resolves: the file exists and the symbol is a module-level
+  function/class/constant or a ``Class.method`` in that file (checked
+  via AST, no imports — works without PYTHONPATH).
+* **Relative links** — every ``[text](target)`` / image link that
+  resolves inside the repository points at an existing file.  External
+  URLs, anchors, and paths escaping the repo (e.g. GitHub badge
+  routes) are skipped.
+* **Required equations** — ``docs/ARCHITECTURE.md`` exists and its
+  table still covers the paper's load-bearing equations (Eq. 12, 13,
+  23, 25), each with at least one code reference on the same line.
+
+Usage::
+
+    python tools/check_docs.py [--root PATH]
+
+Exits non-zero on any failure; prints every failure first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+CODE_REF = re.compile(r"`([A-Za-z0-9_\-./]+\.py):([A-Za-z_][A-Za-z0-9_.]*)`")
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# The acceptance-critical rows of the ARCHITECTURE.md equation table.
+REQUIRED_EQUATIONS = ("Eq. 12", "Eq. 13", "Eq. 23", "Eq. 25")
+
+
+def module_symbols(path: Path) -> set:
+    """Module-level defs/classes/constants plus ``Class.method`` names."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(f"{node.name}.{sub.name}")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def check_code_refs(doc: Path, root: Path, failures: list) -> int:
+    checked = 0
+    for match in CODE_REF.finditer(doc.read_text(encoding="utf-8")):
+        rel_path, symbol = match.groups()
+        checked += 1
+        target = root / rel_path
+        if not target.is_file():
+            failures.append(f"{doc.relative_to(root)}: referenced file "
+                            f"{rel_path} does not exist")
+            continue
+        if symbol not in module_symbols(target):
+            failures.append(f"{doc.relative_to(root)}: {rel_path} has no "
+                            f"symbol '{symbol}'")
+    return checked
+
+
+def check_links(doc: Path, root: Path, failures: list) -> int:
+    checked = 0
+    for match in MD_LINK.finditer(doc.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            # Outside the repo (e.g. the CI badge's web route): not a
+            # file this checker can vouch for either way.
+            continue
+        checked += 1
+        if not resolved.exists():
+            failures.append(f"{doc.relative_to(root)}: broken link "
+                            f"{target}")
+    return checked
+
+
+def check_required_equations(root: Path, failures: list) -> None:
+    architecture = root / "docs" / "ARCHITECTURE.md"
+    if not architecture.is_file():
+        failures.append("docs/ARCHITECTURE.md is missing")
+        return
+    lines = architecture.read_text(encoding="utf-8").splitlines()
+    for equation in REQUIRED_EQUATIONS:
+        rows = [line for line in lines
+                if equation in line and CODE_REF.search(line)]
+        if not rows:
+            failures.append(f"docs/ARCHITECTURE.md: no equation-table row "
+                            f"maps '{equation}' to a code reference")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this checkout)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    docs = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.is_file():
+        docs.insert(0, readme)
+    if not docs:
+        print(f"check_docs: no documentation found under {root}")
+        return 1
+
+    failures: list = []
+    refs = links = 0
+    for doc in docs:
+        refs += check_code_refs(doc, root, failures)
+        links += check_links(doc, root, failures)
+    check_required_equations(root, failures)
+
+    if failures:
+        print(f"check_docs: {len(failures)} failure(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"check_docs: ok ({len(docs)} files, {refs} code references, "
+          f"{links} relative links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
