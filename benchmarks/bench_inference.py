@@ -41,6 +41,19 @@ And one for the PR 3 long-context work:
   scores against a from-scratch recompute on each probe's anchored
   window slice — the parity the long-context test suite pins at 1e-10.
 
+And one for the PR 4 typed serving API:
+
+* **service_layer** — the ``repro.serve.Service`` facade.  ``speedup``
+  is the mixed-type scheduler win: one batch envelope of score +
+  explain + what-if queries (coalesced into shared forward-stream
+  batches) against executing the same queries one ``execute`` call at
+  a time.  Also reported: the facade's overhead relative to the legacy
+  ``engine.score_batch`` surface (same scheduler underneath — the
+  typed edges must cost ~nothing) and the HTTP gateway's single-query
+  round-trip throughput.  ``max_abs_score_diff`` spans batched vs
+  per-query scores *and* wire vs in-process scores, so the drift gate
+  covers the whole stack.
+
 Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
 throughput ratio for the default encoder) to start the perf trajectory::
 
@@ -303,6 +316,134 @@ def bench_long_context(model: RCKT, num_concepts: int, length: int,
     }
 
 
+def bench_service_layer(model: RCKT, dataset, rounds: int) -> dict:
+    """Typed facade: mixed-batch scheduling, facade overhead, HTTP."""
+    from repro.serve import (ExplainQuery, HistoryEdit, ScoreQuery, Service,
+                             ServiceClient, WhatIfQuery, start_http_thread)
+
+    rng = np.random.default_rng(29)
+    sequences = list(dataset)
+    num_questions = dataset.num_questions
+    probe_questions = rng.integers(1, num_questions + 1,
+                                   size=(rounds, len(sequences)))
+
+    def mixed_queries(round_index: int) -> list:
+        queries = []
+        for k, sequence in enumerate(sequences):
+            question = int(probe_questions[round_index, k])
+            queries.append(ScoreQuery(sequence.student_id, question,
+                                      (1 + question % 20,)))
+            if k % 3 == 0 and len(sequence) >= 2:
+                queries.append(ExplainQuery(sequence.student_id))
+            if k % 4 == 0 and len(sequence) >= 2:
+                queries.append(WhatIfQuery(
+                    sequence.student_id, question, (1 + question % 20,),
+                    (HistoryEdit(0, "flip"),)))
+        return queries
+
+    def scores_of(replies) -> np.ndarray:
+        # Every reply in these workloads carries a score; an error
+        # reply means the benchmark itself is broken — fail loudly
+        # instead of silently comparing fewer queries.
+        bad = [reply for reply in replies if not reply.ok]
+        if bad:
+            raise RuntimeError(f"service_layer benchmark query failed: "
+                               f"{bad[0]}")
+        return np.array([reply.score for reply in replies])
+
+    def fresh_service() -> Service:
+        engine = InferenceEngine(model)
+        engine.load_dataset(dataset)
+        service = Service(engine)
+        # Pre-warm the stream caches: both arms measure the steady
+        # state, not the one-off cold build.
+        service.execute_batch([ScoreQuery(s.student_id, 1, (1,))
+                               for s in sequences])
+        return service
+
+    # Arm 1: one execute() per query (no cross-query coalescing).
+    service = fresh_service()
+    start = time.perf_counter()
+    single_scores = []
+    for round_index in range(rounds):
+        for query in mixed_queries(round_index):
+            single_scores.append(service.execute(query))
+    single_seconds = time.perf_counter() - start
+    single_scores = scores_of(single_scores)
+
+    # Arm 2: the same queries as batch envelopes (the scheduler
+    # coalesces all score/explain/what-if rows per model into shared
+    # forward-stream batches).
+    service = fresh_service()
+    start = time.perf_counter()
+    batched_scores = []
+    for round_index in range(rounds):
+        batched_scores.extend(service.execute_batch(
+            mixed_queries(round_index)))
+    batched_seconds = time.perf_counter() - start
+    batched_scores = scores_of(batched_scores)
+    queries_total = len(batched_scores)
+
+    # Facade overhead: the legacy engine surface vs typed queries —
+    # same scheduler underneath, so the typed edges must cost ~nothing.
+    score_requests = [ScoreRequest(s.student_id,
+                                   int(probe_questions[0, k]),
+                                   (1 + int(probe_questions[0, k]) % 20,))
+                      for k, s in enumerate(sequences)]
+    score_queries = [ScoreQuery(r.student_id, r.question_id,
+                                r.concept_ids) for r in score_requests]
+    service = fresh_service()
+    engine = service.engine()
+    # Interleave the two arms so slow drift on shared runners cancels
+    # instead of biasing whichever arm runs second.
+    engine_seconds = 0.0
+    facade_seconds = 0.0
+    for _ in range(max(rounds, 4)):
+        start = time.perf_counter()
+        engine_scores = engine.score_batch(score_requests)
+        engine_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        facade_replies = service.execute_batch(score_queries)
+        facade_seconds += time.perf_counter() - start
+    facade_diff = float(np.max(np.abs(engine_scores
+                                      - scores_of(facade_replies))))
+
+    # HTTP round-trip: single-query latency through the stdlib gateway.
+    service = fresh_service()
+    server, _ = start_http_thread(service)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
+    http_queries = score_queries[:min(len(score_queries), 50)]
+    try:
+        start = time.perf_counter()
+        wire_scores = np.array([client.query(query).score
+                                for query in http_queries])
+        http_seconds = time.perf_counter() - start
+        local_scores = scores_of(service.execute_batch(http_queries))
+    finally:
+        server.shutdown()
+    http_diff = float(np.max(np.abs(wire_scores - local_scores)))
+
+    return {
+        "queries": queries_total,
+        "single_seconds": round(single_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "single_queries_per_sec": round(queries_total / single_seconds, 1),
+        "batched_queries_per_sec": round(queries_total / batched_seconds,
+                                         1),
+        "speedup": round(single_seconds / batched_seconds, 2),
+        "engine_shim_seconds": round(engine_seconds, 4),
+        "facade_seconds": round(facade_seconds, 4),
+        "facade_overhead_pct": round(
+            100.0 * (facade_seconds - engine_seconds) / engine_seconds, 1),
+        "http_requests": len(http_queries),
+        "http_seconds": round(http_seconds, 4),
+        "http_requests_per_sec": round(len(http_queries) / http_seconds, 1),
+        "max_abs_score_diff": max(
+            float(np.max(np.abs(single_scores - batched_scores))),
+            facade_diff, http_diff),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -354,6 +495,7 @@ def main() -> None:
         "serving_incremental": {},
         "sweep_workers": {},
         "long_context": {},
+        "service_layer": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -364,11 +506,13 @@ def main() -> None:
         long_context = bench_long_context(model, dataset.num_concepts,
                                           long_length, long_window,
                                           long_every)
+        service_layer = bench_service_layer(model, dataset, args.rounds)
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
         results["serving_incremental"][encoder] = incremental
         results["sweep_workers"][encoder] = sweep_threads
         results["long_context"][encoder] = long_context
+        results["service_layer"][encoder] = service_layer
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -390,6 +534,13 @@ def main() -> None:
               f"{long_context['windowed_probes_per_sec']} probes/s, "
               f"window-recompute diff "
               f"{long_context['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: service layer mixed-batch "
+              f"{service_layer['speedup']}x "
+              f"({service_layer['single_queries_per_sec']} -> "
+              f"{service_layer['batched_queries_per_sec']} queries/s) | "
+              f"facade overhead {service_layer['facade_overhead_pct']}% | "
+              f"http {service_layer['http_requests_per_sec']} req/s "
+              f"(diff {service_layer['max_abs_score_diff']:.2e})")
 
     headline = results["serving"][encoders[0]]
     results["headline_workload"] = "serving"

@@ -40,6 +40,7 @@ SECTIONS = (
     "serving_incremental",
     "sweep_workers",
     "long_context",
+    "service_layer",
 )
 
 # sweep_workers measures hardware parallelism, not an algorithmic win:
@@ -47,9 +48,13 @@ SECTIONS = (
 # of tiny quick-mode timings dominates.  Gate it only on score drift.
 # (long_context's speedup, by contrast, is an algorithmic ratio — full
 # history vs window — and its drift entry compares windowed scores to a
-# from-scratch recompute on the window, so both checks apply.)
+# from-scratch recompute on the window, so both checks apply.
+# service_layer's speedup is likewise algorithmic — one coalesced
+# mixed-type batch vs per-query execution on the same machine — and its
+# drift entry spans batched-vs-single, facade-vs-engine, and
+# wire-vs-in-process scores.)
 THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental",
-                    "long_context")
+                    "long_context", "service_layer")
 
 
 def load(path: str) -> dict:

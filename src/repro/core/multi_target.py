@@ -130,6 +130,19 @@ class MultiTargetContext:
         (0, 1) per pair; raises ``ValueError`` when a target lands on a
         padded position.
         """
+        return self.influences_for(row_indices, target_cols).scores
+
+    def influences_for(self, row_indices: np.ndarray,
+                       target_cols: np.ndarray):
+        """Full per-position influence quantities for each target pair.
+
+        Same shared-forward-stream pricing as :meth:`scores_for` but
+        returns the :class:`~repro.core.influence.InfluenceComputation`
+        itself — per-position Δ grids, Δ⁺/Δ⁻ totals, scores — which is
+        what the serving layer's explanation queries itemize.  Grids are
+        truncated to ``max(target_cols) + 1`` columns; row ``k`` of the
+        result corresponds to pair ``k``.
+        """
         rows = np.asarray(row_indices)
         cols = np.asarray(target_cols)
         if not self.base.mask[rows, cols].all():
@@ -181,9 +194,8 @@ class MultiTargetContext:
             for i, name in enumerate(COUNTERFACTUAL_VARIANTS)
         }
         variants = VariantSet(variant_rows, cols, history, correct, incorrect)
-        influence = compute_influences(per_variant, variants,
-                                       normalization=self.normalization)
-        return influence.scores
+        return compute_influences(per_variant, variants,
+                                  normalization=self.normalization)
 
 
 def column_banded_chunks(cols: np.ndarray, target_batch: int
@@ -212,13 +224,20 @@ def column_banded_chunks(cols: np.ndarray, target_batch: int
     return chunks
 
 
-def map_chunks(worker, chunks, workers: int):
+def map_chunks(worker, chunks, workers: int, executor=None):
     """Run ``worker`` over every chunk, optionally on a thread pool.
 
     NumPy releases the GIL inside the hot gemm/reduction kernels, so
     chunk-level threads scale on multi-core boxes without any change to
     the numerics (each chunk's arithmetic is untouched, merely
     concurrent).  ``workers <= 1`` stays on the caller's thread.
+
+    ``executor`` lends a *persistent* ``ThreadPoolExecutor`` (the
+    serving engine keeps one alive across calls — pool spin-up costs
+    more than a small serving batch does); without one, a transient
+    pool is created and torn down here.  The executor is only borrowed:
+    it is never shut down by this function, and sharing one across
+    concurrent callers is safe.
 
     The grad flag is thread-local (see :func:`repro.tensor.no_grad`),
     so pool threads do not inherit the caller's inference scope — each
@@ -228,16 +247,19 @@ def map_chunks(worker, chunks, workers: int):
         for chunk in chunks:
             worker(chunk)
         return
-    from concurrent.futures import ThreadPoolExecutor
-
     from repro.tensor import no_grad
 
     def run_no_grad(chunk):
         with no_grad():
             return worker(chunk)
 
-    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+    if executor is not None:
         # Materialize to surface the first worker exception, if any.
+        list(executor.map(run_no_grad, chunks))
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
         list(pool.map(run_no_grad, chunks))
 
 
@@ -245,7 +267,8 @@ def score_batch_targets(model, base: Batch, target_cols,
                         target_batch: int = 64,
                         workers: int = 1,
                         window: Optional[int] = None,
-                        window_hop: int = 1) -> np.ndarray:
+                        window_hop: int = 1,
+                        executor=None) -> np.ndarray:
     """Influence scores for one explicit target per row of ``base``.
 
     The serving-shaped entry point: each row is one student/request and
@@ -267,7 +290,9 @@ def score_batch_targets(model, base: Batch, target_cols,
     target_batch:
         Cap on how many targets share one stacked generator pass.
     workers:
-        ``> 1`` scores the (independent) chunks on that many threads.
+        ``> 1`` scores the (independent) chunks on that many threads —
+        on ``executor`` when a persistent pool is lent (see
+        :func:`map_chunks`), else on a per-call pool.
     window / window_hop:
         Enable sliding-window contexts: a target whose history exceeds
         ``window`` steps is scored over the re-based slice starting at
@@ -318,8 +343,8 @@ def score_batch_targets(model, base: Batch, target_cols,
         scores[chunk] = context.scores_for(np.arange(len(chunk)), sub_cols)
 
     map_chunks(score_chunk,
-                column_banded_chunks(effective_cols, target_batch),
-                workers)
+               column_banded_chunks(effective_cols, target_batch),
+               workers, executor=executor)
     return scores
 
 
@@ -339,7 +364,7 @@ def score_targets(model, sequences, target_cols, target_batch: int = 64,
 def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
                          stride: int = 1, target_batch: int = 64,
                          workers: int = 1, window: Optional[int] = None,
-                         window_hop: int = 1
+                         window_hop: int = 1, executor=None
                          ) -> Tuple[np.ndarray, np.ndarray]:
     """(labels, scores) over every evaluated target, collating each
     sequence exactly once.
@@ -408,7 +433,7 @@ def predict_dataset_fast(model, dataset: KTDataset, batch_size: int = 32,
         chunks = [part[chunk:chunk + target_batch]
                   for part in (near, far) if len(part)
                   for chunk in range(0, len(part), target_batch)]
-        map_chunks(score_chunk, chunks, workers)
+        map_chunks(score_chunk, chunks, workers, executor=executor)
         scores.append(group_scores)
     if not labels:
         return np.array([]), np.array([])

@@ -1,41 +1,86 @@
-"""Serving subsystem: checkpointed RCKT inference behind a micro-batcher.
+"""Serving subsystem: a typed, transport-agnostic API over RCKT inference.
 
 ``repro.serve`` turns the repository's counterfactual scorer into an
-engine shaped like a production inference service:
+engine shaped like a production inference service, reachable three
+equivalent ways — the typed facade, the legacy engine methods (now thin
+shims over it), and HTTP:
 
-* :class:`InferenceEngine` — holds one loaded model, per-student cached
-  interaction arrays, and a pending-request queue.
-* :class:`ScoreRequest` / :class:`PendingScore` — the submit/flush
-  micro-batch lifecycle (see :mod:`repro.serve.engine` for the walkthrough).
-* :class:`HistoryStore` / :class:`StudentHistory` — O(1)-append response
-  logs assembled into padded batches without per-interaction Python work.
-* :class:`StreamCacheStore` / :class:`StudentStreamCache` — per-student
-  incremental forward-stream caches under an LRU byte budget
-  (:mod:`repro.serve.forward_cache`): ``record`` extends each cached
-  encoder state by one step, so steady-state scoring only pays for the
-  per-request backward streams.
+* :class:`Service` — the v1 facade: every capability is a typed query
+  (:class:`ScoreQuery`, :class:`ExplainQuery` for per-response
+  influences, :class:`WhatIfQuery` for counterfactual history edits,
+  :class:`RecommendQuery`, :class:`RecordEvent`, batched via
+  :class:`BatchEnvelope`) answered by a typed reply or a structured
+  error **value** (:class:`~repro.serve.protocol.ServiceError`
+  subclasses — never raised across the boundary).  One admission
+  scheduler coalesces heterogeneous query types per model into shared
+  forward-stream batches.
+* :class:`ModelRegistry` — named checkpoints with atomic hot-swap;
+  queries address models by name.
+* :mod:`repro.serve.http_gateway` — stdlib HTTP/JSON gateway
+  (``python -m repro.serve``) plus :class:`ServiceClient`; same
+  protocol, same errors, over the wire.
+* :class:`InferenceEngine` — the per-model compute core: per-student
+  cached interaction arrays (:class:`HistoryStore`), incremental
+  forward-stream caches under an LRU byte budget
+  (:class:`StreamCacheStore`), sliding-window anchoring, and a
+  persistent worker pool.  Its classic ``score`` / ``influences`` /
+  ``recommend`` / ``submit``/``flush`` methods now shim through the
+  facade.
 
 Histories are unbounded in length: positional tables grow on demand,
 and ``InferenceEngine(window=W)`` serves arbitrarily long students over
 a sliding window with exact truncation semantics (windowed scores equal
 a full recompute on the window slice — ``docs/SERVING.md`` documents
-the anchoring).
+the anchoring; ``docs/API.md`` documents the protocol).
 
 All scoring goes through the multi-target fast path
 (:mod:`repro.core.multi_target`), which the golden-parity suite pins to
-the legacy per-prefix scores, so the engine is exactly as accurate as the
-paper's evaluation protocol — just batched, cached, windowed, and
-(optionally) threaded via the ``workers`` option.
+the legacy per-prefix scores, so every surface is exactly as accurate
+as the paper's evaluation protocol — just batched, cached, windowed,
+typed, and (optionally) threaded.
 """
 
 from .engine import InferenceEngine, PendingScore, ScoreRequest
 from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
                             StudentStreamCache, build_stream_caches)
-from .history import HistoryStore, HistoryWindow, StudentHistory
+from .history import (ArrayHistory, HistoryStore, HistoryWindow,
+                      StudentHistory, assemble_padded)
+from .http_gateway import (ServiceClient, ServiceHTTPServer, serve_http,
+                           start_http_thread)
+from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
+                       BatchReply, CandidateQuestion, EmptyHistory,
+                       ExplainQuery, ExplainReply, HistoryEdit,
+                       InfluenceItem, InternalError, InvalidConcept,
+                       InvalidEdit, InvalidQuestion, MalformedQuery,
+                       ModelNotLoaded, NotFound, RecommendQuery,
+                       RecommendReply,
+                       RecommendationItem, RecordEvent, RecordReply,
+                       ScoreQuery, ScoreReply, ServiceError,
+                       UnknownStudent, WhatIfQuery, WhatIfReply, is_error,
+                       query_from_wire, reply_from_wire, to_wire)
+from .registry import ModelRegistry, registry_for
+from .service import PendingReply, Service
 
 __all__ = [
+    # engine core
     "InferenceEngine", "ScoreRequest", "PendingScore",
-    "HistoryStore", "StudentHistory", "HistoryWindow",
+    "HistoryStore", "StudentHistory", "HistoryWindow", "ArrayHistory",
+    "assemble_padded",
     "StreamCacheStore", "StudentStreamCache", "build_stream_caches",
     "DEFAULT_STREAM_CACHE_BYTES",
+    # facade + registry
+    "Service", "PendingReply", "ModelRegistry", "registry_for",
+    # protocol
+    "PROTOCOL_VERSION", "DEFAULT_MODEL",
+    "ScoreQuery", "ExplainQuery", "WhatIfQuery", "RecommendQuery",
+    "RecordEvent", "BatchEnvelope", "HistoryEdit", "CandidateQuestion",
+    "ScoreReply", "ExplainReply", "WhatIfReply", "RecommendReply",
+    "RecordReply", "BatchReply", "InfluenceItem", "RecommendationItem",
+    "ServiceError", "UnknownStudent", "InvalidQuestion", "InvalidConcept",
+    "EmptyHistory", "InvalidEdit", "ModelNotLoaded", "MalformedQuery",
+    "NotFound", "InternalError", "is_error", "to_wire", "query_from_wire",
+    "reply_from_wire",
+    # HTTP gateway
+    "ServiceClient", "ServiceHTTPServer", "serve_http",
+    "start_http_thread",
 ]

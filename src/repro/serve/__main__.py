@@ -1,0 +1,133 @@
+"""CLI: serve RCKT checkpoints over the HTTP/JSON gateway.
+
+Usage::
+
+    python -m repro.serve --checkpoint rckt.npz
+    python -m repro.serve --checkpoint prod=rckt.npz --checkpoint \\
+        canary=rckt_new.npz --port 8080 --window 256 --workers 4
+    python -m repro.serve --selfcheck
+
+``--checkpoint`` takes ``PATH`` (registered as the default model) or
+``NAME=PATH`` and may repeat — every name becomes addressable through
+the queries' ``model`` field.  ``--selfcheck`` boots a tiny synthetic
+model instead, round-trips a score through a real socket, and exits —
+the zero-dependency smoke test CI runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .http_gateway import ServiceClient, serve_http, start_http_thread
+from .protocol import DEFAULT_MODEL, ScoreQuery
+from .registry import ModelRegistry
+from .service import Service
+
+
+def _parse_checkpoint(spec: str):
+    name, sep, path = spec.partition("=")
+    if not sep:
+        return DEFAULT_MODEL, spec
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"--checkpoint expects PATH or NAME=PATH, got '{spec}'")
+    return name, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="HTTP/JSON gateway over the typed RCKT serving API")
+    parser.add_argument("--checkpoint", action="append",
+                        type=_parse_checkpoint, metavar="[NAME=]PATH",
+                        help="engine checkpoint to register (repeatable); "
+                             "bare PATH registers as "
+                             f"'{DEFAULT_MODEL}'")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="persistent scoring threads per model")
+    parser.add_argument("--window", type=int, default=None,
+                        help="sliding-window context size")
+    parser.add_argument("--window-hop", type=int, default=None)
+    parser.add_argument("--stream-cache-bytes", type=int, default=None,
+                        help="LRU budget for forward-stream caches "
+                             "(default: engine default)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="boot a tiny synthetic model, round-trip a "
+                             "score over a real socket, exit 0 on success")
+    return parser
+
+
+def _engine_kwargs(args) -> dict:
+    kwargs = {"workers": args.workers, "window": args.window,
+              "window_hop": args.window_hop}
+    if args.stream_cache_bytes is not None:
+        kwargs["stream_cache_bytes"] = args.stream_cache_bytes
+    return kwargs
+
+
+def _selfcheck(args) -> int:
+    from repro.core import RCKT, RCKTConfig
+    from repro.serve import InferenceEngine
+
+    model = RCKT(20, 5, RCKTConfig(encoder="dkt", dim=8, layers=1, seed=0))
+    engine = InferenceEngine(model, **_engine_kwargs(args))
+    service = Service(engine, max_batch=args.max_batch)
+    engine.record("probe", 3, 1, (2,))
+    server, _ = start_http_thread(service, host=args.host, port=0)
+    try:
+        client = ServiceClient(f"http://{args.host}:{server.server_port}")
+        health = client.health()
+        reply = client.query(ScoreQuery("probe", 5, (1,)))
+        direct = engine.score("probe", 5, (1,))
+        if health.get("status") != "ok":
+            print(f"selfcheck: bad health payload {health}")
+            return 1
+        if not reply.ok or abs(reply.score - direct) > 1e-12:
+            print(f"selfcheck: wire score {reply} != direct {direct}")
+            return 1
+    finally:
+        server.shutdown()
+        service.close()
+    print(f"selfcheck: ok (score {direct:.6f} round-tripped over "
+          f"http://{args.host}:{server.server_port})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.selfcheck:
+        return _selfcheck(args)
+    if not args.checkpoint:
+        build_parser().error("--checkpoint is required (or --selfcheck)")
+    registry = ModelRegistry()
+    for name, path in args.checkpoint:
+        engine = registry.load(name, path, **_engine_kwargs(args))
+        print(f"loaded model '{name}' from {path} "
+              f"({engine.num_questions} questions, "
+              f"{engine.num_concepts} concepts)")
+    service = Service(registry=registry, max_batch=args.max_batch)
+    server = serve_http(service, host=args.host, port=args.port,
+                        verbose=args.verbose)
+    print(f"serving {registry.names()} on "
+          f"http://{args.host}:{server.server_port} "
+          f"(POST /v1/query, /v1/batch; GET /v1/health, /v1/models)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

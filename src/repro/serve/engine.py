@@ -1,7 +1,18 @@
-"""The serving engine: checkpointed model + request micro-batching.
+"""The serving engine: one model's compute core behind the typed facade.
 
-Request lifecycle
------------------
+The engine owns a checkpointed model plus everything that model's
+serving state needs — per-student histories, incremental forward-stream
+caches, window anchoring, a persistent worker pool — and exposes the
+row-level scheduling primitives (:meth:`InferenceEngine._assemble_rows`,
+:meth:`InferenceEngine._score_context`) the
+:class:`repro.serve.Service` scheduler drives.  The classic convenience
+methods below (``score``/``score_batch``/``influences``/``recommend``)
+are thin deprecation shims over that facade: same scheduler, same
+numbers, with structured error values translated back into the
+``ValueError``s they historically raised.
+
+Request lifecycle (legacy surface)
+----------------------------------
 1. ``record(student, question, correct, concepts)`` appends one response
    to the student's cached arrays (O(1) amortized — see
    :mod:`repro.serve.history`).
@@ -42,7 +53,8 @@ from repro.utils import load_checkpoint, save_checkpoint
 from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
                             base_contents, build_stream_caches,
                             question_vector_for)
-from .history import HistoryStore
+from .history import HistoryStore, HistoryWindow, assemble_padded
+from .protocol import DEFAULT_MODEL
 
 
 @dataclass(frozen=True)
@@ -74,6 +86,27 @@ class PendingScore:
             raise RuntimeError("request not flushed yet — call "
                                "InferenceEngine.flush()")
         return self._value
+
+
+@dataclass
+class _ContextRow:
+    """One row of a shared scoring context (the scheduler's unit).
+
+    ``history`` is any object with the read interface of
+    :class:`~repro.serve.history.StudentHistory` — the stored history,
+    or a detached :class:`~repro.serve.history.ArrayHistory` carrying a
+    what-if edit.  ``start`` is the window anchor into it.  ``probe``
+    appends a virtual next interaction (score/what-if rows); ``None``
+    makes the row's *last recorded position* the target (explain rows).
+    ``cache_key`` names the stream-cache slot that may serve this row
+    (``None`` for detached/edited rows, which are always built
+    transiently).
+    """
+
+    history: object
+    start: int
+    probe: Optional[Tuple[int, Tuple[int, ...]]]
+    cache_key: object = None
 
 
 class InferenceEngine:
@@ -130,7 +163,8 @@ class InferenceEngine:
                  stream_cache_bytes: Optional[int]
                  = DEFAULT_STREAM_CACHE_BYTES,
                  window: Optional[int] = None,
-                 window_hop: Optional[int] = None):
+                 window_hop: Optional[int] = None,
+                 name: str = DEFAULT_MODEL):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if workers <= 0:
@@ -146,6 +180,7 @@ class InferenceEngine:
         self.window = window
         self.window_hop = window_hop
         self.model = model
+        self.name = name
         self.max_batch = max_batch
         self.target_batch = target_batch
         self.workers = workers
@@ -153,29 +188,103 @@ class InferenceEngine:
         self.stream_caches = StreamCacheStore(stream_cache_bytes)
         self._pending: List[PendingScore] = []
         self._lock = threading.Lock()
+        self._service = None
+        # One persistent pool per engine, reused across every scoring
+        # call (spinning a ThreadPoolExecutor up per call costs more
+        # than small serving batches do — the ROADMAP's small-batch
+        # latency item).  Threads spawn lazily on first use.
+        self._executor = None
+        if workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="rckt-serve")
         embedder = model.generator.embedder
         self.num_questions = embedder.question_embedding.num_embeddings - 1
         self.num_concepts = embedder.concept_embedding.num_embeddings - 1
         model.eval()
 
+    @property
+    def service(self):
+        """The typed :class:`repro.serve.Service` facade over this engine.
+
+        Built lazily (one single-model registry under this engine's
+        ``name``); the legacy convenience methods below are thin shims
+        over it, so in-process callers and wire callers share one code
+        path, one scheduler, and one error taxonomy.
+        """
+        if self._service is None:
+            from .service import Service
+            self._service = Service(self)
+        return self._service
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
     def _window_start(self, history_length: int) -> int:
         """Anchored window start for a history of ``history_length`` steps."""
         return window_start(history_length, self.window, self.window_hop)
 
-    def _validate_ids(self, question_id: int,
-                      concept_ids: Sequence[int]) -> None:
+    def _error_context(self, student_id=None) -> str:
+        if student_id is None:
+            return f" (model '{self.name}')"
+        return f" (model '{self.name}', student {student_id!r})"
+
+    def _id_error(self, question_id: int, concept_ids: Sequence[int],
+                  student_id=None) -> Optional[Tuple[str, str, dict]]:
+        """First id-validation failure as ``(kind, message, details)``.
+
+        ``kind`` is ``"question"`` / ``"concept"`` / ``"concept_empty"``;
+        the message names the offending id, the valid range, and the
+        model/student context so a gateway error payload is actionable
+        on its own.  ``None`` when everything is in vocabulary.
+        """
+        context = self._error_context(student_id)
+        if not isinstance(question_id, (int, np.integer)) \
+                or isinstance(question_id, bool):
+            # Wire payloads can carry any JSON type: reject before a
+            # string reaches an ordered comparison, a JSON `true` turns
+            # into question 1, or either reaches an embedding gather.
+            return ("question",
+                    f"question_id must be an integer, got "
+                    f"{question_id!r}{context}",
+                    {"question_id": question_id, "model": self.name})
         if not 1 <= question_id <= self.num_questions:
-            raise ValueError(f"question_id {question_id} outside the "
-                             f"model's vocabulary [1, {self.num_questions}]")
+            return ("question",
+                    f"question_id {question_id} outside the model's "
+                    f"vocabulary [1, {self.num_questions}]{context}",
+                    {"question_id": question_id,
+                     "valid_range": (1, self.num_questions),
+                     "model": self.name})
         if not concept_ids:
             # Empty concept sets would divide by a zero concept count
             # deep inside the embedder (Eq. 23 averages over concepts).
-            raise ValueError("concept_ids must be non-empty")
+            return ("concept_empty",
+                    f"concept_ids must be non-empty{context}",
+                    {"model": self.name})
         for concept in concept_ids:
+            if not isinstance(concept, (int, np.integer)) \
+                    or isinstance(concept, bool):
+                return ("concept",
+                        f"concept id must be an integer, got "
+                        f"{concept!r}{context}",
+                        {"concept_id": concept, "model": self.name})
             if not 1 <= concept <= self.num_concepts:
-                raise ValueError(f"concept id {concept} outside the "
-                                 f"model's vocabulary "
-                                 f"[1, {self.num_concepts}]")
+                return ("concept",
+                        f"concept id {concept} outside the model's "
+                        f"vocabulary [1, {self.num_concepts}]{context}",
+                        {"concept_id": int(concept),
+                         "valid_range": (1, self.num_concepts),
+                         "model": self.name})
+        return None
+
+    def _validate_ids(self, question_id: int, concept_ids: Sequence[int],
+                      student_id=None) -> None:
+        error = self._id_error(question_id, concept_ids, student_id)
+        if error is not None:
+            raise ValueError(error[1])
 
     # ------------------------------------------------------------------
     # Persistence
@@ -285,7 +394,7 @@ class InferenceEngine:
             If ``question_id``/``concept_ids`` fall outside the model's
             vocabulary or ``correct`` is not 0/1.
         """
-        self._validate_ids(question_id, concept_ids)
+        self._validate_ids(question_id, concept_ids, student_id)
         if correct not in (0, 1):
             raise ValueError(f"correct must be 0 or 1, got {correct}")
         with self._lock:
@@ -341,7 +450,8 @@ class InferenceEngine:
         for sequence in dataset:
             for interaction in sequence:
                 self._validate_ids(interaction.question_id,
-                                   interaction.concept_ids)
+                                   interaction.concept_ids,
+                                   sequence.student_id)
         with self._lock:
             for sequence in dataset:
                 self.students.load_sequence(sequence)
@@ -371,7 +481,8 @@ class InferenceEngine:
         Invalid requests are rejected here, synchronously — a bad id must
         never poison a batch other callers are waiting on.
         """
-        self._validate_ids(request.question_id, request.concept_ids)
+        self._validate_ids(request.question_id, request.concept_ids,
+                           request.student_id)
         pending = PendingScore(request)
         with self._lock:
             self._pending.append(pending)
@@ -401,129 +512,159 @@ class InferenceEngine:
     def score_batch(self, requests: Sequence[ScoreRequest]) -> np.ndarray:
         """Scores for many (student, next-question) probes at once.
 
-        With stream caching enabled (the default) the forward half of
-        the encoder work comes from the per-student caches — built in
-        one vectorized pass for any cold students in the batch — and
-        only the per-request backward streams run; otherwise the batch
-        re-encoding path serves the request.  Under a serving ``window``
-        each probe conditions on its student's anchored window slice;
-        both paths use the same anchoring, so their scores agree to
-        roundoff.
+        Deprecation shim: requests become typed
+        :class:`~repro.serve.protocol.ScoreQuery` values executed by the
+        :attr:`service` facade's scheduler — the same shared
+        forward-stream batches, stream-cache reuse, and window anchoring
+        as before, now also reachable over the wire.  Prefer
+        ``engine.service.execute_batch`` in new code.
 
-        Returns scores in request order; raises ``ValueError`` on ids
-        outside the checkpoint vocabulary (before any work is done).
+        Returns scores in request order; raises ``ValueError`` on the
+        first structured error (e.g. ids outside the checkpoint
+        vocabulary), mirroring the pre-facade behavior.
         """
+        from .protocol import ScoreQuery, is_error
         if not requests:
             return np.array([])
+        # Preserve the pre-facade contract: every id is validated (and
+        # the first bad one raised) before any scoring work happens —
+        # a permanently-bad request in a re-queued flush batch must not
+        # make every retry score-and-discard its valid siblings.
         for request in requests:
-            self._validate_ids(request.question_id, request.concept_ids)
-        if self.stream_caches.enabled:
-            with no_grad():
-                with self._lock:
-                    context, cols = self._assemble_cached(requests)
-                return self._score_context(context, cols)
-        with self._lock:
-            ids = [r.student_id for r in requests]
-            starts = None
-            if self.window is not None:
-                histories = [self.students.peek(student) for student in ids]
-                starts = [self._window_start(h.length if h else 0)
-                          for h in histories]
-            base, cols = self.students.assemble(
-                ids,
-                probes=[(r.question_id, r.concept_ids) for r in requests],
-                starts=starts)
-        with no_grad():
-            return score_batch_targets(self.model, base, cols,
-                                       target_batch=self.target_batch,
-                                       workers=self.workers)
+            self._validate_ids(request.question_id, request.concept_ids,
+                               request.student_id)
+        replies = self.service.execute_batch(
+            [ScoreQuery(r.student_id, r.question_id, r.concept_ids,
+                        model=self.name) for r in requests])
+        scores = np.empty(len(replies), dtype=np.float64)
+        for index, reply in enumerate(replies):
+            if is_error(reply):
+                raise ValueError(reply.message)
+            scores[index] = reply.score
+        return scores
 
-    def _assemble_cached(self, requests: Sequence[ScoreRequest]
-                         ) -> Tuple[MultiTargetContext, np.ndarray]:
-        """Build a scoring context from the stream caches (lock held).
+    def _assemble_rows(self, rows: Sequence[_ContextRow]
+                       ) -> Tuple[MultiTargetContext, np.ndarray]:
+        """One shared scoring context over heterogeneous rows (lock held).
 
-        Cold students (never scored, LRU-evicted, or bulk-reloaded) are
-        warm-built first in one stacked pass; the assembled arrays are
-        copies, so the heavy backward passes in :meth:`_score_context`
-        run outside the lock.
+        The scheduler's core: score probes, what-if replays (edited
+        detached histories), and explain targets all become rows of a
+        single :class:`MultiTargetContext`.  With stream caching enabled
+        the forward half comes from the per-student caches — every
+        missing row (cold students, edited histories, off-anchor explain
+        targets) is warm-built in **one** stacked
+        :func:`~repro.serve.forward_cache.build_stream_caches` pass —
+        and only per-target backward streams remain; with caching
+        disabled the rows are assembled as a raw batch and the context
+        encodes the (up to three) base forward streams itself.  Either
+        way a mixed flush issues one shared forward-stream batch.
+
+        Returns the context plus per-row target columns.  The assembled
+        arrays are copies, so the backward passes run outside the lock.
         """
+        if self.stream_caches.enabled:
+            return self._assemble_rows_cached(rows)
+        return self._assemble_rows_raw(rows)
+
+    def _assemble_rows_cached(self, rows: Sequence[_ContextRow]
+                              ) -> Tuple[MultiTargetContext, np.ndarray]:
         store = self.stream_caches
-        histories = [self.students.peek(r.student_id) for r in requests]
-        full_lengths = [h.length if h is not None else 0 for h in histories]
         # Windowed serving: each row's context is the anchored suffix of
         # its history; the cached entry (if any) must sit at the same
         # anchor — a stale anchor means the window slid since the entry
         # was built, so it is rebuilt from the current window slice.
-        starts = [self._window_start(length) for length in full_lengths]
-        lengths = [length - start
-                   for length, start in zip(full_lengths, starts)]
+        lengths = [row.history.length - row.start for row in rows]
 
         entries = {}
         missing = {}
-        for request, history, length, start in zip(requests, histories,
-                                                   lengths, starts):
-            student_id = request.student_id
-            if length == 0 or student_id in entries or student_id in missing:
+        slot_of: List[object] = []
+        for index, (row, length) in enumerate(zip(rows, lengths)):
+            if length == 0:
+                slot_of.append(None)
                 continue
-            entry = store.get(student_id)
-            if entry is not None and (entry.anchor != start
+            # Rows with the same cache slot and anchor share one entry;
+            # detached rows (edited histories) are always private.
+            slot = ((row.cache_key, row.start)
+                    if row.cache_key is not None else ("row", index))
+            slot_of.append(slot)
+            if slot in entries or slot in missing:
+                continue
+            # Only the canonical serving anchor may touch the store: an
+            # explain row whose target-relative anchor trails the
+            # serving anchor must neither evict nor overwrite the entry
+            # the score path keeps extending.
+            canonical = (row.cache_key is not None and row.start
+                         == self._window_start(row.history.length))
+            entry = store.get(row.cache_key) \
+                if row.cache_key is not None else None
+            if entry is not None and (entry.anchor != row.start
                                       or entry.length != length):
-                store.discard(student_id)
+                if canonical:
+                    store.discard(row.cache_key)
                 entry = None
             if entry is None:
-                missing[student_id] = (history.suffix(start) if start
-                                       else history, start)
+                missing[slot] = (row.history.suffix(row.start) if row.start
+                                 else row.history, row.start,
+                                 row.cache_key if canonical else None)
             else:
-                entries[student_id] = entry
+                entries[slot] = entry
         if missing:
             built = build_stream_caches(
-                self.model, [suffix for suffix, _ in missing.values()])
-            for (student_id, (_, start)), entry in zip(missing.items(),
-                                                       built):
+                self.model, [suffix for suffix, _, _ in missing.values()])
+            for (slot, (_, start, cache_key)), entry in zip(missing.items(),
+                                                            built):
                 entry.anchor = start
                 # Keep a batch-local reference: the store may evict the
                 # entry immediately under a tiny byte budget, but this
                 # request still needs it.
-                entries[student_id] = entry
-                store.put(student_id, entry)
+                entries[slot] = entry
+                if cache_key is not None:
+                    store.put(cache_key, entry)
 
-        rows = len(requests)
-        width = max(lengths) + 1
+        count = len(rows)
+        width = max(length + (1 if row.probe is not None else 0)
+                    for row, length in zip(rows, lengths))
         dim = self.model.config.dim
-        responses = np.zeros((rows, width), dtype=np.int64)
-        mask = np.zeros((rows, width), dtype=bool)
-        question_vectors = np.zeros((rows, width, dim))
+        responses = np.zeros((count, width), dtype=np.int64)
+        mask = np.zeros((count, width), dtype=bool)
+        question_vectors = np.zeros((count, width, dim))
         # Under "-mono" all base streams coincide (single cached row):
         # alias one padded array instead of filling three copies.
         base_names = (FORWARD_BASES if self.model.config.use_monotonicity
                       else FORWARD_BASES[:1])
-        streams = {name: np.zeros((rows, width, dim))
+        streams = {name: np.zeros((count, width, dim))
                    for name in base_names}
         for name in FORWARD_BASES[len(base_names):]:
             streams[name] = streams[FORWARD_BASES[0]]
-        cols = np.asarray(lengths, dtype=np.int64)
+        cols = np.empty(count, dtype=np.int64)
         embedder = self.model.generator.embedder
-        for row, (request, history, length, start) in enumerate(
-                zip(requests, histories, lengths, starts)):
-            mask[row, :length + 1] = True
-            question_vectors[row, length] = question_vector_for(
-                embedder, request.question_id, request.concept_ids)
+        for index, (row, length) in enumerate(zip(rows, lengths)):
+            if row.probe is not None:
+                mask[index, :length + 1] = True
+                question_vectors[index, length] = question_vector_for(
+                    embedder, row.probe[0], row.probe[1])
+                cols[index] = length
+            else:
+                # Explain row: the last recorded response is the target.
+                mask[index, :length] = True
+                cols[index] = length - 1
             if length == 0:
                 continue
-            responses[row, :length] = history.view()[1][start:]
-            entry = entries[request.student_id]
-            question_vectors[row, :length] = \
+            responses[index, :length] = \
+                row.history.view()[1][row.start:]
+            entry = entries[slot_of[index]]
+            question_vectors[index, :length] = \
                 entry.question_vectors[:length]
             for name in base_names:
-                streams[name][row, :length] = entry.stream_for(name)
+                streams[name][index, :length] = entry.stream_for(name)[:length]
 
         # Questions/concepts are never read once the fused question
         # vectors are injected; placeholder arrays keep the Batch shape.
         base = Batch(
-            questions=np.zeros((rows, width), dtype=np.int64),
+            questions=np.zeros((count, width), dtype=np.int64),
             responses=responses,
-            concepts=np.full((rows, width, 1), PAD_ID, dtype=np.int64),
-            concept_counts=np.ones((rows, width), dtype=np.int64),
+            concepts=np.full((count, width, 1), PAD_ID, dtype=np.int64),
+            concept_counts=np.ones((count, width), dtype=np.int64),
             mask=mask,
         )
         context = MultiTargetContext(self.model, base,
@@ -531,18 +672,39 @@ class InferenceEngine:
                                      forward_streams=streams)
         return context, cols
 
+    def _assemble_rows_raw(self, rows: Sequence[_ContextRow]
+                           ) -> Tuple[MultiTargetContext, np.ndarray]:
+        """Cache-disabled fallback: raw batch, context-encoded streams.
+
+        The golden-reference mode the parity suite drives against the
+        cached path — forward streams are computed by the context from
+        the real question/concept ids, still as one shared batch (the
+        padding itself is the store-independent
+        :func:`repro.serve.history.assemble_padded`).
+        """
+        histories = [HistoryWindow(row.history, row.start) if row.start
+                     else row.history for row in rows]
+        base, cols = assemble_padded(histories,
+                                     [row.probe for row in rows])
+        context = MultiTargetContext(self.model, base)
+        return context, cols
+
     def _score_context(self, context: MultiTargetContext,
+                       row_indices: np.ndarray,
                        cols: np.ndarray) -> np.ndarray:
         """Run the per-request backward passes, column-banded and
-        optionally threaded (chunks are independent)."""
+        optionally threaded on the persistent pool (chunks are
+        independent)."""
+        rows = np.asarray(row_indices, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
         scores = np.empty(len(cols), dtype=np.float64)
 
         def score_chunk(chunk: np.ndarray) -> None:
-            scores[chunk] = context.scores_for(chunk, cols[chunk])
+            scores[chunk] = context.scores_for(rows[chunk], cols[chunk])
 
         map_chunks(score_chunk,
-                    column_banded_chunks(cols, self.target_batch),
-                    self.workers)
+                   column_banded_chunks(cols, self.target_batch),
+                   self.workers, executor=self._executor)
         return scores
 
     def score(self, student_id, question_id: int,
@@ -563,29 +725,57 @@ class InferenceEngine:
         """Response influences of the student's history on their latest
         response (the engine-side view of the paper's Fig. 3 readout).
 
+        Deprecation shim over the facade: executes a typed
+        :class:`~repro.serve.protocol.ExplainQuery` and returns the
+        reply's full :class:`~repro.core.influence.InfluenceComputation`
+        (new code should use ``engine.service.execute`` and consume the
+        typed, wire-safe :class:`~repro.serve.protocol.ExplainReply`).
         With a serving window the influences cover the windowed context
         only — positions the window slid past no longer contribute, which
         mirrors exactly what a windowed :meth:`score` conditions on.
 
         Raises ``ValueError`` when fewer than two responses are recorded.
         """
-        with self._lock:
-            history = self.students.peek(student_id)
-            if history is None or history.length < 2:
-                raise ValueError("influences need at least two recorded "
-                                 "responses")
-            # The target is the last response; the window bounds the
-            # history *before* it.
-            start = self._window_start(history.length - 1)
-            base, cols = self.students.assemble(
-                [student_id], starts=[start] if start else None)
-        with no_grad():
-            return self.model.influences(base, cols)
+        from .protocol import ExplainQuery, is_error
+        reply = self.service.execute(ExplainQuery(student_id,
+                                                  model=self.name))
+        if is_error(reply):
+            raise ValueError(reply.message)
+        return reply.computation
 
     def recommend(self, student_id, candidates: Sequence[ScoreRequest],
                   top_k: int = 5, target_success: float = 0.6,
                   value_weight: float = 1.0, horizon: int = 4):
         """Batched next-question recommendation.
+
+        Deprecation shim over the facade: candidates become a typed
+        :class:`~repro.serve.protocol.RecommendQuery` and the reply's
+        items convert back to :class:`~repro.interpret.recommendation
+        .QuestionRecommendation` objects, best first (at most
+        ``top_k``).  Raises ``ValueError`` on invalid candidate ids or
+        an empty history.
+        """
+        from repro.interpret.recommendation import QuestionRecommendation
+        from .protocol import CandidateQuestion, RecommendQuery, is_error
+        if not candidates:
+            return []
+        reply = self.service.execute(RecommendQuery(
+            student_id,
+            tuple(CandidateQuestion(c.question_id, tuple(c.concept_ids))
+                  for c in candidates),
+            top_k=top_k, target_success=target_success,
+            value_weight=value_weight, horizon=horizon, model=self.name))
+        if is_error(reply):
+            raise ValueError(reply.message)
+        return [QuestionRecommendation(
+            question_id=item.question_id, concept_ids=item.concept_ids,
+            success_probability=item.success_probability,
+            value=item.value, score=item.score) for item in reply.items]
+
+    def _recommend(self, student_id, candidates: Sequence[ScoreRequest],
+                   top_k: int = 5, target_success: float = 0.6,
+                   value_weight: float = 1.0, horizon: int = 4):
+        """The recommendation scheduler (the facade's compute primitive).
 
         Reimplements :func:`repro.interpret.recommendation
         .recommend_questions` semantics — success probability blended
@@ -594,18 +784,12 @@ class InferenceEngine:
         passes instead of one collated call per probe (the seed idiom
         runs ``1 + 2 * horizon`` single-row passes per candidate).
         Candidates are probed against the student's windowed context
-        when a serving window is set.
-
-        Returns at most ``top_k`` :class:`~repro.interpret
-        .recommendation.QuestionRecommendation` objects, best first;
-        raises ``ValueError`` on invalid candidate ids or an empty
-        history.
+        when a serving window is set.  The caller (the facade) has
+        already validated candidate ids and the non-empty history.
         """
         from repro.interpret.recommendation import QuestionRecommendation
         if not candidates:
             return []
-        for candidate in candidates:
-            self._validate_ids(candidate.question_id, candidate.concept_ids)
         with self._lock:
             # Snapshot under the lock: a concurrent record() may widen
             # the concept table mid-read otherwise.
@@ -669,7 +853,9 @@ class InferenceEngine:
         batch = Batch(questions, responses, concepts, counts, mask)
         with no_grad():
             scores = score_batch_targets(self.model, batch, cols,
-                                         target_batch=self.target_batch)
+                                         target_batch=self.target_batch,
+                                         workers=self.workers,
+                                         executor=self._executor)
 
         recommendations = []
         for index, candidate in enumerate(candidates):

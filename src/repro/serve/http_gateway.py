@@ -1,0 +1,238 @@
+"""HTTP/JSON gateway: the wire transport over the ``Service`` facade.
+
+Pure stdlib (``http.server``) — no framework dependency — with a
+thread-per-connection server whose handlers all call into one shared
+:class:`~repro.serve.Service`; the facade's scheduler and per-engine
+locks provide the concurrency discipline, the gateway only translates.
+
+Routes (all JSON, protocol v1 — see ``docs/API.md`` for the wire
+reference):
+
+==========================  =================================================
+``POST /v1/query``          one typed query -> its reply, HTTP status mapped
+                            from the error taxonomy (200 on success)
+``POST /v1/batch``          a batch envelope -> ``batch_reply`` with one
+                            reply per query, always 200 (per-query errors
+                            ride inside)
+``GET  /v1/health``         liveness + protocol version + model names
+``GET  /v1/models``         per-model metadata (encoder, vocab, window, ...)
+==========================  =================================================
+
+:class:`ServiceClient` is the matching minimal client (``urllib``), used
+by ``examples/serve_http.py`` and the gateway tests; it decodes every
+response back into the same typed replies/errors the in-process facade
+returns, so code written against the facade ports to the wire by
+swapping the object.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .protocol import (PROTOCOL_VERSION, BatchEnvelope, BatchReply,
+                       InternalError, MalformedQuery, NotFound, is_error,
+                       query_from_wire, reply_from_wire, to_wire)
+from .service import Service
+
+#: Cap on request bodies: a serving query is bytes, not megabytes; the
+#: bound keeps a confused client from buffering unbounded JSON.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """One request per call; the service lives on the server object."""
+
+    server_version = "rckt-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_reply(self, reply) -> None:
+        status = reply.http_status if is_error(reply) else 200
+        self._send_json(status, to_wire(reply))
+
+    def _read_body(self):
+        """Parsed JSON body, or a MalformedQuery error value.
+
+        Error paths that bail before consuming the declared body close
+        the connection (``close_connection``): leftover body bytes on a
+        kept-alive socket would be parsed as the next request line,
+        desyncing every subsequent exchange.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self.close_connection = True
+            return MalformedQuery("missing or invalid Content-Length")
+        if length <= 0:
+            self.close_connection = True
+            return MalformedQuery("empty request body")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return MalformedQuery(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            return MalformedQuery(f"request body is not valid JSON "
+                                  f"({error})")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path == "/v1/health":
+            self._send_json(200, {
+                "status": "ok",
+                "protocol": PROTOCOL_VERSION,
+                "models": service.registry.names(),
+            })
+        elif self.path == "/v1/models":
+            self._send_json(200, {"models": service.describe_models()})
+        else:
+            self._send_reply(NotFound(f"no such route: GET {self.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        payload = self._read_body()
+        if is_error(payload):
+            self._send_reply(payload)
+            return
+        try:
+            if self.path == "/v1/query":
+                query = query_from_wire(payload)
+                self._send_reply(service.execute(query))
+            elif self.path == "/v1/batch":
+                envelope = query_from_wire(payload)
+                if is_error(envelope):
+                    self._send_reply(envelope)
+                    return
+                if not isinstance(envelope, BatchEnvelope):
+                    envelope = BatchEnvelope((envelope,))
+                replies = service.execute_batch(envelope)
+                self._send_json(200, to_wire(BatchReply(tuple(replies))))
+            else:
+                self._send_reply(NotFound(
+                    f"no such route: POST {self.path}"))
+        except Exception as error:  # noqa: BLE001 - transport boundary
+            # The facade returns errors as values; anything that still
+            # escapes is a server bug, reported in-protocol.
+            self._send_reply(InternalError(
+                f"gateway failure: {type(error).__name__}: {error}"))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Thread-per-connection HTTP server bound to one Service."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: Service, verbose: bool = False):
+        super().__init__(address, _GatewayHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def serve_http(service: Service, host: str = "127.0.0.1", port: int = 0,
+               verbose: bool = False) -> ServiceHTTPServer:
+    """Bind a gateway (``port=0`` picks an ephemeral port).
+
+    Returns the server without entering its loop — call
+    ``serve_forever()`` (the CLI does), or drive it from a thread:
+
+    >>> server = serve_http(service)                    # doctest: +SKIP
+    >>> threading.Thread(target=server.serve_forever,
+    ...                  daemon=True).start()           # doctest: +SKIP
+    """
+    return ServiceHTTPServer((host, port), service, verbose=verbose)
+
+
+def start_http_thread(service: Service, host: str = "127.0.0.1",
+                      port: int = 0):
+    """Gateway on a daemon thread; returns ``(server, thread)``.
+
+    The in-process convenience the example and tests use: the server is
+    already accepting connections when this returns (the socket binds in
+    the constructor), and ``server.shutdown()`` stops the loop.
+    """
+    server = serve_http(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="rckt-http-gateway", daemon=True)
+    thread.start()
+    return server, thread
+
+
+class ServiceClient:
+    """Minimal typed client for the gateway (stdlib ``urllib``).
+
+    Every call returns the same typed replies and error values the
+    in-process facade produces — errors are returned, not raised, unless
+    the *transport itself* fails (unreachable host, non-JSON response),
+    which raises ``urllib.error.URLError`` / ``ValueError``.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw wire
+    # ------------------------------------------------------------------
+    def _post(self, route: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{route}", data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            # Taxonomy errors arrive as 4xx/5xx with a protocol body:
+            # decode instead of raising, like the facade returns values.
+            return json.loads(error.read())
+
+    def _get(self, route: str) -> dict:
+        with urllib.request.urlopen(f"{self.base_url}{route}",
+                                    timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    # Typed surface
+    # ------------------------------------------------------------------
+    def query(self, query):
+        """Execute one typed query object over the wire."""
+        return reply_from_wire(self._post("/v1/query", to_wire(query)))
+
+    def batch(self, queries):
+        """Execute many queries as one envelope; replies in order."""
+        envelope = queries if isinstance(queries, BatchEnvelope) \
+            else BatchEnvelope(tuple(queries))
+        reply = reply_from_wire(self._post("/v1/batch", to_wire(envelope)))
+        return list(reply.replies) if isinstance(reply, BatchReply) \
+            else reply
+
+    def health(self) -> dict:
+        return self._get("/v1/health")
+
+    def models(self) -> dict:
+        return self._get("/v1/models")

@@ -1,0 +1,576 @@
+"""Versioned typed query protocol of the serving API (v1).
+
+Every serving capability — scoring, per-response influence explanation,
+counterfactual what-if replay, recommendation, event recording — is a
+typed *query* dataclass that flows through :class:`repro.serve.Service`
+and comes back as a typed *reply* dataclass.  Failures are part of the
+protocol: structured :class:`ServiceError` values (one subclass per
+failure mode) are **returned, not raised**, so the same taxonomy crosses
+the in-process facade and the HTTP gateway unchanged.
+
+Wire format
+-----------
+``to_wire`` turns any protocol object into a JSON-ready dict tagged with
+``{"v": PROTOCOL_VERSION, "type": <tag>}``; ``query_from_wire`` /
+``reply_from_wire`` invert it.  Unknown types, version mismatches, and
+missing fields decode to :class:`MalformedQuery` instead of raising;
+well-shaped queries carrying ill-*typed* values (a string question id,
+a fractional ``top_k``) decode structurally and are rejected by the
+service's admission validation with the specific taxonomy error —
+either way the gateway answers garbage with a structured error, never a
+stack trace.  Fields that exist only in-process
+(``ExplainReply.computation``) are never serialized.
+
+The full field-by-field reference lives in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional, Tuple
+
+PROTOCOL_VERSION = 1
+
+#: Registry name queries address when they don't specify one.
+DEFAULT_MODEL = "default"
+
+EDIT_OPS = ("flip", "set", "remove")
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScoreQuery:
+    """P(correct) for ``student_id`` answering ``question_id`` next."""
+
+    TYPE: ClassVar[str] = "score"
+
+    student_id: object
+    question_id: int
+    concept_ids: Tuple[int, ...]
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+
+
+@dataclass(frozen=True)
+class ExplainQuery:
+    """Per-response influences of the history on the latest response."""
+
+    TYPE: ClassVar[str] = "explain"
+
+    student_id: object
+    model: str = DEFAULT_MODEL
+
+
+@dataclass(frozen=True)
+class HistoryEdit:
+    """One counterfactual edit to a recorded history position.
+
+    ``op`` is one of :data:`EDIT_OPS`: ``"flip"`` toggles the response's
+    correctness, ``"set"`` forces it to ``value`` (0/1), ``"remove"``
+    deletes the interaction entirely.  ``position`` indexes the
+    student's *full* recorded history (0-based, before any edits are
+    applied; a batch of edits is applied highest-position-first so the
+    indices never shift under each other — which is also why a query
+    may edit each position at most once: duplicates are rejected as
+    ``invalid_edit``).
+    """
+
+    TYPE: ClassVar[str] = "edit"
+
+    position: int
+    op: str
+    value: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WhatIfQuery:
+    """Counterfactual replay: edit past responses, then re-score a probe.
+
+    Applies ``edits`` to a *copy* of the student's history (the recorded
+    history is never mutated) and scores ``question_id`` on the edited
+    timeline.  The reply also carries the unedited baseline score of the
+    same probe, so the delta is one round-trip.
+    """
+
+    TYPE: ClassVar[str] = "what_if"
+
+    student_id: object
+    question_id: int
+    concept_ids: Tuple[int, ...]
+    edits: Tuple[HistoryEdit, ...]
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+        object.__setattr__(self, "edits", tuple(self.edits))
+
+
+@dataclass(frozen=True)
+class CandidateQuestion:
+    """One candidate in a :class:`RecommendQuery`."""
+
+    TYPE: ClassVar[str] = "candidate"
+
+    question_id: int
+    concept_ids: Tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+
+
+@dataclass(frozen=True)
+class RecommendQuery:
+    """Rank candidate next questions for a student (Sec. V-C workload)."""
+
+    TYPE: ClassVar[str] = "recommend"
+
+    student_id: object
+    candidates: Tuple[CandidateQuestion, ...]
+    top_k: int = 5
+    target_success: float = 0.6
+    value_weight: float = 1.0
+    horizon: int = 4
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+
+
+@dataclass(frozen=True)
+class RecordEvent:
+    """Append one observed response to a student's history."""
+
+    TYPE: ClassVar[str] = "record"
+
+    student_id: object
+    question_id: int
+    correct: int
+    concept_ids: Tuple[int, ...]
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+
+
+@dataclass(frozen=True)
+class BatchEnvelope:
+    """Many queries admitted as one batch.
+
+    Semantics (documented in ``docs/API.md``): all :class:`RecordEvent`
+    entries apply first, in envelope order; every read query then
+    observes the same post-record snapshot, and read queries for the
+    same model are coalesced into shared forward-stream batches.
+    Replies come back in envelope order regardless.
+    """
+
+    TYPE: ClassVar[str] = "batch"
+
+    queries: Tuple[object, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "queries", tuple(self.queries))
+
+
+QUERY_TYPES = {cls.TYPE: cls for cls in
+               (ScoreQuery, ExplainQuery, WhatIfQuery, RecommendQuery,
+                RecordEvent)}
+
+
+# ---------------------------------------------------------------------------
+# Replies
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Reply:
+    """Marker base for success replies (``ok`` discriminates errors)."""
+
+    ok: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class ScoreReply(Reply):
+    TYPE: ClassVar[str] = "score_reply"
+
+    student_id: object
+    question_id: int
+    score: float
+    history_length: int
+    model: str = DEFAULT_MODEL
+
+
+@dataclass(frozen=True)
+class InfluenceItem:
+    """One history position's influence on the explained target.
+
+    ``position`` is absolute in the student's recorded history;
+    ``influence`` is the per-position backward delta (Eq. 12): the
+    contribution of keeping this response to the target's predicted
+    correctness.
+    """
+
+    TYPE: ClassVar[str] = "influence_item"
+
+    position: int
+    question_id: int
+    correct: int
+    influence: float
+
+
+@dataclass(frozen=True)
+class ExplainReply(Reply):
+    TYPE: ClassVar[str] = "explain_reply"
+
+    student_id: object
+    target_question_id: int
+    target_correct: int
+    score: float
+    influences: Tuple[InfluenceItem, ...]
+    model: str = DEFAULT_MODEL
+    #: In-process only: the full differentiable
+    #: :class:`repro.core.influence.InfluenceComputation` behind the
+    #: itemized view.  Never serialized; ``None`` across the wire.
+    computation: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "influences", tuple(self.influences))
+
+
+@dataclass(frozen=True)
+class WhatIfReply(Reply):
+    TYPE: ClassVar[str] = "what_if_reply"
+
+    student_id: object
+    question_id: int
+    score: float                 # probe score on the edited timeline
+    baseline_score: float        # same probe on the recorded timeline
+    history_length: int          # length of the edited timeline
+    model: str = DEFAULT_MODEL
+
+    @property
+    def delta(self) -> float:
+        return self.score - self.baseline_score
+
+
+@dataclass(frozen=True)
+class RecommendationItem:
+    TYPE: ClassVar[str] = "recommendation_item"
+
+    question_id: int
+    concept_ids: Tuple[int, ...]
+    success_probability: float
+    value: float
+    score: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+
+
+@dataclass(frozen=True)
+class RecommendReply(Reply):
+    TYPE: ClassVar[str] = "recommend_reply"
+
+    student_id: object
+    items: Tuple[RecommendationItem, ...]
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "items", tuple(self.items))
+
+
+@dataclass(frozen=True)
+class RecordReply(Reply):
+    TYPE: ClassVar[str] = "record_reply"
+
+    student_id: object
+    history_length: int
+    model: str = DEFAULT_MODEL
+
+
+@dataclass(frozen=True)
+class BatchReply(Reply):
+    TYPE: ClassVar[str] = "batch_reply"
+
+    replies: Tuple[object, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "replies", tuple(self.replies))
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceError:
+    """Structured failure value.
+
+    ``code`` is the stable machine-readable discriminator (one per
+    subclass), ``message`` the human-readable diagnosis — which names
+    the offending ids, the valid ranges, and the model/student context —
+    and ``details`` optional structured fields for programmatic
+    handling.  ``http_status`` is the status the gateway maps the error
+    to; the wire body is the same either way.
+    """
+
+    ok: ClassVar[bool] = False
+    TYPE: ClassVar[str] = "error"
+    code: ClassVar[str] = "internal_error"
+    http_status: ClassVar[int] = 500
+
+    message: str
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "details", tuple(
+            (str(k), v) for k, v in
+            (self.details.items() if isinstance(self.details, dict)
+             else self.details)))
+
+    def detail(self, key: str, default=None):
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
+class UnknownStudent(ServiceError):
+    """The query requires a recorded history and the student has none."""
+
+    code: ClassVar[str] = "unknown_student"
+    http_status: ClassVar[int] = 404
+
+
+@dataclass(frozen=True)
+class InvalidQuestion(ServiceError):
+    """``question_id`` outside the model's checkpoint vocabulary."""
+
+    code: ClassVar[str] = "invalid_question"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
+class InvalidConcept(ServiceError):
+    """A concept id outside the vocabulary, or an empty concept set."""
+
+    code: ClassVar[str] = "invalid_concept"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
+class EmptyHistory(ServiceError):
+    """The query needs more recorded history than the student has."""
+
+    code: ClassVar[str] = "empty_history"
+    http_status: ClassVar[int] = 409
+
+
+@dataclass(frozen=True)
+class InvalidEdit(ServiceError):
+    """A :class:`HistoryEdit` that cannot apply to the recorded history."""
+
+    code: ClassVar[str] = "invalid_edit"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
+class ModelNotLoaded(ServiceError):
+    """The addressed model name is not (or no longer) in the registry."""
+
+    code: ClassVar[str] = "model_not_loaded"
+    http_status: ClassVar[int] = 503
+
+
+@dataclass(frozen=True)
+class MalformedQuery(ServiceError):
+    """The payload does not decode to a protocol query."""
+
+    code: ClassVar[str] = "malformed_query"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
+class NotFound(ServiceError):
+    """No such gateway route (distinct from a malformed payload)."""
+
+    code: ClassVar[str] = "not_found"
+    http_status: ClassVar[int] = 404
+
+
+@dataclass(frozen=True)
+class InternalError(ServiceError):
+    """Unexpected server-side failure (the catch-all; never silent)."""
+
+    code: ClassVar[str] = "internal_error"
+    http_status: ClassVar[int] = 500
+
+
+ERROR_TYPES = {cls.code: cls for cls in
+               (UnknownStudent, InvalidQuestion, InvalidConcept,
+                EmptyHistory, InvalidEdit, ModelNotLoaded, MalformedQuery,
+                NotFound, InternalError)}
+
+REPLY_TYPES = {cls.TYPE: cls for cls in
+               (ScoreReply, ExplainReply, WhatIfReply, RecommendReply,
+                RecordReply, BatchReply)}
+
+
+def is_error(obj) -> bool:
+    """True for any :class:`ServiceError` value."""
+    return isinstance(obj, ServiceError)
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+#: Fields that exist only in-process and never cross the wire.
+_LOCAL_FIELDS = {"computation"}
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _dataclass_wire(value)
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item") and callable(value.item) \
+            and getattr(value, "shape", None) == ():
+        return value.item()   # NumPy scalar -> native Python
+    return value
+
+
+def _dataclass_wire(obj) -> dict:
+    payload = {"type": obj.TYPE}
+    if is_error(obj):
+        payload["code"] = obj.code
+    for spec in dataclasses.fields(obj):
+        if spec.name in _LOCAL_FIELDS:
+            continue
+        value = getattr(obj, spec.name)
+        if spec.name == "details":
+            payload[spec.name] = {k: _jsonable(v) for k, v in value}
+        else:
+            payload[spec.name] = _jsonable(value)
+    return payload
+
+
+def to_wire(obj) -> dict:
+    """JSON-ready dict for any protocol query, reply, or error."""
+    payload = _dataclass_wire(obj)
+    payload["v"] = PROTOCOL_VERSION
+    return payload
+
+
+def _decode_into(cls, payload: dict, nested: dict):
+    """Instantiate ``cls`` from wire fields (raises on mismatch)."""
+    kwargs = {}
+    for spec in dataclasses.fields(cls):
+        if spec.name in _LOCAL_FIELDS:
+            continue
+        if spec.name in payload:
+            value = payload[spec.name]
+        elif spec.default is not dataclasses.MISSING:
+            value = spec.default
+        elif spec.default_factory is not dataclasses.MISSING:
+            value = spec.default_factory()
+        else:
+            raise KeyError(f"missing field '{spec.name}'")
+        if spec.name in nested and value is not None:
+            decoder = nested[spec.name]
+            value = tuple(decoder(item) for item in value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[spec.name] = value
+    return cls(**kwargs)
+
+
+def _decode_edit(item) -> HistoryEdit:
+    return _decode_into(HistoryEdit, dict(item), {})
+
+
+def _decode_candidate(item) -> CandidateQuestion:
+    return _decode_into(CandidateQuestion, dict(item), {})
+
+
+def _decode_influence_item(item) -> InfluenceItem:
+    return _decode_into(InfluenceItem, dict(item), {})
+
+
+def _decode_recommendation_item(item) -> RecommendationItem:
+    return _decode_into(RecommendationItem, dict(item), {})
+
+
+_QUERY_NESTED = {
+    WhatIfQuery: {"edits": _decode_edit},
+    RecommendQuery: {"candidates": _decode_candidate},
+}
+
+_REPLY_NESTED = {
+    ExplainReply: {"influences": _decode_influence_item},
+    RecommendReply: {"items": _decode_recommendation_item},
+}
+
+
+def query_from_wire(payload) -> object:
+    """Decode one wire dict into a query — or a :class:`MalformedQuery`.
+
+    Decoding failures are protocol values, not exceptions: the gateway
+    forwards whatever this returns, so a garbage payload produces a
+    structured 400 instead of a stack trace.  Version mismatches are
+    rejected explicitly (v1 is the only protocol this build speaks).
+    """
+    if not isinstance(payload, dict):
+        return MalformedQuery(f"query payload must be an object, got "
+                              f"{type(payload).__name__}")
+    version = payload.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        return MalformedQuery(f"unsupported protocol version {version!r} "
+                              f"(this server speaks v{PROTOCOL_VERSION})",
+                              details={"version": version})
+    tag = payload.get("type")
+    if tag == BatchEnvelope.TYPE:
+        queries = payload.get("queries")
+        if not isinstance(queries, list):
+            return MalformedQuery("batch envelope needs a 'queries' list")
+        return BatchEnvelope(tuple(query_from_wire(q) for q in queries))
+    cls = QUERY_TYPES.get(tag)
+    if cls is None:
+        return MalformedQuery(f"unknown query type {tag!r} (expected one "
+                              f"of {sorted(QUERY_TYPES)})",
+                              details={"type": tag})
+    try:
+        return _decode_into(cls, payload, _QUERY_NESTED.get(cls, {}))
+    except (KeyError, TypeError, ValueError) as error:
+        return MalformedQuery(f"cannot decode {tag!r} query: {error}",
+                              details={"type": tag})
+
+
+def reply_from_wire(payload) -> object:
+    """Decode one wire dict into a reply or error value.
+
+    Used by the client side; raises ``ValueError`` when the payload is
+    not a recognizable protocol reply (a broken server, not a broken
+    request).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"reply payload must be an object, got "
+                         f"{type(payload).__name__}")
+    tag = payload.get("type")
+    if tag == ServiceError.TYPE:
+        cls = ERROR_TYPES.get(payload.get("code"), InternalError)
+        details = payload.get("details", {})
+        return cls(payload.get("message", ""),
+                   details=tuple(details.items())
+                   if isinstance(details, dict) else tuple(details))
+    if tag == BatchReply.TYPE:
+        replies = payload.get("replies", [])
+        return BatchReply(tuple(reply_from_wire(r) for r in replies))
+    cls = REPLY_TYPES.get(tag)
+    if cls is None:
+        raise ValueError(f"unknown reply type {tag!r}")
+    try:
+        return _decode_into(cls, payload, _REPLY_NESTED.get(cls, {}))
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"cannot decode {tag!r} reply: {error}") from None

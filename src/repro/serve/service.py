@@ -1,0 +1,582 @@
+"""The transport-agnostic ``Service`` facade: one scheduler, typed edges.
+
+Every serving capability flows through :meth:`Service.execute` /
+:meth:`Service.execute_batch` as a typed query
+(:mod:`repro.serve.protocol`) and comes back as a typed reply or a
+structured :class:`~repro.serve.protocol.ServiceError` **value** — the
+facade never raises across its boundary for a bad request, which is what
+lets the HTTP gateway forward the exact same taxonomy.
+
+The scheduler
+-------------
+``execute_batch`` is the single admission point.  One batch:
+
+1. routes queries to their named model (:class:`ModelRegistry`);
+2. applies every :class:`RecordEvent` first, in envelope order — all
+   read queries then observe the same post-record snapshot;
+3. coalesces the heterogeneous read queries for each model —
+   :class:`ScoreQuery` probes, :class:`ExplainQuery` targets, and both
+   timelines of every :class:`WhatIfQuery` (edited + baseline) — into
+   **one shared forward-stream batch**: a single
+   :class:`repro.core.multi_target.MultiTargetContext` whose forward
+   half comes from the per-student incremental caches, with every
+   missing row (cold students, edited timelines, off-anchor explain
+   targets) warm-built in one stacked pass.  Only the per-target
+   backward streams run per query, column-banded and threaded on the
+   engine's persistent worker pool.
+4. runs :class:`RecommendQuery` probes through the engine's dedicated
+   recommendation scheduler (already internally batched: every
+   candidate and assumed-answer world shares stacked passes).
+
+Replies come back in query order.  Window semantics are inherited
+unchanged: each row conditions on its anchored window slice, identical
+to the engine's direct paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.tensor import no_grad
+
+from .engine import InferenceEngine, _ContextRow
+from .history import ArrayHistory, StudentHistory
+from .protocol import (DEFAULT_MODEL, EDIT_OPS, BatchEnvelope, BatchReply,
+                       EmptyHistory,
+                       ExplainQuery, ExplainReply, InfluenceItem,
+                       InternalError, InvalidConcept, InvalidEdit,
+                       InvalidQuestion, MalformedQuery, ModelNotLoaded,
+                       RecommendQuery, RecommendReply, RecommendationItem,
+                       RecordEvent, RecordReply, ScoreQuery, ScoreReply,
+                       ServiceError, UnknownStudent, WhatIfQuery,
+                       WhatIfReply, is_error)
+from .registry import ModelRegistry, registry_for
+
+_QUERY_CLASSES = (ScoreQuery, ExplainQuery, WhatIfQuery, RecommendQuery,
+                  RecordEvent)
+
+_ID_ERROR_CLASSES = {
+    "question": InvalidQuestion,
+    "concept": InvalidConcept,
+    "concept_empty": InvalidConcept,
+}
+
+
+@dataclass
+class _ReadRow:
+    """Scheduler bookkeeping for one row of a shared context batch.
+
+    ``length`` snapshots the (windowed or edited) history length at
+    admission — replies must describe the state the row was scored
+    against, not whatever a concurrent ``record`` appended since.
+    """
+
+    index: int          # reply slot
+    role: str           # "score" | "explain" | "what_if_edit" | "what_if_base"
+    query: object
+    history: object
+    start: int
+    length: int
+
+
+@dataclass
+class PendingReply:
+    """Handle returned by :meth:`Service.submit`; resolved on flush."""
+
+    query: object
+    _reply: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self._reply is not None
+
+    @property
+    def reply(self):
+        if self._reply is None:
+            raise RuntimeError("query not flushed yet — call "
+                               "Service.flush()")
+        return self._reply
+
+
+class Service:
+    """Typed, transport-agnostic facade over one or many models.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.RCKT`, an :class:`InferenceEngine`, or
+        ``None`` when ``registry`` is given.  A bare model/engine is
+        wrapped in a one-entry registry under its engine name
+        (:data:`~repro.serve.protocol.DEFAULT_MODEL` unless the engine
+        carries another).
+    registry:
+        A pre-populated :class:`ModelRegistry` for multi-model serving.
+    max_batch:
+        Pending-query count that triggers an automatic flush of the
+        :meth:`submit` queue.
+    engine_kwargs:
+        Forwarded to :class:`InferenceEngine` when ``model`` is a bare
+        model (``window=...``, ``workers=...``, …).
+    """
+
+    def __init__(self, model=None, *, registry: Optional[ModelRegistry]
+                 = None, max_batch: int = 64, **engine_kwargs):
+        if (model is None) == (registry is None):
+            raise ValueError("provide exactly one of model or registry")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.registry = registry if registry is not None \
+            else registry_for(model, **engine_kwargs)
+        self.max_batch = max_batch
+        self._pending: List[PendingReply] = []
+        self._lock = threading.Lock()
+        # The facade is the canonical service of its engines: legacy
+        # engine methods shim through `engine.service`, which must
+        # resolve back here instead of spawning a parallel facade.
+        for name in self.registry.names():
+            engine = self.registry.get(name)
+            if engine is not None and engine._service is None:
+                engine._service = self
+
+    @classmethod
+    def from_checkpoint(cls, path, name: str = DEFAULT_MODEL,
+                        max_batch: int = 64, **engine_kwargs) -> "Service":
+        """One-model service straight from an engine checkpoint file."""
+        registry = ModelRegistry()
+        registry.load(name, path, **engine_kwargs)
+        return cls(registry=registry, max_batch=max_batch)
+
+    # ------------------------------------------------------------------
+    # Registry conveniences
+    # ------------------------------------------------------------------
+    def engine(self, name: str = DEFAULT_MODEL) -> InferenceEngine:
+        """The named engine; raises ``KeyError`` for unknown names
+        (in-process administration — queries get ``ModelNotLoaded``)."""
+        engine = self.registry.get(name)
+        if engine is None:
+            raise KeyError(f"no model named '{name}' is loaded "
+                           f"(known: {self.registry.names()})")
+        return engine
+
+    def describe_models(self) -> List[dict]:
+        return self.registry.describe()
+
+    def close(self) -> None:
+        """Shut down every engine's persistent worker pool."""
+        for name in self.registry.names():
+            engine = self.registry.get(name)
+            if engine is not None:
+                engine.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def execute(self, query):
+        """Run one query synchronously; returns its reply or error.
+
+        A :class:`BatchEnvelope` is accepted too (the gateway's
+        ``/v1/query`` route feeds whatever decoded) and comes back as a
+        :class:`~repro.serve.protocol.BatchReply`.
+        """
+        if isinstance(query, BatchEnvelope):
+            return BatchReply(tuple(self.execute_batch(query)))
+        return self.execute_batch([query])[0]
+
+    def submit(self, query) -> PendingReply:
+        """Enqueue a query; auto-flushes once ``max_batch`` wait."""
+        pending = PendingReply(query)
+        with self._lock:
+            self._pending.append(pending)
+            ready = len(self._pending) >= self.max_batch
+        if ready:
+            self.flush()
+        return pending
+
+    def flush(self) -> List[PendingReply]:
+        """Resolve every pending handle in one scheduled batch."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+        if not batch:
+            return []
+        replies = self.execute_batch([p.query for p in batch])
+        for pending, reply in zip(batch, replies):
+            pending._reply = reply
+        return batch
+
+    def execute_batch(self, queries) -> List[object]:
+        """The scheduler: every query of a batch, replies in order.
+
+        Accepts a :class:`BatchEnvelope` or any sequence of queries
+        (stray :class:`~repro.serve.protocol.MalformedQuery` values from
+        wire decoding pass through as their own replies).  Never raises
+        for a bad query — errors come back as values in its slot.
+        """
+        if isinstance(queries, BatchEnvelope):
+            queries = queries.queries
+        queries = list(queries)
+        replies: List[object] = [None] * len(queries)
+        groups = {}
+        for index, query in enumerate(queries):
+            if is_error(query):
+                replies[index] = query       # pre-decoded malformed slot
+            elif isinstance(query, BatchEnvelope):
+                replies[index] = MalformedQuery(
+                    "batch envelopes cannot ride inside another batch — "
+                    "pass the envelope itself to execute()/POST /v1/batch")
+            elif not isinstance(query, _QUERY_CLASSES):
+                replies[index] = MalformedQuery(
+                    f"not a protocol query: {type(query).__name__!s}")
+            else:
+                groups.setdefault(query.model, []).append((index, query))
+        for model_name, group in groups.items():
+            engine = self.registry.get(model_name)
+            if engine is None:
+                error = ModelNotLoaded(
+                    f"no model named '{model_name}' is loaded "
+                    f"(known: {self.registry.names()})",
+                    details={"model": model_name,
+                             "known": tuple(self.registry.names())})
+                for index, _ in group:
+                    replies[index] = error
+                continue
+            self._execute_group(engine, model_name, group, replies)
+        return replies
+
+    # ------------------------------------------------------------------
+    # Per-model execution
+    # ------------------------------------------------------------------
+    def _execute_group(self, engine: InferenceEngine, model_name: str,
+                       group, replies: List[object]) -> None:
+        # Replies echo `model_name` — the name the query addressed —
+        # which can differ from `engine.name` when one engine is
+        # served under aliases (see ModelRegistry.register).
+        def guarded(index, run, *args):
+            # The facade never raises across its boundary: anything a
+            # handler still throws becomes an InternalError value in
+            # that query's slot, leaving its siblings untouched.
+            try:
+                replies[index] = run(engine, model_name, *args)
+            except Exception as error:  # noqa: BLE001 — taxonomy boundary
+                replies[index] = InternalError(
+                    f"scheduler failure in model '{engine.name}': "
+                    f"{type(error).__name__}: {error}",
+                    details={"model": engine.name})
+
+        reads = []
+        for index, query in group:
+            if isinstance(query, RecordEvent):
+                # Records first, in envelope order: every read of the
+                # batch then observes the same post-record snapshot.
+                guarded(index, self._apply_record, query)
+            else:
+                reads.append((index, query))
+        coalesced = []
+        for index, query in reads:
+            if isinstance(query, RecommendQuery):
+                guarded(index, self._run_recommend, query)
+            else:
+                coalesced.append((index, query))
+        if coalesced:
+            try:
+                self._flush_reads(engine, model_name, coalesced,
+                                  replies)
+            except Exception as error:   # noqa: BLE001 — taxonomy boundary
+                failure = InternalError(
+                    f"scheduler failure in model '{engine.name}': "
+                    f"{type(error).__name__}: {error}",
+                    details={"model": engine.name})
+                for index, _ in coalesced:
+                    if replies[index] is None:
+                        replies[index] = failure
+
+    def _id_error_value(self, engine: InferenceEngine, question_id,
+                        concept_ids, student_id) -> Optional[ServiceError]:
+        found = engine._id_error(question_id, concept_ids, student_id)
+        if found is None:
+            return None
+        kind, message, details = found
+        return _ID_ERROR_CLASSES[kind](message, details=tuple(
+            details.items()))
+
+    def _apply_record(self, engine: InferenceEngine, model_name: str,
+                      query: RecordEvent):
+        error = self._id_error_value(engine, query.question_id,
+                                     query.concept_ids, query.student_id)
+        if error is not None:
+            return error
+        if query.correct not in (0, 1):
+            return MalformedQuery(
+                f"correct must be 0 or 1, got {query.correct}",
+                details={"correct": query.correct})
+        engine.record(query.student_id, query.question_id, query.correct,
+                      query.concept_ids)
+        return RecordReply(query.student_id,
+                           engine.history_length(query.student_id),
+                           model=model_name)
+
+    def _run_recommend(self, engine: InferenceEngine, model_name: str,
+                       query: RecommendQuery):
+        for name, value, kinds in (
+                ("top_k", query.top_k, (int,)),
+                ("horizon", query.horizon, (int,)),
+                ("target_success", query.target_success, (int, float)),
+                ("value_weight", query.value_weight, (int, float))):
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                expected = "an integer" if kinds == (int,) else "a number"
+                return MalformedQuery(
+                    f"{name} must be {expected}, got {value!r}",
+                    details={name: value})
+        for candidate in query.candidates:
+            error = self._id_error_value(engine, candidate.question_id,
+                                         candidate.concept_ids,
+                                         query.student_id)
+            if error is not None:
+                return error
+        if engine.history_length(query.student_id) == 0:
+            return EmptyHistory(
+                f"recommendation needs a non-empty history"
+                f"{engine._error_context(query.student_id)}",
+                details={"student_id": str(query.student_id),
+                         "model": engine.name})
+        from .engine import ScoreRequest
+        recommendations = engine._recommend(
+            query.student_id,
+            [ScoreRequest(query.student_id, c.question_id, c.concept_ids)
+             for c in query.candidates],
+            top_k=query.top_k, target_success=query.target_success,
+            value_weight=query.value_weight, horizon=query.horizon)
+        return RecommendReply(
+            query.student_id,
+            tuple(RecommendationItem(
+                question_id=r.question_id, concept_ids=tuple(r.concept_ids),
+                success_probability=r.success_probability, value=r.value,
+                score=r.score) for r in recommendations),
+            model=model_name)
+
+    # ------------------------------------------------------------------
+    # The mixed-type shared-context flush
+    # ------------------------------------------------------------------
+    def _flush_reads(self, engine: InferenceEngine, model_name: str,
+                     coalesced, replies: List[object]) -> None:
+        """Score + explain + what-if queries as one shared batch."""
+        rows: List[_ContextRow] = []
+        meta: List[_ReadRow] = []
+        with no_grad():
+            with engine._lock:
+                for index, query in coalesced:
+                    if isinstance(query, ScoreQuery):
+                        self._admit_score(engine, index, query, rows, meta,
+                                          replies)
+                    elif isinstance(query, ExplainQuery):
+                        self._admit_explain(engine, index, query, rows,
+                                            meta, replies)
+                    else:
+                        self._admit_what_if(engine, index, query, rows,
+                                            meta, replies)
+                if not rows:
+                    return
+                context, cols = engine._assemble_rows(rows)
+            # Backward passes run outside the engine lock: the context
+            # holds copies (and a consistent model reference even across
+            # a concurrent hot swap).
+            probe_rows = np.array([k for k, row in enumerate(meta)
+                                   if row.role != "explain"],
+                                  dtype=np.int64)
+            scores = np.full(len(rows), np.nan)
+            if len(probe_rows):
+                scores[probe_rows] = engine._score_context(
+                    context, probe_rows, cols[probe_rows])
+            explain_rows = np.array([k for k, row in enumerate(meta)
+                                     if row.role == "explain"],
+                                    dtype=np.int64)
+            computation = None
+            if len(explain_rows):
+                computation = context.influences_for(explain_rows,
+                                                     cols[explain_rows])
+        self._resolve_reads(model_name, meta, scores, explain_rows,
+                            computation, replies)
+
+    def _admit_score(self, engine, index, query: ScoreQuery, rows, meta,
+                     replies) -> None:
+        error = self._id_error_value(engine, query.question_id,
+                                     query.concept_ids, query.student_id)
+        if error is not None:
+            replies[index] = error
+            return
+        history = engine.students.peek(query.student_id) \
+            or StudentHistory(query.student_id)
+        start = engine._window_start(history.length)
+        rows.append(_ContextRow(history, start,
+                                (query.question_id, query.concept_ids),
+                                cache_key=query.student_id))
+        meta.append(_ReadRow(index, "score", query, history, start,
+                             history.length))
+
+    def _admit_explain(self, engine, index, query: ExplainQuery, rows,
+                       meta, replies) -> None:
+        history = engine.students.peek(query.student_id)
+        if history is None or history.length < 2:
+            # The taxonomy distinguishes "who?" from "not enough yet",
+            # but the message keeps the engine's historical wording.
+            cls = UnknownStudent if history is None else EmptyHistory
+            replies[index] = cls(
+                f"influences need at least two recorded responses"
+                f"{engine._error_context(query.student_id)}",
+                details={"student_id": str(query.student_id),
+                         "history_length":
+                         history.length if history else 0,
+                         "model": engine.name})
+            return
+        # The target is the last response; the window bounds the
+        # history *before* it.
+        start = engine._window_start(history.length - 1)
+        rows.append(_ContextRow(history, start, None,
+                                cache_key=query.student_id))
+        meta.append(_ReadRow(index, "explain", query, history, start,
+                             history.length))
+
+    def _admit_what_if(self, engine, index, query: WhatIfQuery, rows,
+                       meta, replies) -> None:
+        error = self._id_error_value(engine, query.question_id,
+                                     query.concept_ids, query.student_id)
+        if error is not None:
+            replies[index] = error
+            return
+        history = engine.students.peek(query.student_id)
+        if history is None:
+            replies[index] = UnknownStudent(
+                f"what-if replay needs a recorded history"
+                f"{engine._error_context(query.student_id)}",
+                details={"student_id": str(query.student_id),
+                         "model": engine.name})
+            return
+        edited = self._apply_edits(engine, history, query)
+        if is_error(edited):
+            replies[index] = edited
+            return
+        # Two rows per query: the edited timeline (detached — never
+        # cached) and the recorded baseline (shares the student's cache
+        # slot with any ScoreQuery in the batch).
+        edit_start = engine._window_start(edited.length)
+        rows.append(_ContextRow(edited, edit_start,
+                                (query.question_id, query.concept_ids)))
+        meta.append(_ReadRow(index, "what_if_edit", query, edited,
+                             edit_start, edited.length))
+        start = engine._window_start(history.length)
+        rows.append(_ContextRow(history, start,
+                                (query.question_id, query.concept_ids),
+                                cache_key=query.student_id))
+        meta.append(_ReadRow(index, "what_if_base", query, history, start,
+                             history.length))
+
+    def _apply_edits(self, engine, history, query: WhatIfQuery):
+        """Edited detached timeline, or the first ``InvalidEdit``."""
+        length = history.length
+        for edit in query.edits:
+            context = engine._error_context(query.student_id)
+            if edit.op not in EDIT_OPS:
+                return InvalidEdit(
+                    f"unknown edit op '{edit.op}' (expected one of "
+                    f"{list(EDIT_OPS)}){context}",
+                    details={"op": edit.op})
+            if not isinstance(edit.position, int) \
+                    or isinstance(edit.position, bool):
+                return InvalidEdit(
+                    f"edit position must be an integer, got "
+                    f"{edit.position!r}{context}",
+                    details={"position": edit.position})
+            if not 0 <= edit.position < length:
+                return InvalidEdit(
+                    f"edit position {edit.position} outside the recorded "
+                    f"history [0, {length}){context}",
+                    details={"position": edit.position,
+                             "history_length": length})
+            if edit.op == "set" and edit.value not in (0, 1):
+                return InvalidEdit(
+                    f"edit value must be 0 or 1, got {edit.value!r}"
+                    f"{context}", details={"value": edit.value})
+        positions = [edit.position for edit in query.edits]
+        if len(set(positions)) != len(positions):
+            duplicate = next(p for p in positions if positions.count(p) > 1)
+            return InvalidEdit(
+                f"duplicate edit position {duplicate}: positions index "
+                f"the history before any edits apply, so each may be "
+                f"edited at most once per query"
+                f"{engine._error_context(query.student_id)}",
+                details={"position": duplicate})
+        questions, responses, concepts, counts = \
+            (array.copy() for array in history.view())
+        # Highest position first: removals never shift a pending index.
+        for edit in sorted(query.edits, key=lambda e: -e.position):
+            if edit.op == "flip":
+                responses[edit.position] = 1 - responses[edit.position]
+            elif edit.op == "set":
+                responses[edit.position] = edit.value
+            else:
+                keep = np.arange(len(questions)) != edit.position
+                questions = questions[keep]
+                responses = responses[keep]
+                concepts = concepts[keep]
+                counts = counts[keep]
+        return ArrayHistory(query.student_id, questions, responses,
+                            concepts, counts)
+
+    def _resolve_reads(self, model_name: str, meta: List[_ReadRow],
+                       scores, explain_rows, computation,
+                       replies) -> None:
+        """Turn raw scores/influence grids into typed replies."""
+        edit_scores = {}
+        base_scores = {}
+        for position, row in enumerate(meta):
+            if row.role == "score":
+                replies[row.index] = ScoreReply(
+                    row.query.student_id, row.query.question_id,
+                    float(scores[position]), row.length, model=model_name)
+            elif row.role == "what_if_edit":
+                edit_scores[row.index] = (row.query, float(scores[position]),
+                                          row.length)
+            elif row.role == "what_if_base":
+                base_scores[row.index] = float(scores[position])
+        for index, (query, score, edited_length) in edit_scores.items():
+            replies[index] = WhatIfReply(
+                query.student_id, query.question_id, score,
+                baseline_score=base_scores[index],
+                history_length=edited_length, model=model_name)
+        for position, row_index in enumerate(explain_rows):
+            row = meta[row_index]
+            replies[row.index] = self._explain_reply(
+                model_name, row, computation, position,
+                attach=len(explain_rows) == 1)
+
+    def _explain_reply(self, model_name: str, row: _ReadRow,
+                       computation, position: int,
+                       attach: bool) -> ExplainReply:
+        query = row.query
+        start = row.start
+        questions, responses, _, _ = row.history.view()
+        target = row.length - 1
+        correct_deltas = computation.correct_deltas.data[position]
+        incorrect_deltas = computation.incorrect_deltas.data[position]
+        items = []
+        for offset in range(target - start):
+            absolute = start + offset
+            correct = int(responses[absolute])
+            delta = correct_deltas[offset] if correct \
+                else incorrect_deltas[offset]
+            items.append(InfluenceItem(
+                position=absolute,
+                question_id=int(questions[absolute]),
+                correct=correct,
+                influence=float(delta)))
+        return ExplainReply(
+            query.student_id,
+            target_question_id=int(questions[target]),
+            target_correct=int(responses[target]),
+            score=float(computation.scores[position]),
+            influences=tuple(items),
+            model=model_name,
+            computation=computation if attach else None)

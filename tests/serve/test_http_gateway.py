@@ -1,0 +1,253 @@
+"""The HTTP/JSON gateway: wire parity, taxonomy statuses, plumbing."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig
+from repro.data import (SimulationConfig, StudentSimulator, build_dataset)
+from repro.serve import (BatchEnvelope, CandidateQuestion, EmptyHistory,
+                         ExplainQuery, HistoryEdit, InferenceEngine,
+                         InvalidConcept, InvalidEdit, InvalidQuestion,
+                         MalformedQuery, ModelNotLoaded, RecommendQuery,
+                         RecordEvent, ScoreQuery, Service, ServiceClient,
+                         UnknownStudent, WhatIfQuery, start_http_thread,
+                         to_wire)
+from repro.serve.http_gateway import MAX_BODY_BYTES
+
+NUM_QUESTIONS = 30
+NUM_CONCEPTS = 5
+ATOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = SimulationConfig(num_students=4, num_questions=NUM_QUESTIONS,
+                              num_concepts=NUM_CONCEPTS,
+                              sequence_length=(5, 10))
+    simulator = StudentSimulator(config, seed=23)
+    return build_dataset("http", simulator.simulate(seed=24),
+                         NUM_QUESTIONS, NUM_CONCEPTS)
+
+
+@pytest.fixture(scope="module")
+def stack(dataset):
+    model = RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                 RCKTConfig(encoder="dkt", dim=8, layers=1, seed=5))
+    engine = InferenceEngine(model)
+    engine.load_dataset(dataset)
+    service = Service(engine)
+    server, thread = start_http_thread(service)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                           timeout=10.0)
+    yield engine, service, server, client
+    server.shutdown()
+    service.close()
+
+
+def raw_post(server, route, body: bytes):
+    """(status, decoded JSON) for a raw request body."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.server_port}{route}", data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestWireParity:
+    def test_score_matches_in_process_facade(self, stack, dataset):
+        engine, service, _, client = stack
+        for sequence in dataset:
+            query = ScoreQuery(sequence.student_id,
+                               1 + len(sequence) % NUM_QUESTIONS, (2,))
+            wire = client.query(query)
+            local = service.execute(query)
+            assert wire.ok
+            assert abs(wire.score - local.score) < ATOL
+            assert wire.model == "default"
+
+    def test_explain_round_trip(self, stack, dataset):
+        _, service, _, client = stack
+        student = next(s for s in dataset if len(s) >= 6).student_id
+        wire = client.query(ExplainQuery(student))
+        local = service.execute(ExplainQuery(student))
+        assert abs(wire.score - local.score) < ATOL
+        assert len(wire.influences) == len(local.influences)
+        for a, b in zip(wire.influences, local.influences):
+            assert a.position == b.position
+            assert abs(a.influence - b.influence) < ATOL
+        # The in-process-only computation never crosses the wire.
+        assert wire.computation is None
+
+    def test_what_if_round_trip(self, stack, dataset):
+        _, service, _, client = stack
+        student = next(s for s in dataset if len(s) >= 6).student_id
+        query = WhatIfQuery(student, 9, (1,),
+                            (HistoryEdit(0, "flip"),
+                             HistoryEdit(2, "remove")))
+        wire = client.query(query)
+        local = service.execute(query)
+        assert abs(wire.score - local.score) < ATOL
+        assert abs(wire.baseline_score - local.baseline_score) < ATOL
+
+    def test_record_and_batch_round_trip(self, stack, dataset):
+        engine, _, _, client = stack
+        replies = client.batch(BatchEnvelope((
+            RecordEvent("wire-student", 3, 1, (2,)),
+            RecordEvent("wire-student", 5, 0, (1,)),
+            ScoreQuery("wire-student", 7, (3,)),
+            RecommendQuery("wire-student",
+                           (CandidateQuestion(4, (1,)),
+                            CandidateQuestion(9, (2,)))),
+        )))
+        assert [reply.ok for reply in replies] == [True] * 4
+        assert replies[1].history_length == 2
+        direct = engine.score("wire-student", 7, (3,))
+        assert abs(replies[2].score - direct) < ATOL
+        assert len(replies[3].items) == 2
+
+    def test_health_and_models(self, stack):
+        client = stack[3]
+        health = client.health()
+        assert health["status"] == "ok" and health["protocol"] == 1
+        assert health["models"] == ["default"]
+        models = client.models()["models"]
+        assert models[0]["num_questions"] == NUM_QUESTIONS
+
+
+class TestTaxonomyOverHTTP:
+    """Every structured error is constructible through the gateway,
+    with its documented HTTP status and the same payload the facade
+    returns in process."""
+
+    CASES = [
+        (ScoreQuery("amy", 9999, (1,)), InvalidQuestion, 400),
+        (ScoreQuery("amy", 3, (999,)), InvalidConcept, 400),
+        (ScoreQuery("amy", 3, ()), InvalidConcept, 400),
+        (ExplainQuery("nobody"), UnknownStudent, 404),
+        (WhatIfQuery("nobody", 3, (1,), (HistoryEdit(0, "flip"),)),
+         UnknownStudent, 404),
+        (RecommendQuery("nobody", (CandidateQuestion(3, (1,)),)),
+         EmptyHistory, 409),
+        (ScoreQuery("amy", 3, (1,), model="missing"), ModelNotLoaded, 503),
+        (RecordEvent("amy", 3, 7, (1,)), MalformedQuery, 400),
+    ]
+
+    @pytest.mark.parametrize("query,error_cls,status", CASES,
+                             ids=lambda v: getattr(v, "__name__", None))
+    def test_error_statuses_and_payloads(self, stack, query, error_cls,
+                                         status):
+        _, service, server, client = stack
+        http_status, payload = raw_post(server, "/v1/query",
+                                        json.dumps(to_wire(query))
+                                        .encode())
+        assert http_status == status
+        assert payload["type"] == "error"
+        assert payload["code"] == error_cls.code
+        local = service.execute(query)
+        assert isinstance(local, error_cls)
+        assert payload["message"] == local.message
+
+    def test_invalid_edit_over_http(self, stack, dataset):
+        _, _, server, _ = stack
+        student = list(dataset)[0].student_id
+        query = WhatIfQuery(student, 3, (1,), (HistoryEdit(99, "flip"),))
+        status, payload = raw_post(server, "/v1/query",
+                                   json.dumps(to_wire(query)).encode())
+        assert status == InvalidEdit.http_status == 400
+        assert payload["code"] == "invalid_edit"
+
+    def test_batch_carries_per_query_errors_with_200(self, stack,
+                                                     dataset):
+        _, _, server, _ = stack
+        student = list(dataset)[0].student_id
+        body = json.dumps(to_wire(BatchEnvelope((
+            ScoreQuery(student, 9999, (1,)),
+            ScoreQuery(student, 3, (1,)),
+        )))).encode()
+        status, payload = raw_post(server, "/v1/batch", body)
+        assert status == 200
+        assert payload["type"] == "batch_reply"
+        assert payload["replies"][0]["code"] == "invalid_question"
+        assert payload["replies"][1]["type"] == "score_reply"
+
+
+class TestGatewayPlumbing:
+    def test_malformed_json_is_400(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(server, "/v1/query", b"{not json")
+        assert status == 400 and payload["code"] == "malformed_query"
+
+    def test_empty_body_is_400(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(server, "/v1/query", b"")
+        assert status == 400 and payload["code"] == "malformed_query"
+
+    def test_unknown_query_type_is_400(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(server, "/v1/query",
+                                   b'{"v": 1, "type": "teleport"}')
+        assert status == 400 and payload["code"] == "malformed_query"
+
+    def test_unknown_route_is_404(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(server, "/v1/nope", b"{}")
+        assert status == 404
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.server_port}/nope", timeout=10)
+        assert error.value.code == 404
+
+    def test_rejected_body_closes_the_connection(self, stack, dataset):
+        """A request bounced before its body is read must not leave
+        body bytes on a kept-alive socket to be parsed as the next
+        request line."""
+        import http.client
+        _, _, server, _ = stack
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.server_port, timeout=10)
+        oversized = b"x" * 64
+        connection.request(
+            "POST", "/v1/query", body=oversized,
+            headers={"Content-Type": "application/json",
+                     "Content-Length": str(MAX_BODY_BYTES + 1)})
+        response = connection.getresponse()
+        assert response.status == 400
+        assert json.loads(response.read())["code"] == "malformed_query"
+        # The server closed this connection instead of reading the
+        # (undelivered) body; a reuse attempt fails cleanly rather than
+        # desyncing into a bogus 501.
+        with pytest.raises((http.client.HTTPException, OSError)):
+            connection.request("POST", "/v1/query", body=b"{}")
+            connection.getresponse()
+        connection.close()
+
+    def test_ill_typed_wire_payload_is_structured_error(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(
+            server, "/v1/query",
+            b'{"v": 1, "type": "score", "student_id": "amy", '
+            b'"question_id": "seven", "concept_ids": [1]}')
+        assert status == 400
+        assert payload["code"] == "invalid_question"
+        assert "integer" in payload["message"]
+
+    def test_concurrent_wire_scores_are_consistent(self, stack, dataset):
+        """Thread-per-connection requests against one scheduler."""
+        from concurrent.futures import ThreadPoolExecutor
+        _, service, _, client = stack
+        students = [s.student_id for s in dataset]
+        queries = [ScoreQuery(students[k % len(students)],
+                              1 + k % NUM_QUESTIONS, (1 + k % 4,))
+                   for k in range(12)]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            wire_scores = list(pool.map(
+                lambda q: client.query(q).score, queries))
+        local = [service.execute(q).score for q in queries]
+        np.testing.assert_allclose(wire_scores, local, rtol=0, atol=ATOL)

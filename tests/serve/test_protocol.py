@@ -1,0 +1,133 @@
+"""Wire codec and typed-value semantics of the v1 query protocol."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (PROTOCOL_VERSION, BatchEnvelope,
+                                  CandidateQuestion, ExplainReply,
+                                  HistoryEdit, InfluenceItem,
+                                  InvalidQuestion, MalformedQuery,
+                                  RecommendQuery, RecommendReply,
+                                  RecommendationItem, RecordEvent,
+                                  RecordReply, ScoreQuery, ScoreReply,
+                                  UnknownStudent, WhatIfQuery, WhatIfReply,
+                                  is_error, query_from_wire,
+                                  reply_from_wire, to_wire)
+
+QUERIES = [
+    ScoreQuery("amy", 7, (3, 4)),
+    ScoreQuery(17, 2, (1,), model="canary"),
+    protocol.ExplainQuery("amy"),
+    WhatIfQuery("amy", 7, (3,), (HistoryEdit(0, "flip"),
+                                 HistoryEdit(2, "set", value=1),
+                                 HistoryEdit(4, "remove"))),
+    RecommendQuery("amy", (CandidateQuestion(4, (1,)),
+                           CandidateQuestion(9, (2, 5))),
+                   top_k=3, target_success=0.7, horizon=2),
+    RecordEvent("amy", 3, 1, (2,)),
+]
+
+REPLIES = [
+    ScoreReply("amy", 7, 0.625, 6),
+    WhatIfReply("amy", 7, 0.5, 0.625, 5, model="canary"),
+    RecordReply("amy", 7),
+    ExplainReply("amy", 3, 1, 0.5,
+                 (InfluenceItem(0, 4, 1, 0.01), InfluenceItem(1, 5, 0, -0.02))),
+    RecommendReply("amy", (RecommendationItem(4, (1,), 0.6, 0.1, 0.7),)),
+]
+
+ERRORS = [
+    UnknownStudent("who?", details={"student_id": "ghost"}),
+    InvalidQuestion("bad question", details={"question_id": 999,
+                                             "valid_range": (1, 50)}),
+    MalformedQuery("nonsense"),
+]
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("query", QUERIES,
+                             ids=lambda q: type(q).__name__)
+    def test_query_round_trip(self, query):
+        payload = json.loads(json.dumps(to_wire(query)))
+        assert payload["v"] == PROTOCOL_VERSION
+        decoded = query_from_wire(payload)
+        assert decoded == query
+
+    @pytest.mark.parametrize("reply", REPLIES,
+                             ids=lambda r: type(r).__name__)
+    def test_reply_round_trip(self, reply):
+        payload = json.loads(json.dumps(to_wire(reply)))
+        decoded = reply_from_wire(payload)
+        assert decoded == reply
+        assert decoded.ok
+
+    @pytest.mark.parametrize("error", ERRORS,
+                             ids=lambda e: type(e).__name__)
+    def test_error_round_trip(self, error):
+        payload = json.loads(json.dumps(to_wire(error)))
+        assert payload["type"] == "error"
+        assert payload["code"] == error.code
+        decoded = reply_from_wire(payload)
+        assert type(decoded) is type(error)
+        assert decoded.message == error.message
+        assert not decoded.ok
+
+    def test_batch_envelope_round_trip(self):
+        envelope = BatchEnvelope((QUERIES[0], QUERIES[3]))
+        decoded = query_from_wire(json.loads(json.dumps(to_wire(envelope))))
+        assert decoded == envelope
+
+    def test_wire_tuple_range_survives_json(self):
+        # JSON has no tuples: details round-trip value-equal modulo
+        # list/tuple, which `detail` normalizes for the caller.
+        error = reply_from_wire(json.loads(json.dumps(to_wire(ERRORS[1]))))
+        assert list(error.detail("valid_range")) == [1, 50]
+
+
+class TestDecodeFailuresAreValues:
+    def test_unknown_type(self):
+        decoded = query_from_wire({"v": 1, "type": "teleport"})
+        assert isinstance(decoded, MalformedQuery)
+        assert "teleport" in decoded.message
+
+    def test_missing_field(self):
+        decoded = query_from_wire({"v": 1, "type": "score",
+                                   "student_id": "amy"})
+        assert isinstance(decoded, MalformedQuery)
+        assert "question_id" in decoded.message
+
+    def test_version_mismatch(self):
+        decoded = query_from_wire({"v": 99, "type": "score"})
+        assert isinstance(decoded, MalformedQuery)
+        assert "version" in decoded.message
+
+    def test_non_object_payload(self):
+        assert isinstance(query_from_wire([1, 2]), MalformedQuery)
+
+    def test_batch_without_queries_list(self):
+        assert isinstance(query_from_wire({"v": 1, "type": "batch"}),
+                          MalformedQuery)
+
+    def test_bad_nested_edit(self):
+        payload = to_wire(QUERIES[3])
+        payload["edits"][0].pop("position")
+        assert isinstance(query_from_wire(payload), MalformedQuery)
+
+    def test_reply_decode_raises_for_broken_server(self):
+        with pytest.raises(ValueError, match="unknown reply type"):
+            reply_from_wire({"type": "gibberish"})
+
+
+class TestLocalOnlyFields:
+    def test_computation_never_crosses_the_wire(self):
+        reply = ExplainReply("amy", 3, 1, 0.5, (), computation=object())
+        payload = to_wire(reply)
+        assert "computation" not in payload
+        decoded = reply_from_wire(json.loads(json.dumps(payload)))
+        assert decoded.computation is None
+
+    def test_is_error_discriminates(self):
+        assert is_error(ERRORS[0]) and not is_error(REPLIES[0])
+        assert not ERRORS[0].ok and REPLIES[0].ok
