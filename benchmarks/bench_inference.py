@@ -41,6 +41,16 @@ And one for the PR 3 long-context work:
   scores against a from-scratch recompute on each probe's anchored
   window slice — the parity the long-context test suite pins at 1e-10.
 
+And one for the PR 5 cluster:
+
+* **cluster** — the same mixed batch envelope through ``repro.cluster``
+  deployments of 1, 2, and 4 worker *processes* behind the
+  scatter-gather router; ``speedup`` is 2-shard vs 1-shard throughput
+  (hardware-bound like ``sweep_workers``: ~2x on multi-core hosts, ~1x
+  on the single-core baseline machine) and ``max_abs_score_diff``
+  checks every routed reply bit-identical against a single in-process
+  ``Service`` — the cluster parity contract, gated at 0 drift.
+
 And one for the PR 4 typed serving API:
 
 * **service_layer** — the ``repro.serve.Service`` facade.  ``speedup``
@@ -444,6 +454,133 @@ def bench_service_layer(model: RCKT, dataset, rounds: int) -> dict:
     }
 
 
+def bench_cluster(model: RCKT, dataset, rounds: int,
+                  shard_counts=(1, 2, 4)) -> dict:
+    """Sharded multi-process serving: N workers behind the router.
+
+    The same mixed batch envelope (score + explain + what-if) is driven
+    through ``repro.cluster`` deployments of 1, 2, and 4 worker
+    *processes*; ``speedup`` is 2-shard vs 1-shard throughput (and
+    ``speedup_4`` 4-vs-1).  The ratio measures hardware parallelism —
+    worker processes sidestep the GIL entirely, so expect ~2x at 2
+    shards on multi-core hosts and ~1x on single-core CI runners,
+    exactly like the ``sweep_workers`` section (the committed baseline
+    machine is single-core; the regression gate therefore checks this
+    section's *drift* only).  ``max_abs_score_diff`` compares every
+    routed reply against a single in-process ``Service`` on the same
+    checkpoint and records — the cluster's bit-identity contract, so
+    anything above 0.0 is a routing bug, not noise.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.cluster import RecordJournal, ScatterGatherRouter, \
+        Supervisor, WorkerSpec, free_port
+    from repro.serve import (DEFAULT_MODEL, ExplainQuery, HistoryEdit,
+                             RecordEvent, ScoreQuery, Service, WhatIfQuery)
+
+    rng = np.random.default_rng(41)
+    sequences = list(dataset)[:32]
+    num_questions = dataset.num_questions
+    records = [
+        RecordEvent(sequence.student_id, interaction.question_id,
+                    interaction.correct, interaction.concept_ids)
+        for sequence in sequences for interaction in sequence
+    ]
+    probe_questions = rng.integers(1, num_questions + 1,
+                                   size=(rounds, len(sequences)))
+
+    def mixed_queries(round_index: int) -> list:
+        queries = []
+        for k, sequence in enumerate(sequences):
+            question = int(probe_questions[round_index, k])
+            queries.append(ScoreQuery(sequence.student_id, question,
+                                      (1 + question % 20,)))
+            if k % 3 == 0:
+                queries.append(ExplainQuery(sequence.student_id))
+            if k % 4 == 0:
+                queries.append(WhatIfQuery(
+                    sequence.student_id, question, (1 + question % 20,),
+                    (HistoryEdit(0, "flip"),)))
+        return queries
+
+    def scores_of(replies) -> np.ndarray:
+        bad = [reply for reply in replies if not reply.ok]
+        if bad:
+            raise RuntimeError(f"cluster benchmark query failed: {bad[0]}")
+        return np.array([reply.score for reply in replies])
+
+    with tempfile.TemporaryDirectory(prefix="rckt-bench-cluster-") as tmp:
+        checkpoint = Path(tmp) / "bench.npz"
+        InferenceEngine(model).save(checkpoint)
+
+        # Reference arm: one in-process Service on the same state.
+        local = Service.from_checkpoint(checkpoint)
+        local.execute_batch(records)
+        # Warm round (stream-cache build) outside the timer, matching
+        # the cluster arms below.
+        local.execute_batch(mixed_queries(0))
+        local_scores = []
+        start = time.perf_counter()
+        for round_index in range(rounds):
+            local_scores.append(scores_of(local.execute_batch(
+                mixed_queries(round_index))))
+        local_seconds = time.perf_counter() - start
+        local_scores = np.concatenate(local_scores)
+        local.close()
+        queries_total = len(local_scores)
+
+        entry = {
+            "queries": queries_total,
+            "students": len(sequences),
+            "records": len(records),
+            "local_seconds": round(local_seconds, 4),
+            "local_queries_per_sec": round(queries_total / local_seconds,
+                                           1),
+        }
+        max_diff = 0.0
+        throughput = {}
+        for shards in shard_counts:
+            specs = [WorkerSpec(shard_id=shard, port=free_port(),
+                                checkpoints=[(DEFAULT_MODEL,
+                                              str(checkpoint))])
+                     for shard in range(shards)]
+            supervisor = Supervisor(specs, journal=RecordJournal())
+            supervisor.start()
+            router = ScatterGatherRouter(
+                [spec.base_url for spec in specs],
+                journal=supervisor.journal)
+            supervisor.attach_router(router)
+            try:
+                router.execute_batch(records)
+                # Warm round (stream-cache build) outside the timer.
+                router.execute_batch(mixed_queries(0))
+                start = time.perf_counter()
+                shard_scores = []
+                for round_index in range(rounds):
+                    shard_scores.append(scores_of(router.execute_batch(
+                        mixed_queries(round_index))))
+                seconds = time.perf_counter() - start
+            finally:
+                supervisor.stop()
+                router.close()
+            shard_scores = np.concatenate(shard_scores)
+            max_diff = max(max_diff, float(np.max(np.abs(
+                shard_scores - local_scores))))
+            throughput[shards] = queries_total / seconds
+            entry[f"shards_{shards}_seconds"] = round(seconds, 4)
+            entry[f"shards_{shards}_queries_per_sec"] = \
+                round(throughput[shards], 1)
+
+        base = shard_counts[0]
+        entry["speedup"] = round(throughput.get(2, throughput[base])
+                                 / throughput[base], 2)
+        if 4 in throughput:
+            entry["speedup_4"] = round(throughput[4] / throughput[base], 2)
+        entry["max_abs_score_diff"] = max_diff
+        return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -496,6 +633,7 @@ def main() -> None:
         "sweep_workers": {},
         "long_context": {},
         "service_layer": {},
+        "cluster": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -507,12 +645,14 @@ def main() -> None:
                                           long_length, long_window,
                                           long_every)
         service_layer = bench_service_layer(model, dataset, args.rounds)
+        cluster = bench_cluster(model, dataset, max(args.rounds, 3))
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
         results["serving_incremental"][encoder] = incremental
         results["sweep_workers"][encoder] = sweep_threads
         results["long_context"][encoder] = long_context
         results["service_layer"][encoder] = service_layer
+        results["cluster"][encoder] = cluster
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -541,6 +681,14 @@ def main() -> None:
               f"facade overhead {service_layer['facade_overhead_pct']}% | "
               f"http {service_layer['http_requests_per_sec']} req/s "
               f"(diff {service_layer['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: cluster 2-shard {cluster['speedup']}x / "
+              f"4-shard {cluster.get('speedup_4', '-')}x vs 1 shard "
+              f"({cluster['shards_1_queries_per_sec']} -> "
+              f"{cluster['shards_2_queries_per_sec']} -> "
+              f"{cluster.get('shards_4_queries_per_sec', '-')} queries/s, "
+              f"in-process {cluster['local_queries_per_sec']} q/s, "
+              f"router-vs-local diff "
+              f"{cluster['max_abs_score_diff']:.2e})")
 
     headline = results["serving"][encoders[0]]
     results["headline_workload"] = "serving"

@@ -1,0 +1,48 @@
+"""Sharded multi-process serving: scatter-gather over shard workers.
+
+``repro.cluster`` scales the PR 4 typed serving API horizontally.  The
+counterfactual workload is shared-nothing per student (histories,
+forward-stream caches, and influence computations never cross
+students), so the cluster shards *students* across worker processes
+and keeps one contract above everything else: **an N-shard cluster
+answers bit-identically to a single in-process**
+:class:`repro.serve.Service` — through worker crashes (journal replay)
+and warm blue/green rollouts alike.
+
+* :class:`HashRing` (:mod:`repro.cluster.ring`) — deterministic,
+  resize-stable student -> shard placement via consistent hashing.
+* :mod:`repro.cluster.worker` — the shard worker entrypoint: the
+  stock ``Service`` + ``ModelRegistry`` + HTTP gateway as one
+  supervised OS process (``python -m repro.cluster.worker``).
+* :class:`ScatterGatherRouter` (:mod:`repro.cluster.router`) — the
+  public wire endpoint: validates envelopes, splits mixed-type batches
+  by shard, fans out over persistent keep-alive connections, merges
+  replies in envelope order, and surfaces per-shard failures as
+  :class:`~repro.serve.protocol.ShardUnavailable` *values*.
+* :class:`RecordJournal` (:mod:`repro.cluster.journal`) — per-shard
+  log of acknowledged records, the crash-recovery ground truth.
+* :class:`Supervisor` (:mod:`repro.cluster.supervisor`) — spawns and
+  babysits workers: health probes, drain + same-port restart + journal
+  replay on crash, and rolling warm blue/green checkpoint rollouts
+  (each worker pre-warms the standby's stream caches for its hottest
+  students before the atomic swap).
+
+``python -m repro.cluster`` boots the whole stack from checkpoint
+files; ``--selfcheck`` runs the CI smoke: a 2-shard cluster proving
+mixed-envelope bit-identity, kill-one-worker recovery, and a rollout.
+See ``docs/CLUSTER.md`` for semantics and operations.
+"""
+
+from .journal import RecordJournal
+from .ring import DEFAULT_REPLICAS, HashRing, student_key
+from .router import (RouterHTTPServer, ScatterGatherRouter, serve_router,
+                     start_router_thread)
+from .supervisor import Supervisor, WorkerHandle, WorkerSpec, free_port
+
+__all__ = [
+    "HashRing", "DEFAULT_REPLICAS", "student_key",
+    "RecordJournal",
+    "ScatterGatherRouter", "RouterHTTPServer", "serve_router",
+    "start_router_thread",
+    "Supervisor", "WorkerSpec", "WorkerHandle", "free_port",
+]

@@ -1,0 +1,266 @@
+"""CLI: boot a sharded serving cluster (supervisor + workers + router).
+
+Usage::
+
+    python -m repro.cluster --checkpoint rckt.npz --shards 4
+    python -m repro.cluster --checkpoint prod=a.npz --checkpoint \\
+        canary=b.npz --shards 2 --port 8080 --workers 2 --window 256
+    python -m repro.cluster --selfcheck
+
+Boots ``--shards`` worker processes (each the full single-process
+serving gateway on its own ephemeral port), waits until every one is
+healthy, then serves the scatter-gather router on ``--port`` — the
+cluster's single public endpoint, wire-compatible with
+``python -m repro.serve``.  ``--selfcheck`` runs the CI smoke lane: a
+throwaway 2-shard cluster on synthetic checkpoints proving (1) mixed
+batch envelopes answer bit-identically to a single in-process
+``Service``, (2) a killed worker is restarted with its journal
+replayed and answers identically afterwards, and (3) a warm blue/green
+rollout applies cluster-wide and crash recovery restores the
+rolled-out weights.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.serve.__main__ import _parse_checkpoint
+from repro.serve.protocol import DEFAULT_MODEL, is_error, to_wire
+
+from .journal import RecordJournal
+from .ring import DEFAULT_REPLICAS
+from .router import ScatterGatherRouter, serve_router
+from .supervisor import Supervisor, WorkerSpec, free_port
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Sharded multi-process serving cluster over the "
+                    "typed RCKT API")
+    parser.add_argument("--checkpoint", action="append",
+                        type=_parse_checkpoint, metavar="[NAME=]PATH",
+                        help="checkpoint every worker registers "
+                             "(repeatable); bare PATH registers as "
+                             f"'{DEFAULT_MODEL}'")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker process count (default 2)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="router port (0 picks an ephemeral port); "
+                             "workers always use ephemeral ports")
+    parser.add_argument("--replicas", type=int, default=DEFAULT_REPLICAS,
+                        help="consistent-hash ring points per shard")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="scoring threads per worker process")
+    parser.add_argument("--window", type=int, default=None)
+    parser.add_argument("--window-hop", type=int, default=None)
+    parser.add_argument("--stream-cache-bytes", type=int, default=None)
+    parser.add_argument("--poll-interval", type=float, default=0.5,
+                        help="watchdog probe cadence in seconds")
+    parser.add_argument("--log-dir", default=None,
+                        help="directory for per-worker logs (default: "
+                             "worker output is discarded)")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="boot a throwaway 2-shard cluster on "
+                             "synthetic checkpoints, prove router/single"
+                             "-service bit-identity across a worker "
+                             "crash and a warm rollout, exit 0")
+    return parser
+
+
+def _engine_flags(args) -> List[str]:
+    flags = ["--max-batch", str(args.max_batch),
+             "--workers", str(args.workers)]
+    if args.window is not None:
+        flags += ["--window", str(args.window)]
+    if args.window_hop is not None:
+        flags += ["--window-hop", str(args.window_hop)]
+    if args.stream_cache_bytes is not None:
+        flags += ["--stream-cache-bytes", str(args.stream_cache_bytes)]
+    if args.verbose:
+        flags += ["--verbose"]
+    return flags
+
+
+def build_cluster(args, checkpoints):
+    """(journal, supervisor, router) for the given parsed args —
+    workers spawned and healthy, router attached, watchdog not yet
+    started (the caller decides)."""
+    specs = [
+        WorkerSpec(shard_id=shard, port=free_port(args.host),
+                   checkpoints=[(name, str(path))
+                                for name, path in checkpoints],
+                   host=args.host, extra_args=tuple(_engine_flags(args)),
+                   log_path=(f"{args.log_dir}/worker{shard}.log"
+                             if args.log_dir else None))
+        for shard in range(args.shards)
+    ]
+    journal = RecordJournal()
+    supervisor = Supervisor(specs, journal=journal,
+                            poll_interval=args.poll_interval)
+    supervisor.start()
+    router = ScatterGatherRouter([spec.base_url for spec in specs],
+                                 journal=journal, replicas=args.replicas)
+    supervisor.attach_router(router)
+    return journal, supervisor, router
+
+
+# ---------------------------------------------------------------------------
+# Selfcheck (the CI cluster-smoke lane)
+# ---------------------------------------------------------------------------
+def _selfcheck_queries(students):
+    from repro.serve import (CandidateQuestion, ExplainQuery, HistoryEdit,
+                             RecommendQuery, ScoreQuery, WhatIfQuery)
+    queries = []
+    for index, student in enumerate(students):
+        question = 1 + (3 * index) % 20
+        queries.append(ScoreQuery(student, question, (1 + index % 5,)))
+        queries.append(ExplainQuery(student))
+        queries.append(WhatIfQuery(student, question, (1 + index % 5,),
+                                   (HistoryEdit(0, "flip"),)))
+        queries.append(RecommendQuery(
+            student, (CandidateQuestion(question, (1,)),
+                      CandidateQuestion(1 + (question + 4) % 20, (2,))),
+            top_k=2, horizon=2))
+    return queries
+
+
+def _compare(label: str, cluster_replies, local_replies) -> int:
+    mismatches = 0
+    for position, (ours, reference) in enumerate(zip(cluster_replies,
+                                                     local_replies)):
+        if to_wire(ours) != to_wire(reference):
+            mismatches += 1
+            print(f"selfcheck: {label}[{position}] mismatch:\n"
+                  f"  cluster: {to_wire(ours)}\n"
+                  f"  local:   {to_wire(reference)}")
+    print(f"selfcheck: {label}: {len(cluster_replies)} replies, "
+          f"{mismatches} mismatches")
+    return mismatches
+
+
+def _selfcheck(args) -> int:
+    import numpy as np
+    from repro.core import RCKT, RCKTConfig
+    from repro.serve import InferenceEngine, RecordEvent, Service
+
+    rng = np.random.default_rng(5)
+    with tempfile.TemporaryDirectory(prefix="rckt-cluster-") as tmp:
+        blue = Path(tmp) / "blue.npz"
+        green = Path(tmp) / "green.npz"
+        InferenceEngine(RCKT(20, 5, RCKTConfig(
+            encoder="dkt", dim=8, layers=1, seed=0))).save(blue)
+        InferenceEngine(RCKT(20, 5, RCKTConfig(
+            encoder="dkt", dim=8, layers=1, seed=9))).save(green)
+
+        args.shards = 2
+        args.log_dir = tmp
+        _, supervisor, router = build_cluster(args, [(DEFAULT_MODEL,
+                                                      blue)])
+        local = Service.from_checkpoint(blue)
+        failures = 0
+        try:
+            students = [f"student-{k}" for k in range(8)]
+            records = [RecordEvent(student,
+                                   int(rng.integers(1, 21)),
+                                   int(rng.integers(0, 2)),
+                                   (int(rng.integers(1, 6)),))
+                       for _ in range(4) for student in students]
+            failures += _compare("records",
+                                 router.execute_batch(records),
+                                 local.execute_batch(records))
+            mixed = _selfcheck_queries(students)
+            failures += _compare("mixed envelope",
+                                 router.execute_batch(mixed),
+                                 local.execute_batch(mixed))
+
+            # The same envelope through the router's public HTTP face.
+            from repro.serve import ServiceClient
+            from .router import start_router_thread
+            server, _ = start_router_thread(router, host=args.host)
+            try:
+                client = ServiceClient(
+                    f"http://{args.host}:{server.server_port}")
+                failures += _compare("wire envelope",
+                                     client.batch(mixed),
+                                     local.execute_batch(mixed))
+                client.close()
+            finally:
+                server.shutdown()
+
+            print("selfcheck: killing worker 0 ...")
+            supervisor.workers[0].process.kill()
+            supervisor.workers[0].process.wait()
+            supervisor.check_once()   # watchdog round: restart + replay
+            assert supervisor.workers[0].restarts == 1
+            failures += _compare("post-restart envelope",
+                                 router.execute_batch(mixed),
+                                 local.execute_batch(mixed))
+
+            print("selfcheck: warm blue/green rollout ...")
+            results = router.rollout(str(green))
+            if any(is_error(result) for result in results):
+                print(f"selfcheck: rollout failed: {results}")
+                failures += 1
+            local.rollout(green)
+            failures += _compare("post-rollout envelope",
+                                 router.execute_batch(mixed),
+                                 local.execute_batch(mixed))
+
+            print("selfcheck: killing worker 1 (post-rollout) ...")
+            supervisor.workers[1].process.kill()
+            supervisor.workers[1].process.wait()
+            supervisor.check_once()
+            failures += _compare("post-rollout restart envelope",
+                                 router.execute_batch(mixed),
+                                 local.execute_batch(mixed))
+        finally:
+            supervisor.stop()
+            router.close()
+            local.close()
+        if failures:
+            print(f"selfcheck: FAILED ({failures} mismatching replies)")
+            return 1
+    print("selfcheck: ok (2 shards, bit-identical through crash "
+          "restart and warm rollout)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.selfcheck:
+        return _selfcheck(args)
+    if not args.checkpoint:
+        build_parser().error("--checkpoint is required (or --selfcheck)")
+    if args.shards <= 0:
+        build_parser().error("--shards must be positive")
+    print(f"booting {args.shards} shard workers ...")
+    _, supervisor, router = build_cluster(args, args.checkpoint)
+    supervisor.start_watchdog()
+    server = serve_router(router, host=args.host, port=args.port,
+                          verbose=args.verbose)
+    print(f"cluster of {args.shards} shards serving "
+          f"{[name for name, _ in args.checkpoint]} on "
+          f"http://{args.host}:{server.server_port} "
+          f"(POST /v1/query, /v1/batch, /v1/admin/rollout; "
+          f"GET /v1/health, /v1/models)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        supervisor.stop()
+        router.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Per-shard record journal: the cluster's crash-recovery ground truth.
+
+Workers hold serving state in process memory (histories + stream
+caches), so a worker crash would lose every response recorded since the
+worker booted — and break the cluster's bit-identity contract with a
+single in-process ``Service``.  The router therefore journals the wire
+payload of every **successfully applied** :class:`RecordEvent` under
+the owning shard, and the supervisor replays a shard's journal into a
+freshly restarted worker *before* putting it back in rotation.
+Histories are the only durable state that matters: stream caches are
+derived (they rebuild on first score) and model weights come from the
+checkpoint on disk, so replaying records is sufficient for the
+restarted worker to answer exactly like an uninterrupted one.
+
+Only acknowledged records enter the journal — a record whose reply was
+lost to the crash is *not* replayed, which matches what the client
+observed (a ``shard_unavailable`` error, i.e. "retry me").
+
+Ordering comes from the *worker*, not the router: each entry carries
+the ``history_length`` its :class:`RecordReply` acknowledged, which is
+the student's post-append length under the worker's engine lock — the
+authoritative per-student sequence number.  Two concurrent envelopes
+recording the same student can have their replies journaled in either
+arrival order, so replay re-sorts each student's records by that
+sequence (cross-student order is unobservable: students are
+shared-nothing).  Equal ``(student, sequence)`` pairs are dropped as
+duplicates.
+
+The journal is in-memory and append-only; a production deployment
+would snapshot + truncate it (or replace it with a log service), which
+``docs/CLUSTER.md`` lists as the known bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Tuple
+
+from repro.serve.protocol import PROTOCOL_VERSION
+
+from .ring import student_key
+
+
+class RecordJournal:
+    """Thread-safe per-shard append-only log of record wire payloads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: Dict[int, List[Tuple[bytes, int, dict]]] = {}
+
+    def append(self, shard: int, payload: dict, sequence: int) -> None:
+        """Journal one acknowledged record's wire payload.
+
+        ``sequence`` is the acknowledging reply's ``history_length`` —
+        the worker-side apply order for that student (see module
+        docstring).
+        """
+        with self._lock:
+            self._records.setdefault(shard, []).append(
+                (student_key(payload.get("student_id")), int(sequence),
+                 payload))
+
+    def count(self, shard: int) -> int:
+        with self._lock:
+            return len(self._records.get(shard, ()))
+
+    def sizes(self) -> Dict[int, int]:
+        with self._lock:
+            return {shard: len(records)
+                    for shard, records in self._records.items()}
+
+    def _replay_order(self, shard: int) -> List[dict]:
+        """Entries with per-student worker order restored, deduped."""
+        with self._lock:
+            entries = list(self._records.get(shard, ()))
+        first_seen: Dict[bytes, int] = {}
+        for index, (student, _, _) in enumerate(entries):
+            first_seen.setdefault(student, index)
+        entries.sort(key=lambda entry: (first_seen[entry[0]], entry[1]))
+        ordered = []
+        seen = set()
+        for student, sequence, payload in entries:
+            if (student, sequence) in seen:
+                continue   # a retried ack journaled twice
+            seen.add((student, sequence))
+            ordered.append(payload)
+        return ordered
+
+    def envelopes(self, shard: int,
+                  batch_size: int = 256) -> Iterator[dict]:
+        """The shard's journal as replayable batch-envelope wire dicts.
+
+        Chunked so a long log replays as a handful of batched requests
+        instead of one unbounded body; each student's records appear in
+        their acknowledged (worker-side) order.
+        """
+        records = self._replay_order(shard)
+        for start in range(0, len(records), batch_size):
+            yield {
+                "v": PROTOCOL_VERSION,
+                "type": "batch",
+                "queries": records[start:start + batch_size],
+            }

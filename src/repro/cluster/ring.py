@@ -1,0 +1,104 @@
+"""Consistent-hash ring: deterministic student -> shard placement.
+
+RCKT serving is shared-nothing per student — histories, forward-stream
+caches, and influence computations never cross students — so the only
+routing invariant a cluster needs is *stickiness*: every query for a
+student must land on the shard that holds that student's state.  The
+ring provides it with two properties:
+
+* **Determinism** — placement is a pure function of ``(student_id,
+  shard count, replicas)``.  Any process that builds a ring with the
+  same parameters (the router, a restarted router, an offline capacity
+  planner) computes identical placements; nothing about the mapping
+  lives in mutable state.
+* **Resize stability** — each shard owns ``replicas`` pseudo-random
+  points on a 2^64 circle and a student belongs to the first shard
+  point at or after its own hashed position.  Growing from N to N+1
+  shards only claims the arc segments the new shard's points land in:
+  in expectation exactly 1/(N+1) of students move, and every student
+  that moves, moves *to the new shard* — never between two old shards
+  (whose points did not change).  That is what keeps a future
+  re-sharding migration's copy set minimal.
+
+Hashing is :func:`hashlib.sha1` over a canonical byte serialization of
+the student id (``int`` and ``str`` ids hash identically across
+processes and Python builds — no dependence on ``hash()``
+randomization).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from typing import List
+
+#: Points per shard on the ring.  More points smooth the arc-length
+#: distribution (the std/mean imbalance shrinks ~ 1/sqrt(replicas)).
+DEFAULT_REPLICAS = 96
+
+
+def student_key(student_id) -> bytes:
+    """Canonical bytes for a student id, stable across processes.
+
+    JSON scalars (``str``, ``int``, ``float``, ``bool``, ``None``) —
+    everything a wire query can carry — serialize canonically; other
+    objects fall back to ``repr`` (in-process callers with exotic ids
+    still get deterministic placement within one build).  A ``str`` id
+    and the ``int`` it spells are deliberately distinct keys, mirroring
+    the history store where ``"7"`` and ``7`` are different students.
+    """
+    try:
+        return json.dumps(student_id, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError):
+        return repr(student_id).encode("utf-8")
+
+
+def _point(data: bytes) -> int:
+    """A position on the 2^64 circle for arbitrary bytes."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over ``shards`` integer shard ids.
+
+    >>> ring = HashRing(4)
+    >>> ring.shard_for("student-17") == HashRing(4).shard_for("student-17")
+    True
+    """
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS):
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                token = f"shard:{shard}:replica:{replica}".encode("ascii")
+                points.append((_point(token), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, student_id) -> int:
+        """The shard id owning ``student_id`` (clockwise successor)."""
+        position = _point(student_key(student_id))
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0   # wrap past the top of the circle
+        return self._owners[index]
+
+    def partition(self, student_ids) -> List[List[int]]:
+        """Indices of ``student_ids`` grouped by owning shard."""
+        groups: List[List[int]] = [[] for _ in range(self.shards)]
+        for index, student_id in enumerate(student_ids):
+            groups[self.shard_for(student_id)].append(index)
+        return groups
+
+    def describe(self) -> dict:
+        return {"shards": self.shards, "replicas": self.replicas,
+                "points": len(self._points)}

@@ -56,7 +56,8 @@ from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
                        RecommendReply,
                        RecommendationItem, RecordEvent, RecordReply,
                        ScoreQuery, ScoreReply, ServiceError,
-                       UnknownStudent, WhatIfQuery, WhatIfReply, is_error,
+                       ShardUnavailable, UnknownStudent, WhatIfQuery,
+                       WhatIfReply, is_error,
                        query_from_wire, reply_from_wire, to_wire)
 from .registry import ModelRegistry, registry_for
 from .service import PendingReply, Service
@@ -78,8 +79,8 @@ __all__ = [
     "RecordReply", "BatchReply", "InfluenceItem", "RecommendationItem",
     "ServiceError", "UnknownStudent", "InvalidQuestion", "InvalidConcept",
     "EmptyHistory", "InvalidEdit", "ModelNotLoaded", "MalformedQuery",
-    "NotFound", "InternalError", "is_error", "to_wire", "query_from_wire",
-    "reply_from_wire",
+    "ShardUnavailable", "NotFound", "InternalError", "is_error", "to_wire",
+    "query_from_wire", "reply_from_wire",
     # HTTP gateway
     "ServiceClient", "ServiceHTTPServer", "serve_http",
     "start_http_thread",

@@ -772,41 +772,45 @@ class InferenceEngine:
             success_probability=item.success_probability,
             value=item.value, score=item.score) for item in reply.items]
 
-    def _recommend(self, student_id, candidates: Sequence[ScoreRequest],
-                   top_k: int = 5, target_success: float = 0.6,
-                   value_weight: float = 1.0, horizon: int = 4):
-        """The recommendation scheduler (the facade's compute primitive).
+    def _snapshot_window(self, history) -> Tuple[np.ndarray, ...]:
+        """Copied arrays of the student's anchored window (lock held).
 
-        Reimplements :func:`repro.interpret.recommendation
-        .recommend_questions` semantics — success probability blended
-        with the counterfactual question value — but scores every
-        candidate probe and every assumed-answer world in shared stacked
-        passes instead of one collated call per probe (the seed idiom
-        runs ``1 + 2 * horizon`` single-row passes per candidate).
-        Candidates are probed against the student's windowed context
-        when a serving window is set.  The caller (the facade) has
-        already validated candidate ids and the non-empty history.
+        The recommendation scheduler scores assumed-answer worlds
+        *after* the engine lock is released; the copies pin the exact
+        context the coalesced success-probability probes were admitted
+        against, so a concurrent ``record`` can never tear a
+        recommendation across two history states.
         """
-        from repro.interpret.recommendation import QuestionRecommendation
-        if not candidates:
-            return []
-        with self._lock:
-            # Snapshot under the lock: a concurrent record() may widen
-            # the concept table mid-read otherwise.
-            history = self.students.peek(student_id)
-            if history is None or history.length == 0:
-                raise ValueError("recommendation needs a non-empty history")
-            # Candidates are probed against the same windowed context a
-            # score() for this student would use.
-            start = self._window_start(history.length)
-            n = history.length - start
-            q_hist, r_hist, c_hist, k_hist = [a[start:].copy()
-                                              for a in history.view()]
-            history_width = history.concept_width
+        start = self._window_start(history.length)
+        return tuple(a[start:].copy() for a in history.view())
+
+    def _recommend_values(self, snapshot: Tuple[np.ndarray, ...],
+                          candidates, horizon: int) -> np.ndarray:
+        """Counterfactual question values for candidates (Sec. V-C).
+
+        The value half of the recommendation workload: for each
+        candidate and each assumed answer (correct/incorrect), re-ask
+        the ``horizon`` most recent questions of the snapshotted window
+        and measure how far the two assumed worlds pull those re-asked
+        scores apart.  All worlds share one stacked pass.  The success
+        probabilities are *not* computed here — the facade folds those
+        probes into its shared mixed-type read batch — so this builds
+        ``2 * horizon`` rows per candidate instead of the legacy
+        ``1 + 2 * horizon``.
+
+        Row layout and collation width match the legacy stacked path
+        exactly (per-row scores are independent of batch composition),
+        so the values are bit-identical to the pre-coalescing ones.
+        """
+        q_hist, r_hist, c_hist, k_hist = snapshot
+        n = len(q_hist)
+        history_width = c_hist.shape[1] if n else 1
         recent = list(range(max(0, n - horizon), n))
         num_candidates = len(candidates)
         probes_per_candidate = 2 * len(recent)
-        rows = num_candidates * (1 + probes_per_candidate)
+        rows = num_candidates * probes_per_candidate
+        if rows == 0:
+            return np.zeros(num_candidates)
         length = n + 2
         width = max(history_width,
                     max(len(c.concept_ids) for c in candidates))
@@ -826,15 +830,8 @@ class InferenceEngine:
         row = 0
         for candidate in candidates:
             ids = candidate.concept_ids
-            # Success-probability probe: history + candidate at column n.
-            questions[row, n] = candidate.question_id
-            concepts[row, n, :len(ids)] = ids
-            counts[row, n] = len(ids)
-            mask[row, :n + 1] = True
-            cols[row] = n
-            row += 1
-            # Question-value probes: candidate answered correct/incorrect,
-            # then each recent question re-asked at column n + 1.
+            # Candidate answered correct/incorrect at column n, then
+            # each recent question re-asked at column n + 1.
             for assumed in (1, 0):
                 for past in recent:
                     questions[row, n] = candidate.question_id
@@ -857,21 +854,11 @@ class InferenceEngine:
                                          workers=self.workers,
                                          executor=self._executor)
 
-        recommendations = []
-        for index, candidate in enumerate(candidates):
-            start = index * (1 + probes_per_candidate)
-            probability = float(scores[start])
-            worlds = scores[start + 1:start + 1 + probes_per_candidate]
+        values = np.empty(num_candidates)
+        for index in range(num_candidates):
+            worlds = scores[index * probes_per_candidate:
+                            (index + 1) * probes_per_candidate]
             correct_world = worlds[:len(recent)]
             incorrect_world = worlds[len(recent):]
-            value = float(np.abs(correct_world - incorrect_world).mean())
-            difficulty_fit = 1.0 - abs(probability - target_success)
-            recommendations.append(QuestionRecommendation(
-                question_id=candidate.question_id,
-                concept_ids=candidate.concept_ids,
-                success_probability=probability,
-                value=value,
-                score=difficulty_fit + value_weight * value,
-            ))
-        recommendations.sort(key=lambda r: -r.score)
-        return recommendations[:top_k]
+            values[index] = np.abs(correct_world - incorrect_world).mean()
+        return values

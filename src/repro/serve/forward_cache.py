@@ -263,6 +263,17 @@ class StreamCacheStore:
             self._entries.move_to_end(student_id)
         return entry
 
+    def hot_keys(self, limit: Optional[int] = None) -> List[object]:
+        """Cached student ids, most recently used first.
+
+        The LRU order *is* the serving working set: these are exactly
+        the students whose next request would hit a warm cache.  The
+        blue/green rollout pre-builds the standby engine's caches for
+        this set so the swap does not cold-start the hot traffic.
+        """
+        keys = list(reversed(self._entries))
+        return keys if limit is None else keys[:limit]
+
     def put(self, student_id, entry: StudentStreamCache) -> None:
         if not self.enabled:
             return

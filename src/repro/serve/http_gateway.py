@@ -16,25 +16,30 @@ reference):
                             ride inside)
 ``GET  /v1/health``         liveness + protocol version + model names
 ``GET  /v1/models``         per-model metadata (encoder, vocab, window, ...)
+``POST /v1/admin/rollout``  warm blue/green checkpoint rollout
+                            (``Service.rollout``); admin plane, not a
+                            protocol query
 ==========================  =================================================
 
-:class:`ServiceClient` is the matching minimal client (``urllib``), used
-by ``examples/serve_http.py`` and the gateway tests; it decodes every
-response back into the same typed replies/errors the in-process facade
-returns, so code written against the facade ports to the wire by
-swapping the object.
+:class:`ServiceClient` is the matching typed client (stdlib
+``http.client`` over a pool of persistent keep-alive connections), used
+by ``examples/serve_http.py``, the gateway tests, and the cluster
+router's fan-out; it decodes every response back into the same typed
+replies/errors the in-process facade returns, so code written against
+the facade ports to the wire by swapping the object.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
-import urllib.error
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .protocol import (PROTOCOL_VERSION, BatchEnvelope, BatchReply,
-                       InternalError, MalformedQuery, NotFound, is_error,
+from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
+                       BatchReply, InternalError, MalformedQuery,
+                       ModelNotLoaded, NotFound, is_error,
                        query_from_wire, reply_from_wire, to_wire)
 from .service import Service
 
@@ -48,6 +53,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     server_version = "rckt-serve/1"
     protocol_version = "HTTP/1.1"
+    # Keep-alive + small JSON bodies is exactly the traffic pattern
+    # where Nagle's algorithm and delayed ACKs conspire into ~40ms
+    # stalls per exchange; serving queries are latency-bound, so flush
+    # every segment immediately.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -131,6 +141,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     envelope = BatchEnvelope((envelope,))
                 replies = service.execute_batch(envelope)
                 self._send_json(200, to_wire(BatchReply(tuple(replies))))
+            elif self.path == "/v1/admin/rollout":
+                self._admin_rollout(service, payload)
             else:
                 self._send_reply(NotFound(
                     f"no such route: POST {self.path}"))
@@ -139,6 +151,37 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             # escapes is a server bug, reported in-protocol.
             self._send_reply(InternalError(
                 f"gateway failure: {type(error).__name__}: {error}"))
+
+    def _admin_rollout(self, service, payload) -> None:
+        """Warm blue/green rollout (``Service.rollout``) over the wire.
+
+        Body: ``{"checkpoint": path, "model": name?, "warm_top": n?}``.
+        The in-process admin errors map onto the taxonomy: an unknown
+        model name answers ``model_not_loaded``, a bad checkpoint or
+        id-space mismatch ``malformed_query``.
+        """
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("checkpoint"), str):
+            self._send_reply(MalformedQuery(
+                "rollout needs a JSON object with a 'checkpoint' path"))
+            return
+        model = payload.get("model", DEFAULT_MODEL)
+        warm_top = payload.get("warm_top", 64)
+        if not isinstance(warm_top, int) or isinstance(warm_top, bool):
+            self._send_reply(MalformedQuery(
+                f"warm_top must be an integer, got {warm_top!r}"))
+            return
+        try:
+            summary = service.rollout(payload["checkpoint"], name=model,
+                                      warm_top=warm_top)
+        except KeyError as error:
+            self._send_reply(ModelNotLoaded(str(error).strip("'\"")))
+            return
+        except (ValueError, OSError) as error:
+            self._send_reply(MalformedQuery(
+                f"rollout rejected: {error}"))
+            return
+        self._send_json(200, {"status": "ok", **summary})
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -182,39 +225,127 @@ def start_http_thread(service: Service, host: str = "127.0.0.1",
 
 
 class ServiceClient:
-    """Minimal typed client for the gateway (stdlib ``urllib``).
+    """Typed keep-alive client for the gateway (stdlib ``http.client``).
 
     Every call returns the same typed replies and error values the
     in-process facade produces — errors are returned, not raised, unless
     the *transport itself* fails (unreachable host, non-JSON response),
-    which raises ``urllib.error.URLError`` / ``ValueError``.
+    which raises ``OSError`` subclasses / ``ValueError``.
+
+    Connections are **persistent**: the gateway speaks HTTP/1.1 with
+    ``Content-Length`` framing, so the client keeps a small pool of
+    kept-alive sockets and reuses them across requests — this removes
+    the per-request TCP handshake that dominated single-query wire
+    latency (the PR 4 open item), and it is what the cluster router
+    fans out over.  The pool is thread-safe (each in-flight request
+    owns one checked-out connection); a request that fails on a
+    *reused* socket — the server may close an idle connection at any
+    time — is retried once on a fresh one, while a failure on a fresh
+    socket propagates (the server is actually unreachable).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 max_idle: int = 4):
+        import urllib.parse
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_idle = max_idle
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme != "http":
+            raise ValueError(f"ServiceClient speaks plain http, got "
+                             f"'{self.base_url}'")
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self._idle: list = []
+        self._lock = threading.Lock()
+        #: Sockets opened over this client's lifetime (reuse telemetry:
+        #: N requests over one healthy server should leave this at 1).
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _checkout(self):
+        """An idle kept-alive connection, or a fresh one.
+
+        Returns ``(connection, reused)`` — ``reused`` drives the
+        retry-once policy.
+        """
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout)
+        connection.connect()
+        # Without TCP_NODELAY, Nagle + delayed ACKs stall every
+        # request-after-response on a reused socket by ~40ms — the
+        # keep-alive pool would be slower than fresh connections.
+        connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                   socket.TCP_NODELAY, 1)
+        self.connections_opened += 1
+        return connection, False
+
+    def _checkin(self, connection) -> None:
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection (idempotent)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    def _exchange(self, method: str, route: str,
+                  body: bytes = None) -> dict:
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection, reused = self._checkout()
+            try:
+                connection.request(method, f"{self._prefix}{route}",
+                                   body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except TimeoutError:
+                # A timeout proves nothing about whether the server
+                # processed the request — retrying could apply a
+                # non-idempotent RecordEvent twice.  Never retry it.
+                connection.close()
+                raise
+            except (http.client.HTTPException, OSError):
+                connection.close()
+                if reused and attempt == 0:
+                    # Stale keep-alive: the server closed the idle
+                    # socket between requests (the reset/EPIPE arrives
+                    # on our send or on the first response byte), so
+                    # the request was never processed.  One fresh
+                    # retry.  Fresh-socket failures propagate — the
+                    # server is actually unreachable.
+                    continue
+                raise
+            if response.will_close:
+                connection.close()
+            else:
+                self._checkin(connection)
+            return json.loads(raw)
+        raise ConnectionError(f"unreachable: {self.base_url}{route}")
 
     # ------------------------------------------------------------------
     # Raw wire
     # ------------------------------------------------------------------
     def _post(self, route: str, payload: dict) -> dict:
-        body = json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.base_url}{route}", data=body,
-            headers={"Content-Type": "application/json"}, method="POST")
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            # Taxonomy errors arrive as 4xx/5xx with a protocol body:
-            # decode instead of raising, like the facade returns values.
-            return json.loads(error.read())
+        # Taxonomy errors arrive as 4xx/5xx with a protocol body: the
+        # body is decoded regardless of status, like the facade
+        # returning error values.
+        return self._exchange("POST", route,
+                              json.dumps(payload).encode("utf-8"))
 
     def _get(self, route: str) -> dict:
-        with urllib.request.urlopen(f"{self.base_url}{route}",
-                                    timeout=self.timeout) as response:
-            return json.loads(response.read())
+        return self._exchange("GET", route)
 
     # ------------------------------------------------------------------
     # Typed surface
@@ -236,3 +367,20 @@ class ServiceClient:
 
     def models(self) -> dict:
         return self._get("/v1/models")
+
+    def rollout(self, checkpoint, model: str = None,
+                warm_top: int = None):
+        """Trigger a warm blue/green rollout on the server.
+
+        Returns the summary dict on success, or the typed taxonomy
+        error value the gateway mapped the failure to.
+        """
+        payload = {"checkpoint": str(checkpoint)}
+        if model is not None:
+            payload["model"] = model
+        if warm_top is not None:
+            payload["warm_top"] = warm_top
+        reply = self._post("/v1/admin/rollout", payload)
+        if isinstance(reply, dict) and reply.get("type") == "error":
+            return reply_from_wire(reply)
+        return reply

@@ -393,6 +393,21 @@ class MalformedQuery(ServiceError):
 
 
 @dataclass(frozen=True)
+class ShardUnavailable(ServiceError):
+    """The shard owning this query's student cannot be reached.
+
+    Only the cluster router produces this: a worker crash, a draining
+    shard, or a transport failure mid-fan-out surfaces as one of these
+    values *per affected query slot* — sibling queries on healthy shards
+    answer normally, and nothing ever raises across the scatter-gather
+    boundary.  A supervisor restart (with journal replay) clears it.
+    """
+
+    code: ClassVar[str] = "shard_unavailable"
+    http_status: ClassVar[int] = 503
+
+
+@dataclass(frozen=True)
 class NotFound(ServiceError):
     """No such gateway route (distinct from a malformed payload)."""
 
@@ -411,7 +426,7 @@ class InternalError(ServiceError):
 ERROR_TYPES = {cls.code: cls for cls in
                (UnknownStudent, InvalidQuestion, InvalidConcept,
                 EmptyHistory, InvalidEdit, ModelNotLoaded, MalformedQuery,
-                NotFound, InternalError)}
+                ShardUnavailable, NotFound, InternalError)}
 
 REPLY_TYPES = {cls.TYPE: cls for cls in
                (ScoreReply, ExplainReply, WhatIfReply, RecommendReply,

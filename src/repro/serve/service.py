@@ -15,18 +15,21 @@ The scheduler
 2. applies every :class:`RecordEvent` first, in envelope order — all
    read queries then observe the same post-record snapshot;
 3. coalesces the heterogeneous read queries for each model —
-   :class:`ScoreQuery` probes, :class:`ExplainQuery` targets, and both
-   timelines of every :class:`WhatIfQuery` (edited + baseline) — into
-   **one shared forward-stream batch**: a single
+   :class:`ScoreQuery` probes, :class:`ExplainQuery` targets, both
+   timelines of every :class:`WhatIfQuery` (edited + baseline), and
+   every :class:`RecommendQuery` candidate's success-probability
+   probe — into **one shared forward-stream batch**: a single
    :class:`repro.core.multi_target.MultiTargetContext` whose forward
    half comes from the per-student incremental caches, with every
    missing row (cold students, edited timelines, off-anchor explain
    targets) warm-built in one stacked pass.  Only the per-target
    backward streams run per query, column-banded and threaded on the
    engine's persistent worker pool.
-4. runs :class:`RecommendQuery` probes through the engine's dedicated
-   recommendation scheduler (already internally batched: every
-   candidate and assumed-answer world shares stacked passes).
+4. scores each :class:`RecommendQuery`'s assumed-answer value worlds in
+   one stacked pass per query
+   (:meth:`InferenceEngine._recommend_values`) against the history
+   snapshot its probes were admitted with, then blends them with the
+   shared-batch probabilities.
 
 Replies come back in query order.  Window semantics are inherited
 unchanged: each row conditions on its anchored window slice, identical
@@ -44,6 +47,7 @@ import numpy as np
 from repro.tensor import no_grad
 
 from .engine import InferenceEngine, _ContextRow
+from .forward_cache import build_stream_caches
 from .history import ArrayHistory, StudentHistory
 from .protocol import (DEFAULT_MODEL, EDIT_OPS, BatchEnvelope, BatchReply,
                        EmptyHistory,
@@ -76,11 +80,28 @@ class _ReadRow:
     """
 
     index: int          # reply slot
-    role: str           # "score" | "explain" | "what_if_edit" | "what_if_base"
+    role: str           # "score" | "explain" | "what_if_edit"
+    #                     | "what_if_base" | "recommend"
     query: object
     history: object
     start: int
     length: int
+
+
+@dataclass
+class _PendingRecommend:
+    """One :class:`RecommendQuery` whose probes ride the shared batch.
+
+    ``snapshot`` pins the windowed history copies the probes were
+    admitted against (the value worlds re-score the same context after
+    the engine lock is released); ``probabilities`` collects the
+    per-candidate success scores from the shared context, in candidate
+    order.
+    """
+
+    query: RecommendQuery
+    snapshot: tuple
+    probabilities: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -171,6 +192,103 @@ class Service:
             engine = self.registry.get(name)
             if engine is not None:
                 engine.close()
+
+    # ------------------------------------------------------------------
+    # Warm blue/green rollout
+    # ------------------------------------------------------------------
+    def rollout(self, path, name: str = DEFAULT_MODEL,
+                warm_top: int = 64) -> dict:
+        """Blue/green checkpoint rollout with a warm standby.
+
+        Builds a *standby* engine from ``path`` (the green side), hands
+        it the live engine's serving state — the shared history store,
+        lock, and persistent worker pool — pre-builds its forward-stream
+        caches for the ``warm_top`` hottest students (the live stream
+        cache's LRU order *is* the hot set), and only then atomically
+        rebinds ``name``.  The blue engine keeps serving, records
+        included, until the rebind; in-flight queries that already
+        resolved it finish on the old weights.  Unlike
+        :meth:`ModelRegistry.swap` (in-place weight reload, every cache
+        cold afterwards), the hot working set scores warm from the first
+        post-swap request.
+
+        Returns a summary dict (model, warmed count, encoder, students).
+        In-process administration errors raise — ``KeyError`` for an
+        unknown name, ``ValueError`` for an id-space mismatch — exactly
+        like :meth:`ModelRegistry.swap`; the HTTP gateway's
+        ``/v1/admin/rollout`` route maps them onto the error taxonomy.
+        """
+        old = self.registry.get(name)
+        if old is None:
+            raise KeyError(f"no model named '{name}' is loaded "
+                           f"(known: {self.registry.names()})")
+        standby = InferenceEngine.from_checkpoint(
+            path, max_batch=old.max_batch, target_batch=old.target_batch,
+            stream_cache_bytes=old.stream_caches.budget_bytes,
+            window=old.window,
+            window_hop=old.window_hop if old.window is not None else None)
+        if (standby.num_questions, standby.num_concepts) \
+                != (old.num_questions, old.num_concepts):
+            raise ValueError(
+                f"checkpoint at {path} serves a different id space "
+                f"({standby.num_questions} questions / "
+                f"{standby.num_concepts} concepts vs "
+                f"{old.num_questions} / {old.num_concepts}); recorded "
+                f"histories cannot migrate onto it")
+        # Adopt the live serving state: histories are ground-truth
+        # observations shared across model versions, and sharing the
+        # *lock* keeps blue-side records serialized against the green
+        # side's reads for as long as both engines are referenced.
+        standby.students = old.students
+        standby._lock = old._lock
+        # One persistent pool per serving slot: the standby was built
+        # pool-less and inherits the blue engine's threads, so the swap
+        # neither leaks a pool nor strands in-flight chunks.
+        standby.workers = old.workers
+        standby._executor = old._executor
+        warmed = self._warm_standby(old, standby, warm_top)
+        self.registry.register(name, standby)
+        if standby._service is None:
+            standby._service = self
+        return {"model": name, "warmed": warmed,
+                "encoder": standby.model.config.encoder,
+                "students": len(standby.students)}
+
+    def _warm_standby(self, old: InferenceEngine,
+                      standby: InferenceEngine, warm_top: int) -> int:
+        """Pre-build the standby's stream caches for the hot set.
+
+        Snapshots the hottest students' anchored windows under the
+        shared lock (cheap memcpys), then runs one stacked
+        :func:`~repro.serve.forward_cache.build_stream_caches` pass on
+        the standby model *outside* the lock — the blue side keeps
+        serving while the green side warms.  A record that lands
+        between snapshot and swap merely makes that entry stale, and
+        stale entries self-heal (discard + rebuild) on first use.
+        """
+        if warm_top <= 0 or not standby.stream_caches.enabled:
+            return 0
+        snapshots = []
+        with old._lock:
+            for student_id in old.stream_caches.hot_keys(warm_top):
+                history = old.students.peek(student_id)
+                if history is None or history.length == 0:
+                    continue
+                start = standby._window_start(history.length)
+                arrays = [a.copy() for a in
+                          (history.suffix(start) if start
+                           else history).view()]
+                snapshots.append((student_id, start,
+                                  ArrayHistory(student_id, *arrays)))
+        if not snapshots:
+            return 0
+        with no_grad():
+            built = build_stream_caches(standby.model,
+                                        [s[2] for s in snapshots])
+        for (student_id, start, _), entry in zip(snapshots, built):
+            entry.anchor = start
+            standby.stream_caches.put(student_id, entry)
+        return len(snapshots)
 
     # ------------------------------------------------------------------
     # Admission
@@ -266,18 +384,12 @@ class Service:
                     f"{type(error).__name__}: {error}",
                     details={"model": engine.name})
 
-        reads = []
+        coalesced = []
         for index, query in group:
             if isinstance(query, RecordEvent):
                 # Records first, in envelope order: every read of the
                 # batch then observes the same post-record snapshot.
                 guarded(index, self._apply_record, query)
-            else:
-                reads.append((index, query))
-        coalesced = []
-        for index, query in reads:
-            if isinstance(query, RecommendQuery):
-                guarded(index, self._run_recommend, query)
             else:
                 coalesced.append((index, query))
         if coalesced:
@@ -318,8 +430,17 @@ class Service:
                            engine.history_length(query.student_id),
                            model=model_name)
 
-    def _run_recommend(self, engine: InferenceEngine, model_name: str,
-                       query: RecommendQuery):
+    def _admit_recommend(self, engine, model_name, index,
+                         query: RecommendQuery, rows, meta, recommends,
+                         replies) -> None:
+        """Admit a recommend query's success probes into the shared batch.
+
+        One probe row per candidate (sharing the student's stream-cache
+        slot with any :class:`ScoreQuery` in the batch) — the last
+        uncoalesced read path, folded.  The assumed-answer value worlds
+        still run per query (:meth:`InferenceEngine._recommend_values`)
+        against the snapshot taken here, after the shared flush.
+        """
         for name, value, kinds in (
                 ("top_k", query.top_k, (int,)),
                 ("horizon", query.horizon, (int,)),
@@ -327,44 +448,49 @@ class Service:
                 ("value_weight", query.value_weight, (int, float))):
             if not isinstance(value, kinds) or isinstance(value, bool):
                 expected = "an integer" if kinds == (int,) else "a number"
-                return MalformedQuery(
+                replies[index] = MalformedQuery(
                     f"{name} must be {expected}, got {value!r}",
                     details={name: value})
+                return
         for candidate in query.candidates:
             error = self._id_error_value(engine, candidate.question_id,
                                          candidate.concept_ids,
                                          query.student_id)
             if error is not None:
-                return error
-        if engine.history_length(query.student_id) == 0:
-            return EmptyHistory(
+                replies[index] = error
+                return
+        history = engine.students.peek(query.student_id)
+        if history is None or history.length == 0:
+            replies[index] = EmptyHistory(
                 f"recommendation needs a non-empty history"
                 f"{engine._error_context(query.student_id)}",
                 details={"student_id": str(query.student_id),
                          "model": engine.name})
-        from .engine import ScoreRequest
-        recommendations = engine._recommend(
-            query.student_id,
-            [ScoreRequest(query.student_id, c.question_id, c.concept_ids)
-             for c in query.candidates],
-            top_k=query.top_k, target_success=query.target_success,
-            value_weight=query.value_weight, horizon=query.horizon)
-        return RecommendReply(
-            query.student_id,
-            tuple(RecommendationItem(
-                question_id=r.question_id, concept_ids=tuple(r.concept_ids),
-                success_probability=r.success_probability, value=r.value,
-                score=r.score) for r in recommendations),
-            model=model_name)
+            return
+        if not query.candidates:
+            replies[index] = RecommendReply(query.student_id, (),
+                                            model=model_name)
+            return
+        start = engine._window_start(history.length)
+        recommends[index] = _PendingRecommend(
+            query, engine._snapshot_window(history))
+        for candidate in query.candidates:
+            rows.append(_ContextRow(history, start,
+                                    (candidate.question_id,
+                                     candidate.concept_ids),
+                                    cache_key=query.student_id))
+            meta.append(_ReadRow(index, "recommend", query, history, start,
+                                 history.length))
 
     # ------------------------------------------------------------------
     # The mixed-type shared-context flush
     # ------------------------------------------------------------------
     def _flush_reads(self, engine: InferenceEngine, model_name: str,
                      coalesced, replies: List[object]) -> None:
-        """Score + explain + what-if queries as one shared batch."""
+        """Score + explain + what-if + recommend-probe shared batch."""
         rows: List[_ContextRow] = []
         meta: List[_ReadRow] = []
+        recommends = {}
         with no_grad():
             with engine._lock:
                 for index, query in coalesced:
@@ -374,6 +500,10 @@ class Service:
                     elif isinstance(query, ExplainQuery):
                         self._admit_explain(engine, index, query, rows,
                                             meta, replies)
+                    elif isinstance(query, RecommendQuery):
+                        self._admit_recommend(engine, model_name, index,
+                                              query, rows, meta,
+                                              recommends, replies)
                     else:
                         self._admit_what_if(engine, index, query, rows,
                                             meta, replies)
@@ -397,8 +527,8 @@ class Service:
             if len(explain_rows):
                 computation = context.influences_for(explain_rows,
                                                      cols[explain_rows])
-        self._resolve_reads(model_name, meta, scores, explain_rows,
-                            computation, replies)
+        self._resolve_reads(engine, model_name, meta, scores, explain_rows,
+                            computation, recommends, replies)
 
     def _admit_score(self, engine, index, query: ScoreQuery, rows, meta,
                      replies) -> None:
@@ -525,9 +655,9 @@ class Service:
         return ArrayHistory(query.student_id, questions, responses,
                             concepts, counts)
 
-    def _resolve_reads(self, model_name: str, meta: List[_ReadRow],
-                       scores, explain_rows, computation,
-                       replies) -> None:
+    def _resolve_reads(self, engine: InferenceEngine, model_name: str,
+                       meta: List[_ReadRow], scores, explain_rows,
+                       computation, recommends, replies) -> None:
         """Turn raw scores/influence grids into typed replies."""
         edit_scores = {}
         base_scores = {}
@@ -541,6 +671,10 @@ class Service:
                                           row.length)
             elif row.role == "what_if_base":
                 base_scores[row.index] = float(scores[position])
+            elif row.role == "recommend":
+                # Meta order preserves candidate order per query.
+                recommends[row.index].probabilities.append(
+                    float(scores[position]))
         for index, (query, score, edited_length) in edit_scores.items():
             replies[index] = WhatIfReply(
                 query.student_id, query.question_id, score,
@@ -551,6 +685,37 @@ class Service:
             replies[row.index] = self._explain_reply(
                 model_name, row, computation, position,
                 attach=len(explain_rows) == 1)
+        for index, pending in recommends.items():
+            try:
+                replies[index] = self._recommend_reply(engine, model_name,
+                                                       pending)
+            except Exception as error:  # noqa: BLE001 — taxonomy boundary
+                replies[index] = InternalError(
+                    f"scheduler failure in model '{engine.name}': "
+                    f"{type(error).__name__}: {error}",
+                    details={"model": engine.name})
+
+    def _recommend_reply(self, engine: InferenceEngine, model_name: str,
+                         pending: _PendingRecommend) -> RecommendReply:
+        """Blend shared-batch probabilities with the value worlds."""
+        query = pending.query
+        values = engine._recommend_values(pending.snapshot,
+                                          query.candidates, query.horizon)
+        items = []
+        for candidate, probability, value in zip(query.candidates,
+                                                 pending.probabilities,
+                                                 values):
+            difficulty_fit = 1.0 - abs(probability - query.target_success)
+            items.append(RecommendationItem(
+                question_id=candidate.question_id,
+                concept_ids=tuple(candidate.concept_ids),
+                success_probability=probability,
+                value=float(value),
+                score=difficulty_fit + query.value_weight * float(value)))
+        items.sort(key=lambda item: -item.score)
+        return RecommendReply(query.student_id,
+                              tuple(items[:query.top_k]),
+                              model=model_name)
 
     def _explain_reply(self, model_name: str, row: _ReadRow,
                        computation, position: int,

@@ -1,0 +1,70 @@
+"""Consistent-hash ring: determinism, balance, resize stability."""
+
+import pytest
+
+from repro.cluster import HashRing, student_key
+
+
+class TestDeterminism:
+    def test_identical_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        for key in range(500):
+            assert a.shard_for(f"student-{key}") \
+                == b.shard_for(f"student-{key}")
+
+    def test_int_and_str_ids_are_distinct_students(self):
+        # The history store treats 7 and "7" as different students; the
+        # ring must not silently merge them onto one key.
+        assert student_key(7) != student_key("7")
+
+    def test_known_key_types_hash_stably(self):
+        ring = HashRing(3)
+        for student in ("amy", 42, 3.5, True, None, ("a", 1)):
+            assert 0 <= ring.shard_for(student) < 3
+            assert ring.shard_for(student) == ring.shard_for(student)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="shards"):
+            HashRing(0)
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(2, replicas=0)
+
+
+class TestPlacement:
+    def test_partition_matches_shard_for(self):
+        ring = HashRing(4)
+        students = [f"s{k}" for k in range(200)]
+        groups = ring.partition(students)
+        assert sorted(i for group in groups for i in group) \
+            == list(range(200))
+        for shard, group in enumerate(groups):
+            for index in group:
+                assert ring.shard_for(students[index]) == shard
+
+    def test_balance_is_reasonable(self):
+        # With default replicas the max/mean shard load over a large
+        # random key set stays within a loose constant factor — enough
+        # to rule out degenerate all-on-one-shard placements without
+        # flaking on hash luck.
+        ring = HashRing(4)
+        counts = [len(g) for g in
+                  ring.partition([f"student-{k}" for k in range(8000)])]
+        assert min(counts) > 0
+        assert max(counts) < 2.5 * (sum(counts) / len(counts))
+
+
+class TestResizeStability:
+    def test_growth_only_moves_keys_to_the_new_shard(self):
+        before, after = HashRing(4), HashRing(5)
+        students = [f"student-{k}" for k in range(4000)]
+        moved = 0
+        for student in students:
+            old, new = before.shard_for(student), after.shard_for(student)
+            if old != new:
+                moved += 1
+                # Consistent hashing: existing shards' ring points are
+                # unchanged, so any key that moves must move to the
+                # shard that was added — never between old shards.
+                assert new == 4
+        # Expected move fraction is 1/5; allow generous slack.
+        assert 0.05 < moved / len(students) < 0.40

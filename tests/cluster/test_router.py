@@ -1,0 +1,375 @@
+"""Scatter-gather router: bit-identity with a single Service, failures.
+
+Workers here are thread-backed (each a full ``Service`` + HTTP gateway
+in this process, with its own identically-seeded model object), so the
+routing/merging logic is exercised over real sockets without process
+spawn costs; ``tests/cluster/test_process.py`` and the CI selfcheck
+cover the real multi-process stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ENCODERS, RCKT, RCKTConfig
+from repro.cluster import RecordJournal, ScatterGatherRouter
+from repro.serve import (BatchEnvelope, CandidateQuestion, ExplainQuery,
+                         HistoryEdit, InferenceEngine, InvalidQuestion,
+                         MalformedQuery, RecommendQuery, RecordEvent,
+                         ScoreQuery, Service, ServiceClient,
+                         ShardUnavailable, WhatIfQuery, is_error,
+                         query_from_wire, start_http_thread, to_wire)
+from repro.cluster.supervisor import free_port
+
+NUM_QUESTIONS = 30
+NUM_CONCEPTS = 5
+
+
+def make_model(encoder="dkt"):
+    # Seeded init: every call returns bit-identical weights, which is
+    # how N thread-backed "workers" serve one logical checkpoint.
+    return RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                RCKTConfig(encoder=encoder, dim=8, layers=1, seed=3))
+
+
+def make_records(students, rounds=3, seed=17):
+    rng = np.random.default_rng(seed)
+    return [RecordEvent(student, int(rng.integers(1, NUM_QUESTIONS + 1)),
+                        int(rng.integers(0, 2)),
+                        (int(rng.integers(1, NUM_CONCEPTS + 1)),))
+            for _ in range(rounds) for student in students]
+
+
+def mixed_queries(students):
+    queries = []
+    for index, student in enumerate(students):
+        question = 1 + (7 * index) % NUM_QUESTIONS
+        concepts = (1 + index % NUM_CONCEPTS,)
+        queries.append(ScoreQuery(student, question, concepts))
+        queries.append(ExplainQuery(student))
+        queries.append(WhatIfQuery(student, question, concepts,
+                                   (HistoryEdit(0, "flip"),)))
+        queries.append(RecommendQuery(
+            student, (CandidateQuestion(question, (1,)),
+                      CandidateQuestion(1 + (question + 5) % NUM_QUESTIONS,
+                                        (2,))),
+            top_k=2, horizon=2))
+    return queries
+
+
+class ThreadCluster:
+    """N gateway-served worker Services + a router + a reference."""
+
+    def __init__(self, shards, encoder="dkt"):
+        self.services = []
+        self.servers = []
+        urls = []
+        for _ in range(shards):
+            service = Service(InferenceEngine(make_model(encoder)))
+            server, _ = start_http_thread(service)
+            self.services.append(service)
+            self.servers.append(server)
+            urls.append(f"http://127.0.0.1:{server.server_port}")
+        self.journal = RecordJournal()
+        self.router = ScatterGatherRouter(urls, timeout=10.0,
+                                          journal=self.journal)
+        self.reference = Service(InferenceEngine(make_model(encoder)))
+
+    def close(self):
+        self.router.close()
+        for server in self.servers:
+            server.shutdown()
+            server.server_close()
+        for service in self.services:
+            service.close()
+        self.reference.close()
+
+
+@pytest.fixture()
+def cluster():
+    built = ThreadCluster(shards=2)
+    yield built
+    built.close()
+
+
+def wire_equal(ours, reference, atol: float) -> bool:
+    """Structural wire equality, floats compared to ``atol``.
+
+    ``atol=0`` is strict bitwise identity.  The attention encoders get
+    ``atol`` of a few ulp: a shard's sub-envelope pads to its *own* max
+    sequence length, and BLAS reduction blocking over a different
+    padded width may differ in the last bit — per-row math is
+    identical, only the summation order inside matmul changes.  (The
+    LSTM encoder steps column by column, so its scores are exactly
+    bit-identical regardless of batch geometry.)
+    """
+    if type(ours) is not type(reference):
+        return False
+    if isinstance(ours, dict):
+        return ours.keys() == reference.keys() and all(
+            wire_equal(ours[key], reference[key], atol) for key in ours)
+    if isinstance(ours, list):
+        return len(ours) == len(reference) and all(
+            wire_equal(a, b, atol) for a, b in zip(ours, reference))
+    if isinstance(ours, float):
+        return abs(ours - reference) <= atol
+    return ours == reference
+
+
+def assert_wire_identical(cluster_replies, reference_replies,
+                          atol: float = 0.0):
+    assert len(cluster_replies) == len(reference_replies)
+    for ours, reference in zip(cluster_replies, reference_replies):
+        assert wire_equal(to_wire(ours), to_wire(reference), atol), \
+            f"{to_wire(ours)} != {to_wire(reference)}"
+
+
+# ---------------------------------------------------------------------------
+# The parity contract
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("encoder", ENCODERS)
+def test_mixed_envelope_bit_identical_to_single_service(encoder):
+    # dkt: strict bitwise identity.  sakt/akt: identical up to a few
+    # ulp of BLAS reduction order on differing padded widths (see
+    # wire_equal) — kept tolerant so the assertion is portable across
+    # BLAS builds rather than pinned to this machine's blocking.
+    atol = 0.0 if encoder == "dkt" else 1e-12
+    built = ThreadCluster(shards=2, encoder=encoder)
+    try:
+        students = [f"{encoder}-student-{k}" for k in range(6)]
+        records = make_records(students)
+        assert_wire_identical(built.router.execute_batch(records),
+                              built.reference.execute_batch(records))
+        mixed = mixed_queries(students)
+        assert_wire_identical(built.router.execute_batch(mixed),
+                              built.reference.execute_batch(mixed),
+                              atol=atol)
+    finally:
+        built.close()
+
+
+def test_three_shards_and_interleaved_records_and_reads():
+    built = ThreadCluster(shards=3)
+    try:
+        students = [f"s{k}" for k in range(9)]
+        # Records and reads interleaved in one envelope: records still
+        # apply first (per student = per shard), identically on both
+        # sides.
+        envelope = []
+        for student in students:
+            envelope.append(ScoreQuery(student, 3, (1,)))
+            envelope.append(RecordEvent(student, 5, 1, (2,)))
+            envelope.append(RecordEvent(student, 9, 0, (3,)))
+            envelope.append(ExplainQuery(student))
+        assert_wire_identical(built.router.execute_batch(envelope),
+                              built.reference.execute_batch(envelope))
+    finally:
+        built.close()
+
+
+def test_single_query_and_envelope_through_execute(cluster):
+    students = ["a", "b", "c"]
+    records = make_records(students, rounds=2)
+    cluster.router.execute_batch(records)
+    cluster.reference.execute_batch(records)
+    query = ScoreQuery("a", 3, (1,))
+    assert to_wire(cluster.router.execute(query)) \
+        == to_wire(cluster.reference.execute(query))
+    envelope = BatchEnvelope(tuple(mixed_queries(students)))
+    assert to_wire(cluster.router.execute(envelope)) \
+        == to_wire(cluster.reference.execute(envelope))
+
+
+def test_error_parity_including_canonical_messages(cluster):
+    students = ["amy", "bob"]
+    setup = make_records(students, rounds=2)
+    cluster.router.execute_batch(setup)
+    cluster.reference.execute_batch(setup)
+    probes = [
+        ScoreQuery("amy", 9999, (1,)),               # invalid question
+        ScoreQuery("amy", 3, (999,)),                # invalid concept
+        ExplainQuery("nobody"),                      # unknown student
+        ScoreQuery("amy", 3, (1,), model="missing"),  # model not loaded
+        WhatIfQuery("amy", 3, (1,), (HistoryEdit(99, "flip"),)),
+        RecordEvent("amy", 3, 7, (1,)),              # malformed correct
+        # A nested envelope: rejected with the facade's exact wording
+        # (the router forwards it to a worker Service rather than
+        # duplicating the message).
+        BatchEnvelope((ScoreQuery("amy", 3, (1,)),)),
+        ScoreQuery("amy", 3, (1,)),                  # healthy sibling
+    ]
+    ours = cluster.router.execute_batch(probes)
+    reference = cluster.reference.execute_batch(probes)
+    assert_wire_identical(ours, reference)
+    assert isinstance(ours[0], InvalidQuestion)
+    assert isinstance(ours[6], MalformedQuery)
+    assert ours[7].ok
+
+
+def test_predecoded_malformed_and_foreign_objects(cluster):
+    garbage = query_from_wire({"v": 1, "type": "teleport"})
+    replies = cluster.router.execute_batch([garbage, object(),
+                                            ScoreQuery("amy", 3, (1,))])
+    reference = cluster.reference.execute_batch(
+        [garbage, object(), ScoreQuery("amy", 3, (1,))])
+    assert_wire_identical(replies, reference)
+    assert isinstance(replies[0], MalformedQuery)
+    assert isinstance(replies[1], MalformedQuery)
+
+
+# ---------------------------------------------------------------------------
+# Failure containment
+# ---------------------------------------------------------------------------
+def test_dead_shard_degrades_only_its_slots(cluster):
+    dead_url = f"http://127.0.0.1:{free_port()}"
+    router = ScatterGatherRouter(
+        [cluster.router.shard_urls[0], dead_url], timeout=2.0)
+    try:
+        students = [f"s{k}" for k in range(10)]
+        queries = [ScoreQuery(student, 3, (1,)) for student in students]
+        replies = router.execute_batch(queries)
+        dead = [r for r in replies if isinstance(r, ShardUnavailable)]
+        alive = [r for r in replies if not is_error(r)]
+        assert len(dead) + len(alive) == len(students)
+        assert dead and alive   # both shards drew students
+        for error in dead:
+            assert error.code == "shard_unavailable"
+            assert error.http_status == 503
+            assert error.detail("shard") == 1
+    finally:
+        router.close()
+
+
+def test_draining_shard_answers_unavailable_and_resumes(cluster):
+    students = [f"s{k}" for k in range(8)]
+    cluster.router.execute_batch(make_records(students, rounds=1))
+    owners = {s: cluster.router.shard_of(ScoreQuery(s, 3, (1,)))
+              for s in students}
+    drained = 0
+    cluster.router.drain(drained)
+    replies = cluster.router.execute_batch(
+        [ScoreQuery(s, 3, (1,)) for s in students])
+    for student, reply in zip(students, replies):
+        if owners[student] == drained:
+            assert isinstance(reply, ShardUnavailable)
+            assert "draining" in reply.message
+        else:
+            assert reply.ok
+    cluster.router.resume(drained)
+    assert all(r.ok for r in cluster.router.execute_batch(
+        [ScoreQuery(s, 3, (1,)) for s in students]))
+
+
+# ---------------------------------------------------------------------------
+# Journal + restart (simulated in-process)
+# ---------------------------------------------------------------------------
+def test_journal_replays_in_worker_ack_order_not_arrival_order():
+    """Concurrent envelopes can journal one student's acks out of
+    order; replay must re-sort by the worker-side sequence (the
+    acknowledged history_length) and drop duplicate acks."""
+    journal = RecordJournal()
+    second = to_wire(RecordEvent("amy", 5, 0, (1,)))
+    first = to_wire(RecordEvent("amy", 3, 1, (2,)))
+    journal.append(0, second, sequence=2)     # reply arrived first ...
+    journal.append(0, first, sequence=1)      # ... but applied second
+    journal.append(0, first, sequence=1)      # a retried ack, twice
+    journal.append(0, to_wire(RecordEvent("bob", 9, 1, (3,))),
+                   sequence=1)
+    envelopes = list(journal.envelopes(0))
+    assert len(envelopes) == 1
+    replayed = envelopes[0]["queries"]
+    amy = [q for q in replayed if q["student_id"] == "amy"]
+    assert [q["question_id"] for q in amy] == [3, 5]   # worker order
+    assert len(replayed) == 3                          # dupe dropped
+    assert journal.count(0) == 4                       # log untouched
+
+
+def test_journal_replay_restores_bit_identity(cluster):
+    students = [f"s{k}" for k in range(8)]
+    records = make_records(students)
+    assert all(r.ok for r in cluster.router.execute_batch(records))
+    cluster.reference.execute_batch(records)
+    sizes = cluster.journal.sizes()
+    assert sum(sizes.values()) == len(records)
+    mixed = mixed_queries(students)
+    before = cluster.router.execute_batch(mixed)
+
+    # "Crash" shard 0: drop its server + Service (all in-memory state)
+    # and boot a cold replacement on the same port.
+    shard = 0
+    port = cluster.servers[shard].server_port
+    cluster.servers[shard].shutdown()
+    cluster.servers[shard].server_close()
+    cluster.services[shard].close()
+    fresh = Service(InferenceEngine(make_model()))
+    server, _ = start_http_thread(fresh, port=port)
+    cluster.services[shard] = fresh
+    cluster.servers[shard] = server
+
+    # Replay the journal the way the supervisor does.
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+    for envelope in cluster.journal.envelopes(shard, batch_size=3):
+        replies = client.batch([query_from_wire(q)
+                                for q in envelope["queries"]])
+        assert all(r.ok for r in replies)
+    client.close()
+
+    after = cluster.router.execute_batch(mixed)
+    assert_wire_identical(after, before)
+    assert_wire_identical(after, cluster.reference.execute_batch(mixed))
+
+
+# ---------------------------------------------------------------------------
+# Warm blue/green rollout across shards
+# ---------------------------------------------------------------------------
+def test_rollout_fans_out_and_stays_bit_identical(cluster, tmp_path):
+    students = [f"s{k}" for k in range(8)]
+    records = make_records(students)
+    cluster.router.execute_batch(records)
+    cluster.reference.execute_batch(records)
+    mixed = mixed_queries(students)
+    before = cluster.router.execute_batch(mixed)
+
+    retrained = InferenceEngine(RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                                     RCKTConfig(encoder="dkt", dim=8,
+                                                layers=1, seed=11)))
+    path = tmp_path / "green.npz"
+    retrained.save(path)
+    results = cluster.router.rollout(str(path), warm_top=16)
+    assert len(results) == 2
+    assert all(not is_error(result) for result in results)
+    assert all(result["warmed"] >= 1 for result in results)
+    cluster.reference.rollout(path, warm_top=16)
+
+    after = cluster.router.execute_batch(mixed)
+    assert_wire_identical(after, cluster.reference.execute_batch(mixed))
+    # The rollout actually changed the serving weights.
+    changed = [a for a, b in zip(after, before)
+               if hasattr(a, "score") and a.score != b.score]
+    assert changed
+
+
+def test_router_http_face_and_health(cluster):
+    from repro.cluster import start_router_thread
+    students = ["a", "b", "c", "d"]
+    cluster.router.execute_batch(make_records(students, rounds=2))
+    cluster.reference.execute_batch(make_records(students, rounds=2))
+    server, _ = start_router_thread(cluster.router)
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                               timeout=10.0)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert [s["ok"] for s in health["shards"]] == [True, True]
+        assert health["ring"]["shards"] == 2
+        models = client.models()
+        assert models["models"][0]["num_questions"] == NUM_QUESTIONS
+        mixed = mixed_queries(students)
+        assert_wire_identical(client.batch(mixed),
+                              cluster.reference.execute_batch(mixed))
+        single = client.query(ScoreQuery("a", 3, (1,)))
+        assert to_wire(single) == to_wire(
+            cluster.reference.execute(ScoreQuery("a", 3, (1,))))
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()

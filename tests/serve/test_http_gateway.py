@@ -251,3 +251,67 @@ class TestGatewayPlumbing:
                 lambda q: client.query(q).score, queries))
         local = [service.execute(q).score for q in queries]
         np.testing.assert_allclose(wire_scores, local, rtol=0, atol=ATOL)
+
+
+class TestKeepAliveClient:
+    """Persistent connections: one socket serves many requests, stale
+    sockets are retried transparently, and the pool closes cleanly."""
+
+    def test_one_connection_serves_many_requests(self, stack, dataset):
+        _, service, server, _ = stack
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                               timeout=10.0)
+        student = list(dataset)[0].student_id
+        for k in range(8):
+            assert client.query(ScoreQuery(student,
+                                           1 + k % NUM_QUESTIONS,
+                                           (1,))).ok
+        client.health()
+        client.models()
+        # Sequential traffic reuses the single kept-alive socket.
+        assert client.connections_opened == 1
+        client.close()
+
+    def test_concurrent_requests_pool_connections(self, stack, dataset):
+        from concurrent.futures import ThreadPoolExecutor
+        _, _, server, _ = stack
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                               timeout=10.0, max_idle=4)
+        student = list(dataset)[0].student_id
+        queries = [ScoreQuery(student, 1 + k % NUM_QUESTIONS, (1,))
+                   for k in range(24)]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            replies = list(pool.map(client.query, queries))
+        assert all(reply.ok for reply in replies)
+        # At most one socket per concurrent worker, not one per request.
+        assert client.connections_opened <= 4
+        client.close()
+
+    def test_stale_keep_alive_socket_is_retried(self, stack, dataset):
+        _, _, server, _ = stack
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                               timeout=10.0)
+        assert client.query(ScoreQuery("amy", 3, (1,))).ok
+        assert client.connections_opened == 1
+        # Kill the pooled socket out from under the client — what a
+        # worker restart or server idle-timeout does to a kept-alive
+        # connection.  The next request must retry on a fresh socket
+        # instead of surfacing the dead one.
+        assert len(client._idle) == 1
+        client._idle[0].sock.close()
+        assert client.query(ScoreQuery("amy", 3, (1,))).ok
+        assert client.connections_opened == 2   # one fresh retry
+        client.close()
+
+    def test_transport_failure_raises_close_idempotent(self):
+        from repro.cluster.supervisor import free_port
+        client = ServiceClient(f"http://127.0.0.1:{free_port()}",
+                               timeout=2.0)
+        with pytest.raises(OSError):
+            client.query(ScoreQuery("amy", 3, (1,)))
+        client.close()
+        client.close()
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="plain http"):
+            ServiceClient("https://example.com")

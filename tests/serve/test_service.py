@@ -193,6 +193,48 @@ class TestMixedBatchCoalescing:
         assert all(reply.ok for reply in replies)
         assert counts["capture"] == 0 and counts["forward"] == 0
 
+    def test_recommend_probes_ride_the_shared_batch(self, service,
+                                                    dataset, monkeypatch):
+        """Success-probability probes are coalesced: a mixed batch with
+        a recommend does exactly the forward work the recommend alone
+        does (its value worlds) — zero extra passes for the probes."""
+        student = next(s for s in dataset if len(s) >= 4).student_id
+        recommend = RecommendQuery(
+            student, (CandidateQuestion(3, (1,)),
+                      CandidateQuestion(9, (2,))), top_k=2, horizon=2)
+        # Warm every cache first (score + recommend probe share a slot).
+        assert service.execute(recommend).ok
+        counts = self._counting(service.engine(), monkeypatch)
+        assert service.execute_batch([recommend])[0].ok
+        alone = dict(counts)
+        assert alone["capture"] == 0   # warm probes: no warm-up pass
+        counts["capture"] = counts["forward"] = 0
+        replies = service.execute_batch([
+            ScoreQuery(student, 7, (3,)),
+            ExplainQuery(student),
+            recommend,
+        ])
+        assert all(reply.ok for reply in replies)
+        assert dict(counts) == alone
+
+    def test_cold_recommend_shares_the_single_warmup_pass(self, service,
+                                                          dataset,
+                                                          monkeypatch):
+        counts = self._counting(service.engine(), monkeypatch)
+        students = [s.student_id for s in dataset]
+        replies = service.execute_batch([
+            ScoreQuery(students[0], 7, (3,)),
+            RecommendQuery(students[1],
+                           (CandidateQuestion(3, (1,)),
+                            CandidateQuestion(9, (2,))), horizon=2),
+            ExplainQuery(students[2]),
+        ])
+        assert all(reply.ok for reply in replies)
+        # Cold score rows, recommend probe rows, and the explain target
+        # all warm-build in ONE stacked capture pass; the only other
+        # encoder work is the recommend's value worlds.
+        assert counts["capture"] == 1
+
     def test_mixed_batch_matches_individual_execution(self, model,
                                                       dataset):
         engine_a = InferenceEngine(model)
