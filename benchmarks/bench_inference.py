@@ -581,6 +581,95 @@ def bench_cluster(model: RCKT, dataset, rounds: int,
         return entry
 
 
+def bench_journal(num_entries: int) -> dict:
+    """Durable record journal: append throughput and cold-boot replay.
+
+    Encoder-independent (the journal moves wire payloads, not model
+    state), so it runs once per benchmark and is keyed ``"wal"``.
+    Three arms: (1) append rate under each fsync policy (``record`` =
+    fsync per append, ``batch`` = fsync per 16 appends — the router's
+    per-sub-envelope cadence, ``off`` = OS-buffered); (2) cold boot
+    from the full segment log vs from a snapshot + empty tail, whose
+    ratio (``speedup``) is the algorithmic win snapshot + truncation
+    exists for; (3) ``max_abs_score_diff`` is 0.0 only when the
+    replay streams from the full log, the snapshot, and an in-memory
+    journal fed the same appends are *identical* — ordering/dedup
+    correctness as a gated drift entry (1.0 means broken).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.cluster import RecordJournal
+    from repro.serve import RecordEvent
+    from repro.serve.protocol import to_wire
+
+    rng = np.random.default_rng(7)
+    students = [f"wal-{k}" for k in range(64)]
+    sequences = {student: 0 for student in students}
+    stream = []
+    for _ in range(num_entries):
+        student = students[int(rng.integers(0, len(students)))]
+        sequences[student] += 1
+        stream.append((to_wire(RecordEvent(
+            student, int(rng.integers(1, 21)),
+            int(rng.integers(0, 2)), (1,))), sequences[student]))
+    # Retried acks: ~5% of appends are duplicates of earlier entries
+    # (replay must keep exactly one copy of each).
+    duplicates = [stream[int(rng.integers(0, len(stream)))]
+                  for _ in range(num_entries // 20)]
+    stream += duplicates
+
+    def drain(journal):
+        return [query for envelope in journal.envelopes(0)
+                for query in envelope["queries"]]
+
+    entry = {"entries": len(stream), "students": len(students),
+             "duplicate_appends": len(duplicates)}
+    with tempfile.TemporaryDirectory(prefix="rckt-bench-wal-") as tmp:
+        for policy in ("record", "batch", "off"):
+            journal = RecordJournal(directory=Path(tmp) / policy,
+                                    fsync=policy)
+            start = time.perf_counter()
+            for position, (payload, sequence) in enumerate(stream):
+                error = journal.append(0, payload, sequence)
+                if error is not None:
+                    raise RuntimeError(f"journal rejected benchmark "
+                                       f"payload: {error}")
+                if policy == "batch" and position % 16 == 15:
+                    journal.sync(0)
+            journal.sync(0)
+            seconds = time.perf_counter() - start
+            journal.close()
+            entry[f"append_{policy}_per_sec"] = round(
+                len(stream) / seconds, 1)
+
+        log_dir = Path(tmp) / "batch"
+        start = time.perf_counter()
+        from_log = RecordJournal(directory=log_dir)
+        log_seconds = time.perf_counter() - start
+        log_replay = drain(from_log)
+        from_log.snapshot(0)
+        from_log.close()
+        start = time.perf_counter()
+        from_snapshot = RecordJournal(directory=log_dir)
+        snapshot_seconds = time.perf_counter() - start
+        snapshot_replay = drain(from_snapshot)
+        from_snapshot.close()
+
+    in_memory = RecordJournal()
+    for payload, sequence in stream:
+        in_memory.append(0, payload, sequence)
+    memory_replay = drain(in_memory)
+
+    entry["replay_entries"] = len(log_replay)
+    entry["cold_boot_log_seconds"] = round(log_seconds, 4)
+    entry["cold_boot_snapshot_seconds"] = round(snapshot_seconds, 4)
+    entry["speedup"] = round(log_seconds / snapshot_seconds, 2)
+    entry["max_abs_score_diff"] = (
+        0.0 if log_replay == snapshot_replay == memory_replay else 1.0)
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -634,6 +723,7 @@ def main() -> None:
         "long_context": {},
         "service_layer": {},
         "cluster": {},
+        "journal": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -689,6 +779,16 @@ def main() -> None:
               f"in-process {cluster['local_queries_per_sec']} q/s, "
               f"router-vs-local diff "
               f"{cluster['max_abs_score_diff']:.2e})")
+
+    journal = bench_journal(1000 if args.quick else 5000)
+    results["journal"]["wal"] = journal
+    print(f"journal: append {journal['append_record_per_sec']} "
+          f"(record) / {journal['append_batch_per_sec']} (batch) / "
+          f"{journal['append_off_per_sec']} (off) entries/s | "
+          f"cold boot {journal['cold_boot_log_seconds']}s log -> "
+          f"{journal['cold_boot_snapshot_seconds']}s snapshot "
+          f"({journal['speedup']}x), replay/dedup diff "
+          f"{journal['max_abs_score_diff']:.1f}")
 
     headline = results["serving"][encoders[0]]
     results["headline_workload"] = "serving"

@@ -20,7 +20,12 @@ and warm blue/green rollouts alike.
   replies in envelope order, and surfaces per-shard failures as
   :class:`~repro.serve.protocol.ShardUnavailable` *values*.
 * :class:`RecordJournal` (:mod:`repro.cluster.journal`) — per-shard
-  log of acknowledged records, the crash-recovery ground truth.
+  log of acknowledged records, the crash-recovery ground truth.  With
+  a directory it is a **durable write-ahead journal**: CRC-framed
+  segment files (:mod:`repro.cluster.wal`) with configurable fsync,
+  compacted by replay-ordered snapshots (:mod:`repro.cluster.snapshot`)
+  that truncate covered segments, recovered — torn tails and all — on
+  cold boot.
 * :class:`Supervisor` (:mod:`repro.cluster.supervisor`) — spawns and
   babysits workers: health probes, drain + same-port restart + journal
   replay on crash, and rolling warm blue/green checkpoint rollouts
@@ -28,20 +33,24 @@ and warm blue/green rollouts alike.
   students before the atomic swap).
 
 ``python -m repro.cluster`` boots the whole stack from checkpoint
-files; ``--selfcheck`` runs the CI smoke: a 2-shard cluster proving
-mixed-envelope bit-identity, kill-one-worker recovery, and a rollout.
+files (``--journal-dir`` for durability + recovery-on-boot);
+``--selfcheck`` runs the CI smoke: a 2-shard cluster proving
+mixed-envelope bit-identity, kill-one-worker recovery, a rollout, and
+(with ``--journal-dir``) a full cold boot from disk.
 See ``docs/CLUSTER.md`` for semantics and operations.
 """
 
-from .journal import RecordJournal
+from .journal import RecordJournal, replay_order
 from .ring import DEFAULT_REPLICAS, HashRing, student_key
 from .router import (RouterHTTPServer, ScatterGatherRouter, serve_router,
                      start_router_thread)
 from .supervisor import Supervisor, WorkerHandle, WorkerSpec, free_port
+from .wal import FSYNC_POLICIES, SegmentCorruption
 
 __all__ = [
     "HashRing", "DEFAULT_REPLICAS", "student_key",
-    "RecordJournal",
+    "RecordJournal", "replay_order",
+    "FSYNC_POLICIES", "SegmentCorruption",
     "ScatterGatherRouter", "RouterHTTPServer", "serve_router",
     "start_router_thread",
     "Supervisor", "WorkerSpec", "WorkerHandle", "free_port",

@@ -3,21 +3,36 @@
 Usage::
 
     python -m repro.cluster --checkpoint rckt.npz --shards 4
+    python -m repro.cluster --checkpoint rckt.npz --shards 4 \\
+        --journal-dir /var/lib/rckt/journal --fsync batch
     python -m repro.cluster --checkpoint prod=a.npz --checkpoint \\
         canary=b.npz --shards 2 --port 8080 --workers 2 --window 256
-    python -m repro.cluster --selfcheck
+    python -m repro.cluster --selfcheck [--journal-dir DIR]
 
 Boots ``--shards`` worker processes (each the full single-process
 serving gateway on its own ephemeral port), waits until every one is
 healthy, then serves the scatter-gather router on ``--port`` — the
 cluster's single public endpoint, wire-compatible with
-``python -m repro.serve``.  ``--selfcheck`` runs the CI smoke lane: a
-throwaway 2-shard cluster on synthetic checkpoints proving (1) mixed
-batch envelopes answer bit-identically to a single in-process
-``Service``, (2) a killed worker is restarted with its journal
-replayed and answers identically afterwards, and (3) a warm blue/green
-rollout applies cluster-wide and crash recovery restores the
-rolled-out weights.
+``python -m repro.serve``.
+
+``--journal-dir`` makes the record journal **durable**: acknowledged
+records append to per-shard CRC-framed segment files (fsync policy via
+``--fsync``; periodic snapshot + truncation via ``--snapshot-every``),
+and a cluster booted over an existing journal directory **recovers on
+boot** — every shard's snapshot + tail is replayed into its fresh
+worker before the router starts serving, so acknowledged records
+survive not just worker crashes but router/process death and full
+cold restarts.  Without the flag the journal is in-memory, as before.
+
+``--selfcheck`` runs the CI smoke lane: a throwaway 2-shard cluster on
+synthetic checkpoints proving (1) mixed batch envelopes answer
+bit-identically to a single in-process ``Service``, (2) a killed
+worker is restarted with its journal replayed and answers identically
+afterwards, and (3) a warm blue/green rollout applies cluster-wide and
+crash recovery restores the rolled-out weights.  With ``--journal-dir``
+it additionally proves (4) a **full cold boot** — every process gone,
+a torn byte tail appended to a live segment — recovers from disk alone
+and still answers bit-identically (the CI durability lane).
 """
 
 from __future__ import annotations
@@ -31,10 +46,11 @@ from typing import List, Optional
 from repro.serve.__main__ import _parse_checkpoint
 from repro.serve.protocol import DEFAULT_MODEL, is_error, to_wire
 
-from .journal import RecordJournal
+from .journal import DEFAULT_SEGMENT_BYTES, RecordJournal
 from .ring import DEFAULT_REPLICAS
 from .router import ScatterGatherRouter, serve_router
 from .supervisor import Supervisor, WorkerSpec, free_port
+from .wal import FSYNC_POLICIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stream-cache-bytes", type=int, default=None)
     parser.add_argument("--poll-interval", type=float, default=0.5,
                         help="watchdog probe cadence in seconds")
+    parser.add_argument("--journal-dir", default=None,
+                        help="directory for the durable record journal "
+                             "(per-shard segment files + snapshots); an "
+                             "existing journal is recovered and replayed "
+                             "into the fresh workers on boot.  Default: "
+                             "in-memory journal (no durability)")
+    parser.add_argument("--fsync", choices=FSYNC_POLICIES,
+                        default="batch",
+                        help="journal fsync policy: 'record' = fsync "
+                             "per acknowledged record, 'batch' = fsync "
+                             "once per routed sub-envelope (default), "
+                             "'off' = let the OS decide")
+    parser.add_argument("--snapshot-every", type=int, default=4096,
+                        help="auto-snapshot + truncate a shard's journal "
+                             "every N tail records (0 disables; default "
+                             "4096)")
+    parser.add_argument("--segment-bytes", type=int,
+                        default=DEFAULT_SEGMENT_BYTES,
+                        help="roll journal segment files at this size")
     parser.add_argument("--log-dir", default=None,
                         help="directory for per-worker logs (default: "
                              "worker output is discarded)")
@@ -89,10 +124,27 @@ def _engine_flags(args) -> List[str]:
     return flags
 
 
+def build_journal(args) -> RecordJournal:
+    """The cluster's journal per the parsed args — durable (recovering
+    any prior state from ``--journal-dir``) or in-memory, with the ring
+    parameters the shard keying depends on pinned in the directory."""
+    snapshot_every = getattr(args, "snapshot_every", 0) or None
+    journal = RecordJournal(
+        directory=getattr(args, "journal_dir", None),
+        fsync=getattr(args, "fsync", "batch"),
+        segment_max_bytes=getattr(args, "segment_bytes",
+                                  DEFAULT_SEGMENT_BYTES),
+        snapshot_every=snapshot_every)
+    journal.bind_meta({"shards": args.shards,
+                       "replicas": args.replicas})
+    return journal
+
+
 def build_cluster(args, checkpoints):
     """(journal, supervisor, router) for the given parsed args —
-    workers spawned and healthy, router attached, watchdog not yet
-    started (the caller decides)."""
+    workers spawned and healthy, any durable journal recovered from
+    ``--journal-dir`` and replayed into them (cold boot), router
+    attached, watchdog not yet started (the caller decides)."""
     specs = [
         WorkerSpec(shard_id=shard, port=free_port(args.host),
                    checkpoints=[(name, str(path))
@@ -102,10 +154,21 @@ def build_cluster(args, checkpoints):
                              if args.log_dir else None))
         for shard in range(args.shards)
     ]
-    journal = RecordJournal()
+    journal = build_journal(args)
+    stray = [shard for shard in journal.shards()
+             if shard >= args.shards]
+    if stray:
+        raise ValueError(
+            f"journal directory {journal.directory} holds records for "
+            f"shards {stray} but the cluster boots only "
+            f"{args.shards} shards")
     supervisor = Supervisor(specs, journal=journal,
                             poll_interval=args.poll_interval)
     supervisor.start()
+    if journal.total():
+        replayed = supervisor.replay_all()
+        print(f"cold boot: replayed {replayed} journaled records into "
+              f"{args.shards} shards from {journal.directory}")
     router = ScatterGatherRouter([spec.base_url for spec in specs],
                                  journal=journal, replicas=args.replicas)
     supervisor.attach_router(router)
@@ -221,6 +284,48 @@ def _selfcheck(args) -> int:
             failures += _compare("post-rollout restart envelope",
                                  router.execute_batch(mixed),
                                  local.execute_batch(mixed))
+
+            if args.journal_dir:
+                # Phase 4 (durability lane): snapshot + truncate, land
+                # a post-snapshot tail, tear its final bytes, then cold
+                # boot a brand-new cluster from disk alone — every
+                # process above is gone, only --journal-dir survives.
+                print("selfcheck: snapshot + cold boot from "
+                      f"{args.journal_dir} ...")
+                for stats in supervisor.journal.snapshot_all():
+                    print(f"selfcheck: shard {stats['shard']} snapshot "
+                          f"{stats['entries']} entries, "
+                          f"{stats['segments_removed']} segments "
+                          f"truncated")
+                extra = [RecordEvent(student, 1 + 2 * k % 20, k % 2,
+                                     (1 + k % 5,))
+                         for k, student in enumerate(students)]
+                failures += _compare("post-snapshot records",
+                                     router.execute_batch(extra),
+                                     local.execute_batch(extra))
+                expected = supervisor.journal.total()
+                supervisor.stop()
+                router.close()
+                supervisor.journal.close()
+                from .wal import list_segments
+                tails = [segment
+                         for shard_dir in
+                         sorted(Path(args.journal_dir).glob("shard-*"))
+                         for segment in list_segments(shard_dir)]
+                if tails:
+                    with open(tails[-1], "ab") as handle:
+                        handle.write(b"\x40\x00\x00\x00torn")
+                    print(f"selfcheck: tore the tail of {tails[-1]}")
+                journal2, supervisor, router = build_cluster(
+                    args, [(DEFAULT_MODEL, green)])
+                if journal2.total() != expected:
+                    print(f"selfcheck: cold boot recovered "
+                          f"{journal2.total()} journal entries, "
+                          f"expected {expected}")
+                    failures += 1
+                failures += _compare("cold boot envelope",
+                                     router.execute_batch(mixed),
+                                     local.execute_batch(mixed))
         finally:
             supervisor.stop()
             router.close()
@@ -229,7 +334,9 @@ def _selfcheck(args) -> int:
             print(f"selfcheck: FAILED ({failures} mismatching replies)")
             return 1
     print("selfcheck: ok (2 shards, bit-identical through crash "
-          "restart and warm rollout)")
+          "restart and warm rollout"
+          + (", cold boot from durable journal)" if args.journal_dir
+             else ")"))
     return 0
 
 

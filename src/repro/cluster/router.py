@@ -18,8 +18,11 @@ implementation detail the wire cannot observe.  Per query it:
 3. fans the per-shard sub-envelopes out concurrently over persistent
    keep-alive connections (:class:`repro.serve.ServiceClient`);
 4. merges the replies back into envelope order, journaling every
-   acknowledged record (:mod:`repro.cluster.journal`) so the
-   supervisor can rebuild a crashed worker;
+   acknowledged record (:mod:`repro.cluster.journal` — disk-backed
+   when the cluster runs with ``--journal-dir``, with one fsync per
+   sub-envelope under the default ``batch`` policy) so the supervisor
+   can rebuild a crashed worker, and a future cold boot can rebuild
+   the whole cluster;
 5. surfaces per-shard failures as
    :class:`~repro.serve.protocol.ShardUnavailable` **values** in the
    affected slots — a worker crash mid-fan-out degrades exactly the
@@ -207,6 +210,7 @@ class ScatterGatherRouter:
             for index in indices:
                 replies[index] = failure
             return
+        journaled = False
         for index, query, reply in zip(indices, sub, shard_replies):
             replies[index] = reply
             if isinstance(query, RecordEvent) and getattr(reply, "ok",
@@ -215,8 +219,23 @@ class ScatterGatherRouter:
                 # The reply's history_length is the worker-side apply
                 # order — the journal re-sorts by it so concurrent
                 # envelopes cannot invert a student's replay order.
-                self.journal.append(shard, to_wire(query),
-                                    sequence=reply.history_length)
+                rejected = self.journal.append(
+                    shard, to_wire(query), sequence=reply.history_length)
+                if rejected is not None:
+                    # The worker applied a record the journal refuses to
+                    # persist (it would not replay) — the durability
+                    # contract is broken for this slot, so say so
+                    # instead of acking silently.
+                    replies[index] = InternalError(
+                        f"acknowledged record could not be journaled: "
+                        f"{rejected.message}",
+                        details={"shard": shard})
+                else:
+                    journaled = True
+        if journaled:
+            # The batch fsync policy's durability point: one disk flush
+            # per sub-envelope, not per record.
+            self.journal.sync(shard)
 
     # ------------------------------------------------------------------
     # Cluster plane
@@ -250,8 +269,7 @@ class ScatterGatherRouter:
             "protocol": PROTOCOL_VERSION,
             "shards": shards,
             "ring": self.ring.describe(),
-            "journal": {str(k): v for k, v in
-                        self.journal.sizes().items()},
+            "journal": self.journal.describe(),
         }
 
     def models(self):

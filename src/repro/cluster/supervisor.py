@@ -12,7 +12,11 @@ the cluster inside the bit-identity contract at all times:
   shard's :class:`~repro.cluster.journal.RecordJournal` is replayed
   into the fresh process before traffic resumes — the reborn worker
   answers exactly like one that never crashed, because acknowledged
-  records are the only serving state that cannot be derived.
+  records are the only serving state that cannot be derived.  With a
+  durable (disk-backed) journal the same replay also powers **cold
+  boot**: :meth:`Supervisor.replay_all` rebuilds every worker of a
+  brand-new cluster process from the journal directory, so recovery
+  no longer depends on any previous router process's lifetime.
 * **Warm blue/green rollout** — forward a new checkpoint to each
   worker's ``/v1/admin/rollout`` one shard at a time.  Each worker
   builds the green engine, adopts live histories, pre-warms its
@@ -302,6 +306,17 @@ class Supervisor:
                                    f"{shard}: {bad[0]}")
             replayed += len(queries)
         return replayed
+
+    def replay_all(self) -> int:
+        """Replay every shard's journal into its (fresh) worker.
+
+        The cold-boot path: after :meth:`start` brings up empty workers
+        from checkpoints, this rebuilds their histories from a durable
+        journal recovered off disk.  Returns the total replayed record
+        count.  Raises like :meth:`replay` on any rejected record.
+        """
+        return sum(self.replay(handle.spec.shard_id)
+                   for handle in self.workers)
 
     # ------------------------------------------------------------------
     # Warm blue/green rollout

@@ -1,0 +1,225 @@
+"""Write-ahead segment files: the journal's on-disk byte layer.
+
+A shard's journal lives in one directory as a sequence of append-only
+**segment files** (``segment-<index>.wal``, monotonically numbered)
+plus at most one snapshot (:mod:`repro.cluster.snapshot`).  A segment
+is a flat concatenation of framed entries::
+
+    +----------------+----------------+------------------------+
+    | length  (u32le)| crc32   (u32le)| payload (length bytes) |
+    +----------------+----------------+------------------------+
+
+where ``payload`` is the canonical compact JSON of one journal entry
+(:func:`repro.serve.protocol.wire_json_bytes`) and ``crc32`` is
+``zlib.crc32`` over exactly those payload bytes.  The frame makes two
+failure modes detectable at read time:
+
+* **Torn tail** — a crash mid-append leaves a *prefix* of the last
+  frame on disk (appends are sequential writes, so a partial write is
+  always a prefix).  :func:`scan_entries` stops at the first frame that
+  does not verify and reports the byte offset of the last good frame
+  boundary; :func:`recover_segment` truncates the file there, which is
+  the documented recovery action for the *final* segment of a shard.
+* **Sealed-segment corruption** — the same non-verifying frame in a
+  non-final segment cannot be a torn append (later segments only exist
+  because the earlier one was sealed with a final flush), so the
+  journal layer treats it as real corruption and fails loudly instead
+  of silently dropping acknowledged records.
+
+Durability is a per-writer **fsync policy** (:data:`FSYNC_POLICIES`):
+
+* ``"record"`` — ``fsync`` after every appended frame: an acknowledged
+  record survives power loss, at one disk flush per record.
+* ``"batch"`` — frames are flushed to the OS per append and ``fsync``
+  runs once per :meth:`SegmentWriter.sync` call (the router calls it
+  once per scatter-gather sub-envelope): a power loss can cost at most
+  the current batch, a process crash costs nothing.
+* ``"off"`` — never ``fsync`` (the OS decides when bytes hit the
+  platter): process crashes are still fully covered, power loss is not.
+
+Sealing a segment (roll-over, snapshot, close) always flushes and —
+unless the policy is ``"off"`` — fsyncs, so sealed segments are
+complete by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.serve.protocol import wire_json_bytes, wire_json_loads
+
+#: Supported fsync policies, strongest first (see module docstring).
+FSYNC_POLICIES = ("record", "batch", "off")
+
+SEGMENT_SUFFIX = ".wal"
+_SEGMENT_NAME = re.compile(r"^segment-(\d{8})\.wal$")
+
+#: Frame header: payload byte length + CRC32 of the payload bytes.
+_HEADER = struct.Struct("<II")
+HEADER_BYTES = _HEADER.size
+
+
+class SegmentCorruption(RuntimeError):
+    """A sealed segment failed to verify (not a recoverable torn tail)."""
+
+    def __init__(self, path, offset: int, reason: str):
+        super().__init__(f"{path}: corrupt frame at byte {offset}: "
+                         f"{reason}")
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+
+
+def segment_path(directory, index: int) -> Path:
+    return Path(directory) / f"segment-{index:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_index(path) -> int:
+    match = _SEGMENT_NAME.match(Path(path).name)
+    if match is None:
+        raise ValueError(f"not a segment file name: {path}")
+    return int(match.group(1))
+
+
+def list_segments(directory) -> List[Path]:
+    """The directory's segment files in index (== append) order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [p for p in directory.iterdir()
+             if _SEGMENT_NAME.match(p.name)]
+    return sorted(found, key=segment_index)
+
+
+def encode_entry(entry: dict) -> bytes:
+    """One framed entry: header + canonical JSON payload bytes."""
+    payload = wire_json_bytes(entry)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_entries(data: bytes) -> Tuple[List[dict], int, Optional[str]]:
+    """Decode framed entries from raw segment bytes.
+
+    Returns ``(entries, valid_bytes, damage)``: every entry that
+    verified, the offset of the first byte past the last good frame,
+    and ``None`` when the whole buffer verified — otherwise a short
+    reason (``"torn header"`` / ``"torn payload"`` / ``"crc mismatch"``
+    / ``"undecodable payload"``) describing why scanning stopped.
+    Everything at or after ``valid_bytes`` is unverified and must be
+    either truncated (final segment: torn tail) or treated as
+    corruption (sealed segment) by the caller.
+    """
+    entries: List[dict] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + HEADER_BYTES > total:
+            return entries, offset, "torn header"
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + HEADER_BYTES
+        end = start + length
+        if end > total:
+            return entries, offset, "torn payload"
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return entries, offset, "crc mismatch"
+        try:
+            entries.append(wire_json_loads(payload))
+        except ValueError:
+            return entries, offset, "undecodable payload"
+        offset = end
+    return entries, offset, None
+
+
+def read_segment(path) -> Tuple[List[dict], int, Optional[str]]:
+    """:func:`scan_entries` over a segment file's bytes."""
+    return scan_entries(Path(path).read_bytes())
+
+
+def recover_segment(path) -> Tuple[List[dict], int]:
+    """Read a segment, truncating any torn tail in place.
+
+    Returns ``(entries, dropped_bytes)``.  Only correct for the shard's
+    *final* segment — on sealed segments the journal layer raises
+    :class:`SegmentCorruption` instead of calling this (see module
+    docstring for why the distinction is safe).
+    """
+    path = Path(path)
+    entries, valid_bytes, damage = read_segment(path)
+    dropped = 0
+    if damage is not None:
+        dropped = path.stat().st_size - valid_bytes
+        with open(path, "rb+") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return entries, dropped
+
+
+def fsync_directory(directory) -> None:
+    """Best-effort fsync of a directory entry (after create/rename/
+    unlink) so the metadata change itself survives power loss."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return   # platform without directory fds: nothing to do
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SegmentWriter:
+    """Append framed entries to one segment file under a fsync policy."""
+
+    def __init__(self, path, fsync: str = "batch"):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of "
+                             f"{FSYNC_POLICIES}, got {fsync!r}")
+        self.path = Path(path)
+        self.fsync = fsync
+        existed = self.path.exists()
+        self._size = self.path.stat().st_size if existed else 0
+        self._file = open(self.path, "ab")
+        self._dirty = False
+        if not existed:
+            fsync_directory(self.path.parent)
+
+    @property
+    def size(self) -> int:
+        """Bytes in the segment (on-disk size plus unflushed appends)."""
+        return self._size
+
+    def append(self, entry: dict) -> int:
+        """Frame + write one entry; returns the frame's byte length."""
+        frame = encode_entry(entry)
+        self._file.write(frame)
+        self._file.flush()   # visible to readers/crash-of-this-process
+        self._size += len(frame)
+        if self.fsync == "record":
+            os.fsync(self._file.fileno())
+        else:
+            self._dirty = True
+        return len(frame)
+
+    def sync(self) -> None:
+        """Batch-policy durability point (no-op for record/off)."""
+        if self.fsync == "batch" and self._dirty:
+            os.fsync(self._file.fileno())
+            self._dirty = False
+
+    def close(self) -> None:
+        """Seal the segment: flush, fsync (unless policy off), close."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())
+        self._file.close()

@@ -5,7 +5,9 @@ A worker is deliberately boring — it *is* the PR 4 serving stack
 the HTTP/JSON gateway) booted as its own OS process, one per shard.
 All cluster behavior lives around it: the router decides which worker
 owns which student, the supervisor decides when a worker lives or
-dies, and the journal decides what a reborn worker must replay.
+dies, and the journal decides what a reborn worker must replay — a
+worker itself never touches the journal's disk state; it just answers
+the replayed record envelopes like any other client traffic.
 Because a worker speaks the exact single-process protocol (including
 ``POST /v1/admin/rollout`` for the warm blue/green swap), the
 router-vs-single-``Service`` bit-identity contract reduces to "the

@@ -27,6 +27,7 @@ The full field-by-field reference lives in ``docs/API.md``.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import ClassVar, Optional, Tuple
 
@@ -560,6 +561,28 @@ def query_from_wire(payload) -> object:
     except (KeyError, TypeError, ValueError) as error:
         return MalformedQuery(f"cannot decode {tag!r} query: {error}",
                               details={"type": tag})
+
+
+def wire_json_bytes(payload) -> bytes:
+    """Canonical compact JSON bytes for a wire payload.
+
+    One byte-level codec for everything that persists or checksums wire
+    dicts (the cluster's durable record journal frames, CRC-checks, and
+    snapshots ride on this): keys sorted, no whitespace, UTF-8, NaN/Inf
+    rejected — the same logical payload always serializes to the same
+    bytes, so a CRC over them is meaningful across processes.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False, allow_nan=False).encode("utf-8")
+
+
+def wire_json_loads(data: bytes):
+    """Invert :func:`wire_json_bytes` (raises ``ValueError`` on garbage —
+    the caller decides whether that means a torn tail or corruption)."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except UnicodeDecodeError as error:
+        raise ValueError(f"payload bytes are not UTF-8: {error}") from None
 
 
 def reply_from_wire(payload) -> object:
