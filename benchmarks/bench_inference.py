@@ -64,6 +64,16 @@ And one for the PR 4 typed serving API:
   per-query scores *and* wire vs in-process scores, so the drift gate
   covers the whole stack.
 
+And one for the PR 7 counterfactual recourse API:
+
+* **recourse** — the protocol-v2 ``RecourseQuery`` edit search: beam
+  search over fix-history and practice-candidate edits, every
+  generation scored as one shared forward-stream batch with practice
+  worlds extending cloned warm caches.  Reports edit/world throughput
+  and worlds-per-forward-call (the coalescing ratio); its
+  ``max_abs_score_diff`` rescores each returned path's edited timeline
+  from scratch, so the drift gate covers the search's answers.
+
 Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
 throughput ratio for the default encoder) to start the perf trajectory::
 
@@ -581,6 +591,133 @@ def bench_cluster(model: RCKT, dataset, rounds: int,
         return entry
 
 
+def bench_recourse(model: RCKT, dataset, rounds: int) -> dict:
+    """Counterfactual recourse: edit-search throughput and coalescing.
+
+    One ``RecourseQuery`` per student per round (two practice
+    candidates + history fixes, beam width 2, up to 3 edits).  The
+    benchmark weights are untrained, so the 0.8 threshold is
+    effectively unreachable and every search explores its full
+    ``max_edits`` depth — the deterministic worst case for the
+    search, which is exactly what a throughput trend wants.  Three
+    reported facets:
+
+    * ``edits_per_sec`` / ``worlds_per_sec`` — returned path edits and
+      hypothetical timelines scored per wall-clock second;
+    * ``worlds_per_forward_call`` — worlds scored divided by encoder
+      forward passes (captures + streams), measured by wrapping the
+      encoder.  The search scores each generation as one shared batch
+      and extends warm caches for practice-only worlds, so this ratio
+      must stay well above 1; a collapse to ~1 means the search
+      regressed to world-at-a-time scoring;
+    * ``max_abs_score_diff`` — every achieved path's final timeline is
+      rebuilt from scratch and rescored through collate +
+      ``predict_scores`` (the paper's evaluation idiom), gating the
+      search's claimed ``final_score`` like every other drift entry.
+    """
+    from repro.data import Interaction, StudentSequence
+    from repro.serve import (CandidateQuestion, RecourseQuery, ScoreQuery,
+                             Service)
+
+    rng = np.random.default_rng(43)
+    sequences = [s for s in list(dataset) if len(s) >= 4][:40]
+    num_questions = dataset.num_questions
+
+    engine = InferenceEngine(model)
+    engine.load_dataset(dataset)
+    service = Service(engine)
+    # Warm the stream caches: steady state, not the cold build.
+    service.execute_batch([ScoreQuery(s.student_id, 1, (1,))
+                           for s in sequences])
+
+    probes = rng.integers(1, num_questions + 1,
+                          size=(rounds, len(sequences), 3))
+
+    def queries_for(round_index: int) -> list:
+        queries = []
+        for k, sequence in enumerate(sequences):
+            target, cand_a, cand_b = (int(q)
+                                      for q in probes[round_index, k])
+            queries.append(RecourseQuery(
+                sequence.student_id, target, (1 + target % 20,),
+                threshold=0.8, max_edits=3, beam_width=2,
+                candidates=(CandidateQuestion(cand_a, (1 + cand_a % 20,)),
+                            CandidateQuestion(cand_b,
+                                              (1 + cand_b % 20,)))))
+        return queries
+
+    counts = {"calls": 0}
+    encoder = engine.model.generator.encoder
+    real_capture = encoder.forward_stream_with_capture
+    real_forward = encoder.forward_stream
+
+    def counted_capture(*args, **kwargs):
+        counts["calls"] += 1
+        return real_capture(*args, **kwargs)
+
+    def counted_forward(*args, **kwargs):
+        counts["calls"] += 1
+        return real_forward(*args, **kwargs)
+
+    encoder.forward_stream_with_capture = counted_capture
+    encoder.forward_stream = counted_forward
+    try:
+        start = time.perf_counter()
+        replies = []
+        for round_index in range(rounds):
+            replies.extend(service.execute_batch(
+                queries_for(round_index)))
+        seconds = time.perf_counter() - start
+    finally:
+        encoder.forward_stream_with_capture = real_capture
+        encoder.forward_stream = real_forward
+
+    bad = [reply for reply in replies if not reply.ok]
+    if bad:
+        raise RuntimeError(f"recourse benchmark query failed: {bad[0]}")
+    edits = sum(len(reply.steps) for reply in replies)
+    worlds = sum(reply.worlds_scored for reply in replies)
+    achieved = sum(reply.achieved for reply in replies)
+
+    # Drift gate: rescore each first-round reply's edited timeline from
+    # scratch.  The recorded histories are exactly the dataset
+    # sequences (load_dataset, no window), so the edit path replays
+    # directly onto them.
+    by_student = {s.student_id: s for s in sequences}
+    max_diff = 0.0
+    first_round = replies[:len(sequences)]
+    for query, reply in zip(queries_for(0), first_round):
+        rows = list(by_student[query.student_id].interactions)
+        for step in reply.steps:
+            if step.kind == "fix_history":
+                old = rows[step.position]
+                rows[step.position] = Interaction(
+                    old.question_id, 1, old.concept_ids)
+            else:
+                rows.append(Interaction(step.question_id, 1,
+                                        step.concept_ids))
+        rows.append(Interaction(query.question_id, 1, query.concept_ids))
+        golden = StudentSequence("golden", rows)
+        batch = collate([golden])
+        score = float(model.predict_scores(
+            batch, np.array([len(rows) - 1]))[0])
+        max_diff = max(max_diff, abs(reply.final_score - score))
+
+    return {
+        "searches": len(replies),
+        "achieved": achieved,
+        "edits": edits,
+        "worlds_scored": worlds,
+        "forward_calls": counts["calls"],
+        "seconds": round(seconds, 4),
+        "edits_per_sec": round(edits / seconds, 1),
+        "worlds_per_sec": round(worlds / seconds, 1),
+        "worlds_per_forward_call": round(
+            worlds / max(counts["calls"], 1), 2),
+        "max_abs_score_diff": max_diff,
+    }
+
+
 def bench_journal(num_entries: int) -> dict:
     """Durable record journal: append throughput and cold-boot replay.
 
@@ -724,6 +861,7 @@ def main() -> None:
         "service_layer": {},
         "cluster": {},
         "journal": {},
+        "recourse": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -736,6 +874,7 @@ def main() -> None:
                                           long_every)
         service_layer = bench_service_layer(model, dataset, args.rounds)
         cluster = bench_cluster(model, dataset, max(args.rounds, 3))
+        recourse = bench_recourse(model, dataset, args.rounds)
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
         results["serving_incremental"][encoder] = incremental
@@ -743,6 +882,7 @@ def main() -> None:
         results["long_context"][encoder] = long_context
         results["service_layer"][encoder] = service_layer
         results["cluster"][encoder] = cluster
+        results["recourse"][encoder] = recourse
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -779,6 +919,12 @@ def main() -> None:
               f"in-process {cluster['local_queries_per_sec']} q/s, "
               f"router-vs-local diff "
               f"{cluster['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: recourse {recourse['searches']} searches "
+              f"({recourse['achieved']} achieved) | "
+              f"{recourse['edits_per_sec']} edits/s, "
+              f"{recourse['worlds_per_sec']} worlds/s, "
+              f"{recourse['worlds_per_forward_call']} worlds/forward "
+              f"(rescore diff {recourse['max_abs_score_diff']:.2e})")
 
     journal = bench_journal(1000 if args.quick else 5000)
     results["journal"]["wal"] = journal

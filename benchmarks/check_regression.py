@@ -43,6 +43,7 @@ SECTIONS = (
     "service_layer",
     "cluster",
     "journal",
+    "recourse",
 )
 
 # sweep_workers measures hardware parallelism, not an algorithmic win:
@@ -67,6 +68,13 @@ SECTIONS = (
 # its drift entry is gated: 0.0 means the full-log, snapshot, and
 # in-memory replay streams were identical (ordering + dedup held
 # across every storage boundary); anything else is a journal bug.
+# The recourse section has no speedup ratio at all — its timed quantity
+# (worlds per second through a beam search) depends on how many edits
+# each random probe needs, so a throughput gate would be gating the
+# search *inputs*.  Its drift entry is the contract: every returned
+# path's final score must match a from-scratch rescore of the edited
+# timeline; worlds_per_forward_call is reported for eyeballing the
+# coalescing ratio (the exact batching contract is pinned by tests).
 THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental",
                     "long_context", "service_layer")
 

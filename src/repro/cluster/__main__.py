@@ -180,7 +180,8 @@ def build_cluster(args, checkpoints):
 # ---------------------------------------------------------------------------
 def _selfcheck_queries(students):
     from repro.serve import (CandidateQuestion, ExplainQuery, HistoryEdit,
-                             RecommendQuery, ScoreQuery, WhatIfQuery)
+                             RecommendQuery, RecourseQuery, ScoreQuery,
+                             WhatIfQuery)
     queries = []
     for index, student in enumerate(students):
         question = 1 + (3 * index) % 20
@@ -192,6 +193,11 @@ def _selfcheck_queries(students):
             student, (CandidateQuestion(question, (1,)),
                       CandidateQuestion(1 + (question + 4) % 20, (2,))),
             top_k=2, horizon=2))
+        queries.append(RecourseQuery(
+            student, question, (1 + index % 5,), threshold=0.95,
+            max_edits=2, beam_width=2,
+            candidates=(CandidateQuestion(question, (1,)),
+                        CandidateQuestion(1 + (question + 4) % 20, (2,)))))
     return queries
 
 
@@ -243,6 +249,13 @@ def _selfcheck(args) -> int:
             failures += _compare("mixed envelope",
                                  router.execute_batch(mixed),
                                  local.execute_batch(mixed))
+
+            supported = router.health().get("capabilities",
+                                            {}).get("query_types", [])
+            if "recourse" not in supported:
+                print(f"selfcheck: router capabilities missing "
+                      f"recourse: {supported}")
+                failures += 1
 
             # The same envelope through the router's public HTTP face.
             from repro.serve import ServiceClient

@@ -46,15 +46,21 @@ from repro.serve.http_gateway import ServiceClient, _GatewayHandler
 from repro.serve.protocol import (PROTOCOL_VERSION, BatchEnvelope,
                                   BatchReply, ExplainQuery, InternalError,
                                   MalformedQuery, NotFound, RecommendQuery,
-                                  RecordEvent, ScoreQuery, ShardUnavailable,
-                                  WhatIfQuery, is_error, query_from_wire,
+                                  RecordEvent, RecourseQuery, ScoreQuery,
+                                  ShardUnavailable, WhatIfQuery,
+                                  capabilities, is_error,
+                                  negotiated_version, query_from_wire,
                                   to_wire)
 
 from .journal import RecordJournal
 from .ring import DEFAULT_REPLICAS, HashRing
 
+# RecourseQuery rides the same path as every other student-addressed
+# query: the whole edit search runs shard-local on the worker owning
+# the student (its history and warm stream caches live there), and the
+# router only forwards the query and merges the typed reply.
 _QUERY_CLASSES = (ScoreQuery, ExplainQuery, WhatIfQuery, RecommendQuery,
-                  RecordEvent)
+                  RecourseQuery, RecordEvent)
 
 
 class ScatterGatherRouter:
@@ -267,6 +273,7 @@ class ScatterGatherRouter:
         return {
             "status": "ok" if healthy else "degraded",
             "protocol": PROTOCOL_VERSION,
+            "capabilities": capabilities(),
             "shards": shards,
             "ring": self.ring.describe(),
             "journal": self.journal.describe(),
@@ -336,26 +343,33 @@ class _RouterHandler(_GatewayHandler):
         if is_error(payload):
             self._send_reply(payload)
             return
+        # Same per-request negotiation as the worker gateway, so an
+        # unsupported-version or unknown-type rejection serializes to
+        # byte-identical JSON from either surface.
+        version = negotiated_version(payload)
         try:
             if self.path == "/v1/query":
-                self._send_reply(router.execute(query_from_wire(payload)))
+                self._send_reply(router.execute(query_from_wire(payload)),
+                                 version=version)
             elif self.path == "/v1/batch":
                 envelope = query_from_wire(payload)
                 if is_error(envelope):
-                    self._send_reply(envelope)
+                    self._send_reply(envelope, version=version)
                     return
                 if not isinstance(envelope, BatchEnvelope):
                     envelope = BatchEnvelope((envelope,))
                 replies = router.execute_batch(envelope)
-                self._send_json(200, to_wire(BatchReply(tuple(replies))))
+                self._send_json(200, to_wire(BatchReply(tuple(replies)),
+                                             version=version))
             elif self.path == "/v1/admin/rollout":
                 self._admin_rollout(router, payload)
             else:
                 self._send_reply(NotFound(
-                    f"no such route: POST {self.path}"))
+                    f"no such route: POST {self.path}"), version=version)
         except Exception as error:  # noqa: BLE001 - transport boundary
             self._send_reply(InternalError(
-                f"router failure: {type(error).__name__}: {error}"))
+                f"router failure: {type(error).__name__}: {error}"),
+                version=version)
 
     def _admin_rollout(self, router, payload) -> None:
         if not isinstance(payload, dict) or \

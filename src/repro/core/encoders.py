@@ -63,6 +63,13 @@ class ForwardStreamState(abc.ABC):
     def nbytes(self) -> int:
         """Approximate resident bytes (drives the serving LRU budget)."""
 
+    @abc.abstractmethod
+    def clone(self) -> "ForwardStreamState":
+        """Independent deep copy — extending the clone (or the original)
+        never touches the other.  The recourse search forks a student's
+        cached state into per-world timelines this way instead of
+        re-encoding the shared prefix."""
+
 
 class LSTMStreamState(ForwardStreamState):
     """Per-layer carry states of a stacked forward LSTM."""
@@ -79,6 +86,10 @@ class LSTMStreamState(ForwardStreamState):
     def nbytes(self) -> int:
         return sum(a.nbytes for a in self.h) + sum(a.nbytes for a in self.c)
 
+    def clone(self) -> "LSTMStreamState":
+        return LSTMStreamState([a.copy() for a in self.h],
+                               [a.copy() for a in self.c], self.length)
+
 
 class AttentionStreamState(ForwardStreamState):
     """Per-layer projected key/value prefixes of a directional stack."""
@@ -92,6 +103,10 @@ class AttentionStreamState(ForwardStreamState):
     @property
     def nbytes(self) -> int:
         return sum(cache.nbytes for cache in self.caches)
+
+    def clone(self) -> "AttentionStreamState":
+        return AttentionStreamState(
+            [cache.clone() for cache in self.caches], self.length)
 
 
 def shift_and_combine(forward_stream: Tensor, backward_stream: Tensor) -> Tensor:

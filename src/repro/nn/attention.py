@@ -78,6 +78,13 @@ class KVCache:
         """Live ``(keys, values)`` views over the filled prefix."""
         return self.keys[:, :self.length], self.values[:, :self.length]
 
+    def clone(self) -> "KVCache":
+        """Independent copy of the filled prefix (the constructor copies
+        into fresh capacity arrays, so no extra copy here)."""
+        keys, values = self.view()
+        return KVCache(self.keys.shape[0], self.keys.shape[2],
+                       keys=keys, values=values)
+
     @property
     def nbytes(self) -> int:
         return self.keys.nbytes + self.values.nbytes

@@ -5,15 +5,19 @@ engine shaped like a production inference service, reachable three
 equivalent ways — the typed facade, the legacy engine methods (now thin
 shims over it), and HTTP:
 
-* :class:`Service` — the v1 facade: every capability is a typed query
-  (:class:`ScoreQuery`, :class:`ExplainQuery` for per-response
-  influences, :class:`WhatIfQuery` for counterfactual history edits,
-  :class:`RecommendQuery`, :class:`RecordEvent`, batched via
-  :class:`BatchEnvelope`) answered by a typed reply or a structured
-  error **value** (:class:`~repro.serve.protocol.ServiceError`
-  subclasses — never raised across the boundary).  One admission
-  scheduler coalesces heterogeneous query types per model into shared
-  forward-stream batches.
+* :class:`Service` — the typed facade (protocol v2, v1 envelopes still
+  accepted): every capability is a typed query (:class:`ScoreQuery`,
+  :class:`ExplainQuery` for per-response influences,
+  :class:`WhatIfQuery` for counterfactual history edits,
+  :class:`RecommendQuery`, :class:`RecourseQuery` for the batched
+  counterfactual edit search of :mod:`repro.serve.recourse`,
+  :class:`RecordEvent`, batched via :class:`BatchEnvelope`) answered by
+  a typed reply or a structured error **value**
+  (:class:`~repro.serve.protocol.ServiceError` subclasses — never
+  raised across the boundary).  One admission scheduler coalesces
+  heterogeneous query types per model into shared forward-stream
+  batches; :meth:`Service.monotonicity_report` sweeps the
+  correct-response-lowers-mastery diagnostic per student.
 * :class:`ModelRegistry` — named checkpoints with atomic hot-swap;
   queries address models by name.
 * :mod:`repro.serve.http_gateway` — stdlib HTTP/JSON gateway
@@ -47,7 +51,8 @@ from .history import (ArrayHistory, HistoryStore, HistoryWindow,
                       StudentHistory, assemble_padded)
 from .http_gateway import (ServiceClient, ServiceHTTPServer, serve_http,
                            start_http_thread)
-from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
+from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION,
+                       SUPPORTED_PROTOCOL_VERSIONS, BatchEnvelope,
                        BatchReply, CandidateQuestion, EmptyHistory,
                        ExplainQuery, ExplainReply, HistoryEdit,
                        InfluenceItem, InternalError, InvalidConcept,
@@ -55,10 +60,14 @@ from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
                        ModelNotLoaded, NotFound, RecommendQuery,
                        RecommendReply,
                        RecommendationItem, RecordEvent, RecordReply,
+                       RecourseQuery, RecourseReply, RecourseStep,
                        ScoreQuery, ScoreReply, ServiceError,
-                       ShardUnavailable, UnknownStudent, WhatIfQuery,
-                       WhatIfReply, is_error,
-                       query_from_wire, reply_from_wire, to_wire)
+                       ShardUnavailable, UnknownQueryType, UnknownStudent,
+                       UnsupportedVersion, WhatIfQuery,
+                       WhatIfReply, capabilities, is_error,
+                       negotiated_version, query_from_wire,
+                       query_types_for, reply_from_wire, to_wire)
+from .recourse import RecourseSearch
 from .registry import ModelRegistry, registry_for
 from .service import PendingReply, Service
 
@@ -72,15 +81,19 @@ __all__ = [
     # facade + registry
     "Service", "PendingReply", "ModelRegistry", "registry_for",
     # protocol
-    "PROTOCOL_VERSION", "DEFAULT_MODEL",
+    "PROTOCOL_VERSION", "SUPPORTED_PROTOCOL_VERSIONS", "DEFAULT_MODEL",
     "ScoreQuery", "ExplainQuery", "WhatIfQuery", "RecommendQuery",
-    "RecordEvent", "BatchEnvelope", "HistoryEdit", "CandidateQuestion",
+    "RecourseQuery", "RecordEvent", "BatchEnvelope", "HistoryEdit",
+    "CandidateQuestion",
     "ScoreReply", "ExplainReply", "WhatIfReply", "RecommendReply",
+    "RecourseReply", "RecourseStep", "RecourseSearch",
     "RecordReply", "BatchReply", "InfluenceItem", "RecommendationItem",
     "ServiceError", "UnknownStudent", "InvalidQuestion", "InvalidConcept",
     "EmptyHistory", "InvalidEdit", "ModelNotLoaded", "MalformedQuery",
+    "UnsupportedVersion", "UnknownQueryType",
     "ShardUnavailable", "NotFound", "InternalError", "is_error", "to_wire",
-    "query_from_wire", "reply_from_wire",
+    "query_from_wire", "reply_from_wire", "capabilities",
+    "negotiated_version", "query_types_for",
     # HTTP gateway
     "ServiceClient", "ServiceHTTPServer", "serve_http",
     "start_http_thread",

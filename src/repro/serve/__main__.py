@@ -21,7 +21,8 @@ import sys
 from typing import List, Optional
 
 from .http_gateway import ServiceClient, serve_http, start_http_thread
-from .protocol import DEFAULT_MODEL, ScoreQuery
+from .protocol import (DEFAULT_MODEL, CandidateQuestion, RecourseQuery,
+                       ScoreQuery, to_wire)
 from .registry import ModelRegistry
 from .service import Service
 
@@ -86,17 +87,32 @@ def _selfcheck(args) -> int:
         client = ServiceClient(f"http://{args.host}:{server.server_port}")
         health = client.health()
         reply = client.query(ScoreQuery("probe", 5, (1,)))
-        direct = engine.score("probe", 5, (1,))
+        direct = service.execute(ScoreQuery("probe", 5, (1,)))
         if health.get("status") != "ok":
             print(f"selfcheck: bad health payload {health}")
             return 1
-        if not reply.ok or abs(reply.score - direct) > 1e-12:
+        supported = health.get("capabilities", {}).get("query_types", [])
+        if "recourse" not in supported:
+            print(f"selfcheck: capabilities missing recourse: {health}")
+            return 1
+        if not reply.ok or abs(reply.score - direct.score) > 1e-12:
             print(f"selfcheck: wire score {reply} != direct {direct}")
+            return 1
+        recourse = RecourseQuery(
+            "probe", 5, (1,), threshold=0.99, max_edits=2,
+            candidates=(CandidateQuestion(7, (2,)),
+                        CandidateQuestion(9, (3,))))
+        wire = client.query(recourse)
+        local = service.execute(recourse)
+        if to_wire(wire) != to_wire(local):
+            print(f"selfcheck: wire recourse {to_wire(wire)} != "
+                  f"direct {to_wire(local)}")
             return 1
     finally:
         server.shutdown()
         service.close()
-    print(f"selfcheck: ok (score {direct:.6f} round-tripped over "
+    print(f"selfcheck: ok (score {direct.score:.6f} and a recourse "
+          f"search round-tripped over "
           f"http://{args.host}:{server.server_port})")
     return 0
 

@@ -35,9 +35,11 @@ throughput — ``benchmarks/bench_inference.py`` tracks the exact factor.
 
 from __future__ import annotations
 
+import functools
 import threading
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,6 +88,30 @@ class PendingScore:
             raise RuntimeError("request not flushed yet — call "
                                "InferenceEngine.flush()")
         return self._value
+
+
+def _deprecated_shim(replacement: str):
+    """The one adapter every legacy convenience method routes through.
+
+    Emits a single :class:`DeprecationWarning` naming the typed-facade
+    replacement and the documented removal schedule
+    (``docs/API.md``, "Deprecation schedule"), then calls the original
+    method unchanged — behavior stays bit-identical, which the existing
+    shim tests pin.  Warnings point at the *caller* (``stacklevel=2``).
+    """
+    def decorate(method):
+        @functools.wraps(method)
+        def shim(self, *args, **kwargs):
+            warnings.warn(
+                f"InferenceEngine.{method.__name__}() is deprecated; use "
+                f"{replacement} instead (removal schedule: docs/API.md, "
+                f"'Deprecation schedule')",
+                DeprecationWarning, stacklevel=2)
+            return method(self, *args, **kwargs)
+        shim.__deprecated_replacement__ = replacement
+        shim.__wrapped_shim__ = method
+        return shim
+    return decorate
 
 
 @dataclass
@@ -475,6 +501,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    @_deprecated_shim("Service.execute_batch (one BatchEnvelope per flush)")
     def submit(self, request: ScoreRequest) -> PendingScore:
         """Enqueue a request; auto-flushes when ``max_batch`` are waiting.
 
@@ -491,6 +518,7 @@ class InferenceEngine:
             self.flush()
         return pending
 
+    @_deprecated_shim("Service.execute_batch (one BatchEnvelope per flush)")
     def flush(self) -> List[PendingScore]:
         """Resolve all pending requests in one micro-batched pass."""
         with self._lock:
@@ -509,6 +537,7 @@ class InferenceEngine:
             pending._value = float(score)
         return batch
 
+    @_deprecated_shim("Service.execute_batch with ScoreQuery values")
     def score_batch(self, requests: Sequence[ScoreRequest]) -> np.ndarray:
         """Scores for many (student, next-question) probes at once.
 
@@ -543,7 +572,9 @@ class InferenceEngine:
             scores[index] = reply.score
         return scores
 
-    def _assemble_rows(self, rows: Sequence[_ContextRow]
+    def _assemble_rows(self, rows: Sequence[_ContextRow],
+                       local_entries: Optional[Dict[int, object]] = None,
+                       built_out: Optional[Dict[int, object]] = None
                        ) -> Tuple[MultiTargetContext, np.ndarray]:
         """One shared scoring context over heterogeneous rows (lock held).
 
@@ -559,14 +590,29 @@ class InferenceEngine:
         encodes the (up to three) base forward streams itself.  Either
         way a mixed flush issues one shared forward-stream batch.
 
+        ``local_entries`` maps row index -> a caller-owned
+        :class:`~repro.serve.forward_cache.StudentStreamCache` already
+        covering that row's ``[start, history.length)`` slice — the
+        recourse search passes clone-extended per-world entries here so
+        a generation of hypothetical timelines costs zero forward
+        passes.  ``built_out`` (when given) is filled with row index ->
+        the entry that served the row, letting the caller keep
+        warm-built timelines for the next generation.  Both are cache-
+        path refinements; the raw path ignores them (worlds are
+        re-encoded, still as one shared batch).
+
         Returns the context plus per-row target columns.  The assembled
         arrays are copies, so the backward passes run outside the lock.
         """
         if self.stream_caches.enabled:
-            return self._assemble_rows_cached(rows)
+            return self._assemble_rows_cached(rows, local_entries,
+                                              built_out)
         return self._assemble_rows_raw(rows)
 
-    def _assemble_rows_cached(self, rows: Sequence[_ContextRow]
+    def _assemble_rows_cached(self, rows: Sequence[_ContextRow],
+                              local_entries: Optional[Dict[int, object]]
+                              = None,
+                              built_out: Optional[Dict[int, object]] = None
                               ) -> Tuple[MultiTargetContext, np.ndarray]:
         store = self.stream_caches
         # Windowed serving: each row's context is the anchored suffix of
@@ -581,6 +627,13 @@ class InferenceEngine:
         for index, (row, length) in enumerate(zip(rows, lengths)):
             if length == 0:
                 slot_of.append(None)
+                continue
+            if local_entries is not None and index in local_entries:
+                # Caller-owned pre-built entry (a clone-extended recourse
+                # world): private to this row, never touches the store.
+                slot = ("local", index)
+                slot_of.append(slot)
+                entries[slot] = local_entries[index]
                 continue
             # Rows with the same cache slot and anchor share one entry;
             # detached rows (edited histories) are always private.
@@ -620,6 +673,10 @@ class InferenceEngine:
                 entries[slot] = entry
                 if cache_key is not None:
                     store.put(cache_key, entry)
+        if built_out is not None:
+            for index, slot in enumerate(slot_of):
+                if slot is not None:
+                    built_out[index] = entries[slot]
 
         count = len(rows)
         width = max(length + (1 if row.probe is not None else 0)
@@ -707,6 +764,28 @@ class InferenceEngine:
                    self.workers, executor=self._executor)
         return scores
 
+    def _score_rows(self, rows: Sequence[_ContextRow],
+                    local_entries: Optional[Dict[int, object]] = None
+                    ) -> Tuple[np.ndarray, Dict[int, object]]:
+        """Score heterogeneous rows as **one** shared batch.
+
+        The building block of the recourse search and the monotonicity
+        report: assemble under the engine lock (one warm-build pass for
+        whatever ``local_entries`` does not already cover), score every
+        row's backward pass outside it.  Returns the per-row scores plus
+        the row index -> stream-cache entry map of the batch (empty with
+        caching disabled, where worlds are raw re-encodes instead).
+        """
+        built: Dict[int, object] = {}
+        with no_grad():
+            with self._lock:
+                context, cols = self._assemble_rows(
+                    rows, local_entries=local_entries, built_out=built)
+            scores = self._score_context(context, np.arange(len(rows)),
+                                         cols)
+        return scores, built
+
+    @_deprecated_shim("Service.execute(ScoreQuery(...))")
     def score(self, student_id, question_id: int,
               concept_ids: Sequence[int]) -> float:
         """Synchronous single score (still served by the batched path).
@@ -721,6 +800,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Interpretation endpoints
     # ------------------------------------------------------------------
+    @_deprecated_shim("Service.execute(ExplainQuery(...))")
     def influences(self, student_id):
         """Response influences of the student's history on their latest
         response (the engine-side view of the paper's Fig. 3 readout).
@@ -743,6 +823,7 @@ class InferenceEngine:
             raise ValueError(reply.message)
         return reply.computation
 
+    @_deprecated_shim("Service.execute(RecommendQuery(...))")
     def recommend(self, student_id, candidates: Sequence[ScoreRequest],
                   top_k: int = 5, target_success: float = 0.6,
                   value_weight: float = 1.0, horizon: int = 4):

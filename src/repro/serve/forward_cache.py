@@ -141,6 +141,22 @@ class StudentStreamCache:
             return self.streams[0, :self.length]
         return self.streams[FORWARD_BASES.index(name), :self.length]
 
+    def clone(self) -> "StudentStreamCache":
+        """Independent deep copy of the filled prefix.
+
+        ``extend`` mutates in place, so anything that forks a shared
+        entry into a hypothetical timeline — the recourse search
+        appending assumed-correct practice items — must clone first.
+        The constructor copies the passed arrays into fresh capacity
+        arrays; the state clones itself.
+        """
+        return StudentStreamCache(
+            self.state.clone(),
+            self.streams[:, :self.length],
+            self.question_vectors[:self.length],
+            anchor=self.anchor,
+        )
+
 
 def question_vector_for(embedder, question_id: int,
                         concept_ids: Sequence[int]) -> np.ndarray:

@@ -5,8 +5,11 @@ thread-per-connection server whose handlers all call into one shared
 :class:`~repro.serve.Service`; the facade's scheduler and per-engine
 locks provide the concurrency discipline, the gateway only translates.
 
-Routes (all JSON, protocol v1 — see ``docs/API.md`` for the wire
-reference):
+Routes (all JSON, protocol v2 with v1 still accepted — see
+``docs/API.md`` for the wire reference).  The gateway negotiates per
+request: replies are stamped with the version the request declared
+(:func:`~repro.serve.protocol.negotiated_version`), so a v1 caller gets
+v1-stamped replies and never sees a v2-only construct it cannot parse.
 
 ==========================  =================================================
 ``POST /v1/query``          one typed query -> its reply, HTTP status mapped
@@ -14,7 +17,8 @@ reference):
 ``POST /v1/batch``          a batch envelope -> ``batch_reply`` with one
                             reply per query, always 200 (per-query errors
                             ride inside)
-``GET  /v1/health``         liveness + protocol version + model names
+``GET  /v1/health``         liveness + protocol ``capabilities`` + model
+                            names
 ``GET  /v1/models``         per-model metadata (encoder, vocab, window, ...)
 ``POST /v1/admin/rollout``  warm blue/green checkpoint rollout
                             (``Service.rollout``); admin plane, not a
@@ -39,8 +43,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
                        BatchReply, InternalError, MalformedQuery,
-                       ModelNotLoaded, NotFound, is_error,
-                       query_from_wire, reply_from_wire, to_wire)
+                       ModelNotLoaded, NotFound, capabilities, is_error,
+                       negotiated_version, query_from_wire,
+                       reply_from_wire, to_wire)
 from .service import Service
 
 #: Cap on request bodies: a serving query is bytes, not megabytes; the
@@ -74,9 +79,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_reply(self, reply) -> None:
+    def _send_reply(self, reply, version: int = PROTOCOL_VERSION) -> None:
         status = reply.http_status if is_error(reply) else 200
-        self._send_json(status, to_wire(reply))
+        self._send_json(status, to_wire(reply, version=version))
 
     def _read_body(self):
         """Parsed JSON body, or a MalformedQuery error value.
@@ -115,6 +120,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send_json(200, {
                 "status": "ok",
                 "protocol": PROTOCOL_VERSION,
+                "capabilities": capabilities(),
                 "models": service.registry.names(),
             })
         elif self.path == "/v1/models":
@@ -128,29 +134,35 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if is_error(payload):
             self._send_reply(payload)
             return
+        # Negotiate once per request: every reply on this exchange —
+        # success, taxonomy error, even the InternalError catch-all —
+        # is stamped with the version the caller declared.
+        version = negotiated_version(payload)
         try:
             if self.path == "/v1/query":
                 query = query_from_wire(payload)
-                self._send_reply(service.execute(query))
+                self._send_reply(service.execute(query), version=version)
             elif self.path == "/v1/batch":
                 envelope = query_from_wire(payload)
                 if is_error(envelope):
-                    self._send_reply(envelope)
+                    self._send_reply(envelope, version=version)
                     return
                 if not isinstance(envelope, BatchEnvelope):
                     envelope = BatchEnvelope((envelope,))
                 replies = service.execute_batch(envelope)
-                self._send_json(200, to_wire(BatchReply(tuple(replies))))
+                self._send_json(200, to_wire(BatchReply(tuple(replies)),
+                                             version=version))
             elif self.path == "/v1/admin/rollout":
                 self._admin_rollout(service, payload)
             else:
                 self._send_reply(NotFound(
-                    f"no such route: POST {self.path}"))
+                    f"no such route: POST {self.path}"), version=version)
         except Exception as error:  # noqa: BLE001 - transport boundary
             # The facade returns errors as values; anything that still
             # escapes is a server bug, reported in-protocol.
             self._send_reply(InternalError(
-                f"gateway failure: {type(error).__name__}: {error}"))
+                f"gateway failure: {type(error).__name__}: {error}"),
+                version=version)
 
     def _admin_rollout(self, service, payload) -> None:
         """Warm blue/green rollout (``Service.rollout``) over the wire.
@@ -245,11 +257,17 @@ class ServiceClient:
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 max_idle: int = 4):
+                 max_idle: int = 4,
+                 protocol_version: int = PROTOCOL_VERSION):
         import urllib.parse
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.max_idle = max_idle
+        # Stamped on every outgoing envelope; the server echoes it on
+        # replies (version negotiation).  Pinning 1 makes the client
+        # speak to pre-recourse servers — and makes this client reject
+        # v2-only queries locally instead of on the wire.
+        self.protocol_version = protocol_version
         parts = urllib.parse.urlsplit(self.base_url)
         if parts.scheme != "http":
             raise ValueError(f"ServiceClient speaks plain http, got "
@@ -352,13 +370,15 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def query(self, query):
         """Execute one typed query object over the wire."""
-        return reply_from_wire(self._post("/v1/query", to_wire(query)))
+        payload = to_wire(query, version=self.protocol_version)
+        return reply_from_wire(self._post("/v1/query", payload))
 
     def batch(self, queries):
         """Execute many queries as one envelope; replies in order."""
         envelope = queries if isinstance(queries, BatchEnvelope) \
             else BatchEnvelope(tuple(queries))
-        reply = reply_from_wire(self._post("/v1/batch", to_wire(envelope)))
+        payload = to_wire(envelope, version=self.protocol_version)
+        reply = reply_from_wire(self._post("/v1/batch", payload))
         return list(reply.replies) if isinstance(reply, BatchReply) \
             else reply
 

@@ -1,20 +1,32 @@
-"""Versioned typed query protocol of the serving API (v1).
+"""Versioned typed query protocol of the serving API (v2).
 
 Every serving capability — scoring, per-response influence explanation,
-counterfactual what-if replay, recommendation, event recording — is a
-typed *query* dataclass that flows through :class:`repro.serve.Service`
-and comes back as a typed *reply* dataclass.  Failures are part of the
-protocol: structured :class:`ServiceError` values (one subclass per
-failure mode) are **returned, not raised**, so the same taxonomy crosses
-the in-process facade and the HTTP gateway unchanged.
+counterfactual what-if replay, recommendation, counterfactual recourse
+search, event recording — is a typed *query* dataclass that flows
+through :class:`repro.serve.Service` and comes back as a typed *reply*
+dataclass.  Failures are part of the protocol: structured
+:class:`ServiceError` values (one subclass per failure mode) are
+**returned, not raised**, so the same taxonomy crosses the in-process
+facade and the HTTP gateway unchanged.
 
-Wire format
------------
+Wire format and version negotiation
+-----------------------------------
 ``to_wire`` turns any protocol object into a JSON-ready dict tagged with
-``{"v": PROTOCOL_VERSION, "type": <tag>}``; ``query_from_wire`` /
-``reply_from_wire`` invert it.  Unknown types, version mismatches, and
-missing fields decode to :class:`MalformedQuery` instead of raising;
-well-shaped queries carrying ill-*typed* values (a string question id,
+``{"v": <version>, "type": <tag>}``; ``query_from_wire`` /
+``reply_from_wire`` invert it.  The server speaks every version in
+:data:`SUPPORTED_PROTOCOL_VERSIONS`: a v1 envelope still decodes (its
+nested batch queries inherit the envelope's version), and replies are
+stamped with the *negotiated* version — whatever supported version the
+request carried (:func:`negotiated_version`).  A version outside the
+supported set decodes to :class:`UnsupportedVersion`; a type tag the
+negotiated version does not know (``"recourse"`` under v1, or a tag no
+version knows) decodes to :class:`UnknownQueryType` — both are
+:class:`MalformedQuery` values, never exceptions, with identical bytes
+from the gateway and the cluster router.  :func:`capabilities`
+enumerates the supported versions and per-version query types for the
+health/selfcheck reply.
+
+Well-shaped queries carrying ill-*typed* values (a string question id,
 a fractional ``top_k``) decode structurally and are rejected by the
 service's admission validation with the specific taxonomy error —
 either way the gateway answers garbage with a structured error, never a
@@ -31,7 +43,11 @@ import json
 from dataclasses import dataclass, field
 from typing import ClassVar, Optional, Tuple
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Every protocol version this build decodes.  v1 payloads (including
+#: journaled RecordEvent frames from pre-v2 deployments) stay valid.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 #: Registry name queries address when they don't specify one.
 DEFAULT_MODEL = "default"
@@ -143,6 +159,38 @@ class RecommendQuery:
 
 
 @dataclass(frozen=True)
+class RecourseQuery:
+    """Counterfactual recourse search (protocol v2, KTCF-style).
+
+    Given a target question, search for the **minimal** set of edits —
+    fixing an in-window incorrect past response to correct
+    (``allow_history_edits``) and/or appending candidate practice items
+    answered correctly (``candidates``, the same assumed-answer worlds
+    RecommendQuery scores) — that lifts the predicted success
+    probability of ``question_id`` past ``threshold``.  ``beam_width``
+    1 is greedy; wider beams explore more edit paths at the same number
+    of search generations (at most ``max_edits``).  Every generation is
+    scored as rows of one shared forward-stream batch.
+    """
+
+    TYPE: ClassVar[str] = "recourse"
+
+    student_id: object
+    question_id: int
+    concept_ids: Tuple[int, ...]
+    threshold: float = 0.75
+    max_edits: int = 3
+    beam_width: int = 1
+    candidates: Tuple[CandidateQuestion, ...] = ()
+    allow_history_edits: bool = True
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+
+
+@dataclass(frozen=True)
 class RecordEvent:
     """Append one observed response to a student's history."""
 
@@ -179,7 +227,20 @@ class BatchEnvelope:
 
 QUERY_TYPES = {cls.TYPE: cls for cls in
                (ScoreQuery, ExplainQuery, WhatIfQuery, RecommendQuery,
-                RecordEvent)}
+                RecourseQuery, RecordEvent)}
+
+#: First protocol version each query type appeared in (default: 1).
+#: A v1 envelope carrying a newer type decodes to
+#: :class:`UnknownQueryType` — exactly what a genuine v1-only server
+#: would have answered.
+_QUERY_MIN_VERSION = {RecourseQuery.TYPE: 2}
+
+
+def query_types_for(version: int) -> Tuple[str, ...]:
+    """Sorted query type tags (plus ``"batch"``) ``version`` accepts."""
+    tags = [tag for tag in QUERY_TYPES
+            if _QUERY_MIN_VERSION.get(tag, 1) <= version]
+    return tuple(sorted(tags + [BatchEnvelope.TYPE]))
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +341,69 @@ class RecommendReply(Reply):
 
     def __post_init__(self):
         object.__setattr__(self, "items", tuple(self.items))
+
+
+@dataclass(frozen=True)
+class RecourseStep:
+    """One edit along a recourse path, with the score after applying it.
+
+    ``kind`` is ``"fix_history"`` (set the incorrect recorded response
+    at ``position`` to correct) or ``"practice"`` (append
+    ``question_id`` answered correctly to the timeline).  ``score`` is
+    the target question's predicted success probability on the timeline
+    *after* this step; ``lowered_score`` flags the monotonicity
+    diagnostic — this step added a correct response yet the prediction
+    went down.
+    """
+
+    TYPE: ClassVar[str] = "recourse_step"
+
+    kind: str
+    question_id: int
+    score: float
+    position: Optional[int] = None
+    concept_ids: Tuple[int, ...] = ()
+    lowered_score: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "concept_ids", tuple(self.concept_ids))
+
+
+@dataclass(frozen=True)
+class RecourseReply(Reply):
+    """Result of a recourse search (protocol v2).
+
+    ``steps`` is the chosen edit path in application order (empty when
+    the baseline already clears the threshold); when ``achieved`` is
+    False it is the best path found within the search budget.
+    ``monotonic`` is False when any step's added correct response
+    lowered the predicted score; ``generations`` counts search rounds
+    (each one coalesced shared forward-stream batch) and
+    ``worlds_scored`` the candidate timelines evaluated across them.
+    """
+
+    TYPE: ClassVar[str] = "recourse_reply"
+
+    student_id: object
+    question_id: int
+    achieved: bool
+    threshold: float
+    baseline_score: float
+    final_score: float
+    steps: Tuple[RecourseStep, ...]
+    monotonic: bool
+    generations: int
+    worlds_scored: int
+    history_length: int
+    model: str = DEFAULT_MODEL
+
+    def __post_init__(self):
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    @property
+    def trajectory(self) -> Tuple[float, ...]:
+        """Per-step score trajectory, baseline first."""
+        return (self.baseline_score,) + tuple(s.score for s in self.steps)
 
 
 @dataclass(frozen=True)
@@ -394,6 +518,31 @@ class MalformedQuery(ServiceError):
 
 
 @dataclass(frozen=True)
+class UnsupportedVersion(MalformedQuery):
+    """The envelope's ``v`` is outside the supported version set.
+
+    A :class:`MalformedQuery` subclass so pre-v2 callers matching on
+    the base class keep working, with a distinct ``code`` for clients
+    that negotiate.
+    """
+
+    code: ClassVar[str] = "unsupported_version"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
+class UnknownQueryType(MalformedQuery):
+    """The type tag is not a query type of the negotiated version.
+
+    Covers both tags no version knows and tags that need a newer
+    version than the envelope carried (``details["requires"]``).
+    """
+
+    code: ClassVar[str] = "unknown_query_type"
+    http_status: ClassVar[int] = 400
+
+
+@dataclass(frozen=True)
 class ShardUnavailable(ServiceError):
     """The shard owning this query's student cannot be reached.
 
@@ -427,11 +576,12 @@ class InternalError(ServiceError):
 ERROR_TYPES = {cls.code: cls for cls in
                (UnknownStudent, InvalidQuestion, InvalidConcept,
                 EmptyHistory, InvalidEdit, ModelNotLoaded, MalformedQuery,
+                UnsupportedVersion, UnknownQueryType,
                 ShardUnavailable, NotFound, InternalError)}
 
 REPLY_TYPES = {cls.TYPE: cls for cls in
                (ScoreReply, ExplainReply, WhatIfReply, RecommendReply,
-                RecordReply, BatchReply)}
+                RecourseReply, RecordReply, BatchReply)}
 
 
 def is_error(obj) -> bool:
@@ -472,11 +622,53 @@ def _dataclass_wire(obj) -> dict:
     return payload
 
 
-def to_wire(obj) -> dict:
-    """JSON-ready dict for any protocol query, reply, or error."""
+def to_wire(obj, version: int = PROTOCOL_VERSION) -> dict:
+    """JSON-ready dict for any protocol query, reply, or error.
+
+    ``version`` stamps the envelope — the gateway and router pass the
+    *negotiated* version here so a v1 caller gets v1-stamped replies.
+    Passing an unsupported version is a server-side programming error
+    and raises.
+    """
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ValueError(f"cannot serialize protocol version {version!r} "
+                         f"(supported: {SUPPORTED_PROTOCOL_VERSIONS})")
     payload = _dataclass_wire(obj)
-    payload["v"] = PROTOCOL_VERSION
+    payload["v"] = version
     return payload
+
+
+def negotiated_version(payload) -> int:
+    """The protocol version replies to ``payload`` should carry.
+
+    A supported explicit ``v`` is echoed; everything else — missing
+    version, unsupported version, garbage payloads — answers at the
+    server's own :data:`PROTOCOL_VERSION` (the error value in the body
+    says why).
+    """
+    if isinstance(payload, dict):
+        version = payload.get("v", PROTOCOL_VERSION)
+        if version in SUPPORTED_PROTOCOL_VERSIONS:
+            return version
+    return PROTOCOL_VERSION
+
+
+def capabilities() -> dict:
+    """What this build speaks, for the health/selfcheck reply.
+
+    ``query_types`` is the full (current-version) set; the per-version
+    breakdown lets a client pick the newest mutually supported version
+    without probing.
+    """
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "protocol_versions": list(SUPPORTED_PROTOCOL_VERSIONS),
+        "query_types": list(query_types_for(PROTOCOL_VERSION)),
+        "query_types_by_version": {
+            str(v): list(query_types_for(v))
+            for v in SUPPORTED_PROTOCOL_VERSIONS},
+        "error_codes": sorted(ERROR_TYPES),
+    }
 
 
 def _decode_into(cls, payload: dict, nested: dict):
@@ -518,44 +710,67 @@ def _decode_recommendation_item(item) -> RecommendationItem:
     return _decode_into(RecommendationItem, dict(item), {})
 
 
+def _decode_recourse_step(item) -> RecourseStep:
+    return _decode_into(RecourseStep, dict(item), {})
+
+
 _QUERY_NESTED = {
     WhatIfQuery: {"edits": _decode_edit},
     RecommendQuery: {"candidates": _decode_candidate},
+    RecourseQuery: {"candidates": _decode_candidate},
 }
 
 _REPLY_NESTED = {
     ExplainReply: {"influences": _decode_influence_item},
     RecommendReply: {"items": _decode_recommendation_item},
+    RecourseReply: {"steps": _decode_recourse_step},
 }
 
 
-def query_from_wire(payload) -> object:
+def query_from_wire(payload, default_version: Optional[int] = None) -> object:
     """Decode one wire dict into a query — or a :class:`MalformedQuery`.
 
     Decoding failures are protocol values, not exceptions: the gateway
     forwards whatever this returns, so a garbage payload produces a
-    structured 400 instead of a stack trace.  Version mismatches are
-    rejected explicitly (v1 is the only protocol this build speaks).
+    structured 400 instead of a stack trace.  Versions outside
+    :data:`SUPPORTED_PROTOCOL_VERSIONS` decode to
+    :class:`UnsupportedVersion`; type tags the negotiated version does
+    not know decode to :class:`UnknownQueryType`.  ``default_version``
+    is what an envelope with no ``v`` is assumed to speak — the batch
+    recursion threads the *outer* envelope's version through it, so a
+    v1 batch gates its nested queries at v1.
     """
     if not isinstance(payload, dict):
         return MalformedQuery(f"query payload must be an object, got "
                               f"{type(payload).__name__}")
-    version = payload.get("v", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
-        return MalformedQuery(f"unsupported protocol version {version!r} "
-                              f"(this server speaks v{PROTOCOL_VERSION})",
-                              details={"version": version})
+    if default_version is None:
+        default_version = PROTOCOL_VERSION
+    version = payload.get("v", default_version)
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        return UnsupportedVersion(
+            f"unsupported protocol version {version!r} (this server "
+            f"speaks {', '.join(f'v{v}' for v in SUPPORTED_PROTOCOL_VERSIONS)})",
+            details={"version": version,
+                     "supported": list(SUPPORTED_PROTOCOL_VERSIONS)})
     tag = payload.get("type")
     if tag == BatchEnvelope.TYPE:
         queries = payload.get("queries")
         if not isinstance(queries, list):
             return MalformedQuery("batch envelope needs a 'queries' list")
-        return BatchEnvelope(tuple(query_from_wire(q) for q in queries))
+        return BatchEnvelope(tuple(
+            query_from_wire(q, default_version=version) for q in queries))
     cls = QUERY_TYPES.get(tag)
     if cls is None:
-        return MalformedQuery(f"unknown query type {tag!r} (expected one "
-                              f"of {sorted(QUERY_TYPES)})",
-                              details={"type": tag})
+        return UnknownQueryType(
+            f"unknown query type {tag!r} (expected one of "
+            f"{list(query_types_for(version))})",
+            details={"type": tag, "version": version})
+    if _QUERY_MIN_VERSION.get(tag, 1) > version:
+        return UnknownQueryType(
+            f"query type {tag!r} requires protocol version "
+            f">= {_QUERY_MIN_VERSION[tag]} (envelope is v{version})",
+            details={"type": tag, "version": version,
+                     "requires": _QUERY_MIN_VERSION[tag]})
     try:
         return _decode_into(cls, payload, _QUERY_NESTED.get(cls, {}))
     except (KeyError, TypeError, ValueError) as error:

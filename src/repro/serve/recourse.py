@@ -1,0 +1,318 @@
+"""Counterfactual recourse search: prescribe edits, not just explain.
+
+KTCF ("Actionable Recourse in Knowledge Tracing via Counterfactual
+Explanations", PAPERS.md) turns this paper's counterfactual machinery
+from *explaining* a prediction into *prescribing* an intervention.  The
+:class:`RecourseSearch` behind :class:`~repro.serve.protocol
+.RecourseQuery` does exactly that: given a student and a target
+question, find the **minimal** set of edits that lifts the predicted
+success probability past a caller-supplied threshold.  Two edit
+dimensions:
+
+* ``fix_history`` — set an in-window incorrect recorded response to
+  correct (the what-if machinery's ``set`` edit, searched instead of
+  caller-supplied);
+* ``practice`` — append a candidate question answered correctly (the
+  assumed-answer worlds RecommendQuery already scores).
+
+Search shape
+------------
+Breadth-first by edit count: generation ``g`` holds worlds with exactly
+``g`` edits, so the first generation to clear the threshold *is* the
+minimal edit set (ties broken toward the highest score).  ``beam_width``
+bounds how many worlds survive each generation (1 = greedy); duplicate
+edit *sets* reached along different paths are expanded once.
+
+Batching contract (the whole point of riding the PR 4 scheduler):
+every generation is scored through
+:meth:`~repro.serve.engine.InferenceEngine._score_rows` as rows of
+**one** shared forward-stream batch — and practice worlds whose parent
+timeline is already warm extend a ``clone()`` of the parent's stream
+cache by a single encoder step, costing *zero* forward passes.  Only
+``fix_history`` worlds (whose edit rewrites the middle of the timeline)
+are re-encoded, all of them in the generation's single warm-build pass.
+Forward-call counting tests pin both properties.
+
+The reply carries the chosen edit path with its per-step probability
+trajectory, plus a per-step ``lowered_score`` monotonicity diagnostic
+(Counterfactual Monotonic KT, PAPERS.md): every move adds a correct
+response, so a score that *drops* flags an answer-bias violation —
+:meth:`repro.serve.Service.monotonicity_report` sweeps the same signal
+as a standalone probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data import PAD_ID
+
+from .engine import InferenceEngine, _ContextRow
+from .forward_cache import base_contents, question_vector_for
+from .history import ArrayHistory
+from .protocol import RecourseQuery, RecourseReply, RecourseStep
+
+#: Hard search-budget caps; admission rejects queries beyond them.
+MAX_EDITS = 16
+MAX_BEAM_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One candidate edit applied to a parent world."""
+
+    kind: str                        # "fix_history" | "practice"
+    question_id: int
+    concept_ids: Tuple[int, ...]
+    position: Optional[int] = None   # fix_history: absolute position
+    candidate: Optional[int] = None  # practice: index into candidates
+
+
+class _World:
+    """One hypothetical timeline: the base history plus a move chain."""
+
+    __slots__ = ("parent", "move", "fixed", "practiced", "length",
+                 "score", "entry")
+
+    def __init__(self, parent: Optional["_World"], move: Optional[_Move],
+                 fixed: frozenset, practiced: Tuple[int, ...],
+                 length: int):
+        self.parent = parent
+        self.move = move
+        self.fixed = fixed            # fixed history positions
+        self.practiced = practiced    # candidate indices, in append order
+        self.length = length          # timeline length (base + practiced)
+        self.score = None             # filled by the generation batch
+        self.entry = None             # warm StudentStreamCache, if any
+
+    def path(self) -> List["_World"]:
+        """Root-exclusive chain of worlds, first move first."""
+        nodes = []
+        world = self
+        while world.move is not None:
+            nodes.append(world)
+            world = world.parent
+        return list(reversed(nodes))
+
+
+class RecourseSearch:
+    """One query's search over an admission-time history snapshot.
+
+    ``snapshot`` is the *full*-history array copies taken when the
+    query's baseline probe was admitted (a concurrent ``record`` must
+    never tear the search across two history states), ``baseline`` the
+    probe's score from the shared mixed-type batch, and ``root_entry``
+    an optional caller-owned clone of the student's warm stream-cache
+    entry anchored at the snapshot's serving window — the seed that
+    makes first-generation practice worlds free of forward passes.
+    """
+
+    def __init__(self, engine: InferenceEngine, model_name: str,
+                 query: RecourseQuery, snapshot: Tuple[np.ndarray, ...],
+                 baseline: float, root_entry=None):
+        self.engine = engine
+        self.model_name = model_name
+        self.query = query
+        self.snapshot = snapshot
+        self.baseline = float(baseline)
+        self.base_length = len(snapshot[0])
+        generator = engine.model.generator
+        self.encoder = generator.encoder
+        self.embedder = generator.embedder
+        self.response_table = \
+            self.embedder.response_embedding.weight.data
+        self.correct_categories = base_contents(
+            np.asarray(1), engine.model.config.use_monotonicity)
+        self.candidate_vectors = [
+            question_vector_for(self.embedder, candidate.question_id,
+                                candidate.concept_ids)
+            for candidate in query.candidates]
+        # Edits behind the serving window cannot move the score; only
+        # in-window incorrect responses are fixable.
+        window_start = engine._window_start(self.base_length)
+        responses = snapshot[1]
+        self.fix_positions = tuple(
+            int(p) for p in range(window_start, self.base_length)
+            if responses[p] == 0) if query.allow_history_edits else ()
+        history_width = snapshot[2].shape[1] if self.base_length else 1
+        self.width = max([history_width] + [len(c.concept_ids)
+                                            for c in query.candidates])
+        root = _World(None, None, frozenset(), (), self.base_length)
+        root.score = self.baseline
+        root.entry = root_entry
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Search loop
+    # ------------------------------------------------------------------
+    def run(self) -> RecourseReply:
+        query = self.query
+        if self.baseline >= query.threshold:
+            return self._reply(self.root, True, 0, 0)
+        beam = [self.root]
+        best = None
+        achieved = None
+        generations = 0
+        worlds_scored = 0
+        while generations < query.max_edits:
+            children = self._expand(beam)
+            if not children:
+                break
+            generations += 1
+            worlds_scored += len(children)
+            self._score_generation(children)
+            # Stable: ties keep the deterministic expansion order, so
+            # every shard and the in-process facade pick the same path.
+            children.sort(key=lambda world: -world.score)
+            if best is None or children[0].score > best.score:
+                best = children[0]
+            if children[0].score >= query.threshold:
+                achieved = children[0]
+                break
+            beam = children[:query.beam_width]
+            for world in children[query.beam_width:]:
+                world.entry = None   # losers' warm timelines die here
+        if achieved is not None:
+            return self._reply(achieved, True, generations, worlds_scored)
+        chosen = best if best is not None and best.score > self.baseline \
+            else self.root
+        return self._reply(chosen, False, generations, worlds_scored)
+
+    def _expand(self, beam: List[_World]) -> List[_World]:
+        """All unseen one-move extensions of the beam, in beam order."""
+        children = []
+        seen = set()
+        for world in beam:
+            for move in self._moves(world):
+                if move.kind == "fix_history":
+                    fixed = world.fixed | {move.position}
+                    practiced = world.practiced
+                else:
+                    fixed = world.fixed
+                    practiced = world.practiced + (move.candidate,)
+                # Practice order barely moves the final score and never
+                # changes the edit *set*; exploring permutations would
+                # burn the beam on duplicates.
+                key = (fixed, tuple(sorted(practiced)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                children.append(_World(world, move, fixed, practiced,
+                                       self.base_length + len(practiced)))
+        return children
+
+    def _moves(self, world: _World):
+        responses = self.snapshot[1]
+        questions = self.snapshot[0]
+        for position in self.fix_positions:
+            if position in world.fixed:
+                continue
+            counts = self.snapshot[3]
+            yield _Move("fix_history", int(questions[position]),
+                        tuple(int(c) for c in
+                              self.snapshot[2][position,
+                                               :counts[position]]),
+                        position=position)
+        for index, candidate in enumerate(self.query.candidates):
+            yield _Move("practice", candidate.question_id,
+                        tuple(candidate.concept_ids), candidate=index)
+
+    # ------------------------------------------------------------------
+    # Batched scoring
+    # ------------------------------------------------------------------
+    def _score_generation(self, children: List[_World]) -> None:
+        """Score a whole generation as one shared forward-stream batch."""
+        engine = self.engine
+        probe = (self.query.question_id, self.query.concept_ids)
+        rows = []
+        local: Dict[int, object] = {}
+        for index, world in enumerate(children):
+            timeline = self._timeline(world)
+            start = engine._window_start(timeline.length)
+            rows.append(_ContextRow(timeline, start, probe))
+            entry = self._extended_entry(world, start)
+            if entry is not None:
+                local[index] = entry
+        scores, built = engine._score_rows(rows,
+                                           local_entries=local or None)
+        for index, world in enumerate(children):
+            world.score = float(scores[index])
+            world.entry = built.get(index)
+
+    def _timeline(self, world: _World) -> ArrayHistory:
+        q, r, c, k = self.snapshot
+        n = self.base_length
+        total = n + len(world.practiced)
+        questions = np.empty(total, dtype=np.int64)
+        responses = np.empty(total, dtype=np.int64)
+        concepts = np.full((total, self.width), PAD_ID, dtype=np.int64)
+        counts = np.ones(total, dtype=np.int64)
+        questions[:n] = q
+        responses[:n] = r
+        concepts[:n, :c.shape[1]] = c
+        counts[:n] = k
+        for position in world.fixed:
+            responses[position] = 1
+        for offset, candidate_index in enumerate(world.practiced):
+            candidate = self.query.candidates[candidate_index]
+            ids = candidate.concept_ids
+            questions[n + offset] = candidate.question_id
+            responses[n + offset] = 1
+            concepts[n + offset, :len(ids)] = ids
+            counts[n + offset] = len(ids)
+        return ArrayHistory(self.query.student_id, questions, responses,
+                            concepts, counts)
+
+    def _extended_entry(self, world: _World, start: int):
+        """Clone-extend the parent's warm entry for a practice world.
+
+        Valid only when the child keeps the parent's window anchor (an
+        append can slide the window, invalidating anchored state) and
+        the parent's entry still covers its whole timeline.  Returns a
+        private entry the shared batch consumes via ``local_entries`` —
+        zero forward passes for this row.
+        """
+        parent = world.parent
+        move = world.move
+        if (move.kind != "practice" or parent is None
+                or parent.entry is None
+                or parent.entry.anchor != start
+                or parent.entry.length != parent.length
+                - parent.entry.anchor):
+            return None
+        entry = parent.entry.clone()
+        entry.extend(self.encoder, self.candidate_vectors[move.candidate],
+                     self.correct_categories, self.response_table)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Reply assembly
+    # ------------------------------------------------------------------
+    def _reply(self, world: _World, achieved: bool, generations: int,
+               worlds_scored: int) -> RecourseReply:
+        steps = []
+        previous = self.baseline
+        monotonic = True
+        for node in world.path():
+            move = node.move
+            lowered = node.score < previous
+            if lowered:
+                monotonic = False
+            steps.append(RecourseStep(
+                kind=move.kind, question_id=move.question_id,
+                score=float(node.score), position=move.position,
+                concept_ids=move.concept_ids, lowered_score=lowered))
+            previous = node.score
+        query = self.query
+        return RecourseReply(
+            query.student_id, query.question_id,
+            achieved=achieved, threshold=float(query.threshold),
+            baseline_score=self.baseline,
+            final_score=float(steps[-1].score) if steps
+            else self.baseline,
+            steps=tuple(steps), monotonic=monotonic,
+            generations=generations, worlds_scored=worlds_scored,
+            history_length=world.length, model=self.model_name)

@@ -55,13 +55,14 @@ from .protocol import (DEFAULT_MODEL, EDIT_OPS, BatchEnvelope, BatchReply,
                        InternalError, InvalidConcept, InvalidEdit,
                        InvalidQuestion, MalformedQuery, ModelNotLoaded,
                        RecommendQuery, RecommendReply, RecommendationItem,
-                       RecordEvent, RecordReply, ScoreQuery, ScoreReply,
-                       ServiceError, UnknownStudent, WhatIfQuery,
-                       WhatIfReply, is_error)
+                       RecordEvent, RecordReply, RecourseQuery, ScoreQuery,
+                       ScoreReply, ServiceError, UnknownStudent,
+                       WhatIfQuery, WhatIfReply, is_error)
+from .recourse import MAX_BEAM_WIDTH, MAX_EDITS, RecourseSearch
 from .registry import ModelRegistry, registry_for
 
 _QUERY_CLASSES = (ScoreQuery, ExplainQuery, WhatIfQuery, RecommendQuery,
-                  RecordEvent)
+                  RecourseQuery, RecordEvent)
 
 _ID_ERROR_CLASSES = {
     "question": InvalidQuestion,
@@ -81,11 +82,27 @@ class _ReadRow:
 
     index: int          # reply slot
     role: str           # "score" | "explain" | "what_if_edit"
-    #                     | "what_if_base" | "recommend"
+    #                     | "what_if_base" | "recommend" | "recourse_base"
     query: object
     history: object
     start: int
     length: int
+
+
+@dataclass
+class _PendingRecourse:
+    """One :class:`RecourseQuery` whose baseline probe rode the batch.
+
+    ``snapshot`` pins *full*-history copies from admission time — the
+    search generations run after the engine lock is released, and a
+    concurrent ``record`` must never tear the search across two history
+    states.  ``baseline`` collects the target's unedited score from the
+    shared context.
+    """
+
+    query: RecourseQuery
+    snapshot: tuple
+    baseline: Optional[float] = None
 
 
 @dataclass
@@ -482,15 +499,104 @@ class Service:
             meta.append(_ReadRow(index, "recommend", query, history, start,
                                  history.length))
 
+    def _admit_recourse(self, engine, index, query: RecourseQuery, rows,
+                        meta, recourses, replies) -> None:
+        """Admit a recourse query's baseline probe into the shared batch.
+
+        The target's unedited score rides the same coalesced context as
+        every other read (sharing the student's stream-cache slot); the
+        search generations run after the flush, each as its own single
+        shared batch (:class:`~repro.serve.recourse.RecourseSearch`).
+        Budget caps and id validation happen here so a bad query never
+        costs a forward pass.
+        """
+        for name, value, kinds in (
+                ("threshold", query.threshold, (int, float)),
+                ("max_edits", query.max_edits, (int,)),
+                ("beam_width", query.beam_width, (int,))):
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                expected = "an integer" if kinds == (int,) else "a number"
+                replies[index] = MalformedQuery(
+                    f"{name} must be {expected}, got {value!r}",
+                    details={name: value})
+                return
+        if not 0.0 <= query.threshold <= 1.0:
+            replies[index] = MalformedQuery(
+                f"threshold must be within [0, 1], got {query.threshold!r}",
+                details={"threshold": query.threshold})
+            return
+        if not 1 <= query.max_edits <= MAX_EDITS:
+            replies[index] = MalformedQuery(
+                f"max_edits must be within [1, {MAX_EDITS}], got "
+                f"{query.max_edits!r}", details={"max_edits":
+                                                 query.max_edits})
+            return
+        if not 1 <= query.beam_width <= MAX_BEAM_WIDTH:
+            replies[index] = MalformedQuery(
+                f"beam_width must be within [1, {MAX_BEAM_WIDTH}], got "
+                f"{query.beam_width!r}", details={"beam_width":
+                                                  query.beam_width})
+            return
+        if not isinstance(query.allow_history_edits, bool):
+            replies[index] = MalformedQuery(
+                f"allow_history_edits must be a boolean, got "
+                f"{query.allow_history_edits!r}",
+                details={"allow_history_edits": query.allow_history_edits})
+            return
+        if not query.allow_history_edits and not query.candidates:
+            replies[index] = MalformedQuery(
+                f"recourse needs at least one edit dimension: provide "
+                f"candidates or allow history edits"
+                f"{engine._error_context(query.student_id)}")
+            return
+        error = self._id_error_value(engine, query.question_id,
+                                     query.concept_ids, query.student_id)
+        if error is not None:
+            replies[index] = error
+            return
+        for candidate in query.candidates:
+            error = self._id_error_value(engine, candidate.question_id,
+                                         candidate.concept_ids,
+                                         query.student_id)
+            if error is not None:
+                replies[index] = error
+                return
+        history = engine.students.peek(query.student_id)
+        if history is None:
+            replies[index] = UnknownStudent(
+                f"recourse search needs a recorded history"
+                f"{engine._error_context(query.student_id)}",
+                details={"student_id": str(query.student_id),
+                         "model": engine.name})
+            return
+        if history.length == 0:
+            replies[index] = EmptyHistory(
+                f"recourse search needs a non-empty history"
+                f"{engine._error_context(query.student_id)}",
+                details={"student_id": str(query.student_id),
+                         "model": engine.name})
+            return
+        # Full-history snapshot: the search edits absolute positions and
+        # re-windows every hypothetical timeline itself.
+        recourses[index] = _PendingRecourse(
+            query, tuple(a.copy() for a in history.view()))
+        start = engine._window_start(history.length)
+        rows.append(_ContextRow(history, start,
+                                (query.question_id, query.concept_ids),
+                                cache_key=query.student_id))
+        meta.append(_ReadRow(index, "recourse_base", query, history, start,
+                             history.length))
+
     # ------------------------------------------------------------------
     # The mixed-type shared-context flush
     # ------------------------------------------------------------------
     def _flush_reads(self, engine: InferenceEngine, model_name: str,
                      coalesced, replies: List[object]) -> None:
-        """Score + explain + what-if + recommend-probe shared batch."""
+        """Score + explain + what-if + recommend/recourse-probe batch."""
         rows: List[_ContextRow] = []
         meta: List[_ReadRow] = []
         recommends = {}
+        recourses = {}
         with no_grad():
             with engine._lock:
                 for index, query in coalesced:
@@ -504,6 +610,9 @@ class Service:
                         self._admit_recommend(engine, model_name, index,
                                               query, rows, meta,
                                               recommends, replies)
+                    elif isinstance(query, RecourseQuery):
+                        self._admit_recourse(engine, index, query, rows,
+                                             meta, recourses, replies)
                     else:
                         self._admit_what_if(engine, index, query, rows,
                                             meta, replies)
@@ -528,7 +637,7 @@ class Service:
                 computation = context.influences_for(explain_rows,
                                                      cols[explain_rows])
         self._resolve_reads(engine, model_name, meta, scores, explain_rows,
-                            computation, recommends, replies)
+                            computation, recommends, recourses, replies)
 
     def _admit_score(self, engine, index, query: ScoreQuery, rows, meta,
                      replies) -> None:
@@ -657,7 +766,8 @@ class Service:
 
     def _resolve_reads(self, engine: InferenceEngine, model_name: str,
                        meta: List[_ReadRow], scores, explain_rows,
-                       computation, recommends, replies) -> None:
+                       computation, recommends, recourses,
+                       replies) -> None:
         """Turn raw scores/influence grids into typed replies."""
         edit_scores = {}
         base_scores = {}
@@ -675,6 +785,8 @@ class Service:
                 # Meta order preserves candidate order per query.
                 recommends[row.index].probabilities.append(
                     float(scores[position]))
+            elif row.role == "recourse_base":
+                recourses[row.index].baseline = float(scores[position])
         for index, (query, score, edited_length) in edit_scores.items():
             replies[index] = WhatIfReply(
                 query.student_id, query.question_id, score,
@@ -689,6 +801,15 @@ class Service:
             try:
                 replies[index] = self._recommend_reply(engine, model_name,
                                                        pending)
+            except Exception as error:  # noqa: BLE001 — taxonomy boundary
+                replies[index] = InternalError(
+                    f"scheduler failure in model '{engine.name}': "
+                    f"{type(error).__name__}: {error}",
+                    details={"model": engine.name})
+        for index, pending in recourses.items():
+            try:
+                replies[index] = self._recourse_reply(engine, model_name,
+                                                      pending)
             except Exception as error:  # noqa: BLE001 — taxonomy boundary
                 replies[index] = InternalError(
                     f"scheduler failure in model '{engine.name}': "
@@ -716,6 +837,113 @@ class Service:
         return RecommendReply(query.student_id,
                               tuple(items[:query.top_k]),
                               model=model_name)
+
+    def _recourse_reply(self, engine: InferenceEngine, model_name: str,
+                        pending: _PendingRecourse):
+        """Run the edit search against the admission-time snapshot.
+
+        The student's warm stream-cache entry — which the baseline probe
+        just built if the student was cold — is cloned under the engine
+        lock as the search's root timeline, so first-generation practice
+        worlds extend it instead of re-encoding the history.  A stale
+        entry (window slid, or a record landed since admission) simply
+        forfeits the warm start; the search rebuilds worlds in its own
+        batched passes either way.
+        """
+        query = pending.query
+        length = len(pending.snapshot[0])
+        start = engine._window_start(length)
+        root_entry = None
+        if engine.stream_caches.enabled:
+            with engine._lock:
+                entry = engine.stream_caches.peek(query.student_id)
+                if entry is not None and entry.anchor == start \
+                        and entry.length == length - start:
+                    root_entry = entry.clone()
+        search = RecourseSearch(engine, model_name, query,
+                                pending.snapshot, pending.baseline,
+                                root_entry)
+        return search.run()
+
+    # ------------------------------------------------------------------
+    # Monotonicity diagnostic
+    # ------------------------------------------------------------------
+    def monotonicity_report(self, student_id,
+                            model: str = DEFAULT_MODEL):
+        """Count correct-response-lowers-mastery violations for a student.
+
+        The standalone version of the recourse reply's ``lowered_score``
+        flag (Counterfactual Monotonic KT, PAPERS.md) — and the answer-
+        bias probe of the source paper: for every in-window *incorrect*
+        recorded response, compare re-asking that question next on the
+        recorded timeline vs the same timeline with the response set
+        correct.  A well-behaved model should never predict *lower*
+        mastery after the correction; each position where it does counts
+        as a violation.  All ``2 × positions`` probes run as one shared
+        forward-stream batch.
+
+        Returns a plain dict report — or a taxonomy error value
+        (``model_not_loaded`` / ``unknown_student`` / ``empty_history``),
+        never an exception, mirroring the query surface.
+        """
+        engine = self.registry.get(model)
+        if engine is None:
+            return ModelNotLoaded(
+                f"no model named '{model}' is loaded "
+                f"(known: {self.registry.names()})",
+                details={"model": model,
+                         "known": tuple(self.registry.names())})
+        with engine._lock:
+            history = engine.students.peek(student_id)
+            if history is not None:
+                snapshot = tuple(a.copy() for a in history.view())
+        if history is None:
+            return UnknownStudent(
+                f"monotonicity report needs a recorded history"
+                f"{engine._error_context(student_id)}",
+                details={"student_id": str(student_id),
+                         "model": engine.name})
+        questions, responses, concepts, counts = snapshot
+        length = len(questions)
+        if length == 0:
+            return EmptyHistory(
+                f"monotonicity report needs a non-empty history"
+                f"{engine._error_context(student_id)}",
+                details={"student_id": str(student_id),
+                         "model": engine.name})
+        start = engine._window_start(length)
+        positions = [p for p in range(start, length) if responses[p] == 0]
+        rows: List[_ContextRow] = []
+        for position in positions:
+            probe = (int(questions[position]),
+                     tuple(int(c) for c in
+                           concepts[position, :counts[position]]))
+            recorded = ArrayHistory(student_id, questions, responses,
+                                    concepts, counts)
+            corrected_responses = responses.copy()
+            corrected_responses[position] = 1
+            corrected = ArrayHistory(student_id, questions,
+                                     corrected_responses, concepts, counts)
+            rows.append(_ContextRow(recorded, start, probe))
+            rows.append(_ContextRow(corrected, start, probe))
+        deltas = []
+        if rows:
+            scores, _ = engine._score_rows(rows)
+            deltas = [float(scores[2 * k + 1] - scores[2 * k])
+                      for k in range(len(positions))]
+        violations = [positions[k] for k, delta in enumerate(deltas)
+                      if delta < 0.0]
+        return {
+            "student_id": student_id,
+            "model": model,
+            "history_length": length,
+            "window_start": start,
+            "positions_checked": len(positions),
+            "violations": len(violations),
+            "violation_positions": violations,
+            "max_drop": float(-min(deltas)) if violations else 0.0,
+            "mean_delta": float(np.mean(deltas)) if deltas else 0.0,
+        }
 
     def _explain_reply(self, model_name: str, row: _ReadRow,
                        computation, position: int,

@@ -12,12 +12,14 @@ import pytest
 
 from repro.core import ENCODERS, RCKT, RCKTConfig
 from repro.cluster import RecordJournal, ScatterGatherRouter
-from repro.serve import (BatchEnvelope, CandidateQuestion, ExplainQuery,
-                         HistoryEdit, InferenceEngine, InvalidQuestion,
-                         MalformedQuery, RecommendQuery, RecordEvent,
+from repro.serve import (PROTOCOL_VERSION, BatchEnvelope,
+                         CandidateQuestion, ExplainQuery, HistoryEdit,
+                         InferenceEngine, InvalidQuestion, MalformedQuery,
+                         RecommendQuery, RecordEvent, RecourseQuery,
                          ScoreQuery, Service, ServiceClient,
-                         ShardUnavailable, WhatIfQuery, is_error,
-                         query_from_wire, start_http_thread, to_wire)
+                         ShardUnavailable, UnknownQueryType, WhatIfQuery,
+                         is_error, query_from_wire, start_http_thread,
+                         to_wire)
 from repro.cluster.supervisor import free_port
 
 NUM_QUESTIONS = 30
@@ -53,6 +55,12 @@ def mixed_queries(students):
                       CandidateQuestion(1 + (question + 5) % NUM_QUESTIONS,
                                         (2,))),
             top_k=2, horizon=2))
+        queries.append(RecourseQuery(
+            student, question, concepts, threshold=0.95, max_edits=2,
+            beam_width=2,
+            candidates=(CandidateQuestion(question, (1,)),
+                        CandidateQuestion(1 + (question + 5)
+                                          % NUM_QUESTIONS, (2,)))))
     return queries
 
 
@@ -361,6 +369,8 @@ def test_router_http_face_and_health(cluster):
         assert health["status"] == "ok"
         assert [s["ok"] for s in health["shards"]] == [True, True]
         assert health["ring"]["shards"] == 2
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert "recourse" in health["capabilities"]["query_types"]
         models = client.models()
         assert models["models"][0]["num_questions"] == NUM_QUESTIONS
         mixed = mixed_queries(students)
@@ -373,3 +383,65 @@ def test_router_http_face_and_health(cluster):
     finally:
         server.shutdown()
         server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Version negotiation: identical bytes from both public surfaces
+# ---------------------------------------------------------------------------
+def test_negotiation_errors_byte_identical_on_gateway_and_router(cluster):
+    """An unsupported version or unknown/ungated type must serialize to
+    the same JSON from a worker gateway and from the cluster router —
+    clients cannot tell which surface rejected them."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.cluster import start_router_thread
+
+    def post(port, body):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/query", data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    recourse_v1 = to_wire(RecourseQuery(
+        "amy", 3, (1,), candidates=(CandidateQuestion(4, (1,)),)))
+    recourse_v1["v"] = 1
+    bodies = [
+        b'{"v": 99, "type": "score", "student_id": "amy", '
+        b'"question_id": 3, "concept_ids": [1]}',
+        b'{"v": 1, "type": "teleport"}',
+        b'{"v": 2, "type": "teleport"}',
+        json.dumps(recourse_v1).encode(),
+    ]
+    server, _ = start_router_thread(cluster.router)
+    gateway_port = cluster.servers[0].server_port
+    try:
+        for body in bodies:
+            gateway = post(gateway_port, body)
+            router = post(server.server_port, body)
+            assert gateway == router, (gateway, router)
+            assert gateway[0] == 400
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_predecoded_version_errors_stay_local(cluster):
+    """Error values decoded before routing fill their slots without a
+    shard round-trip, identically to the reference facade."""
+    probes = [
+        query_from_wire({"v": 99, "type": "score"}),
+        query_from_wire({"v": 1, "type": "recourse", "student_id": "amy",
+                         "question_id": 3, "concept_ids": [1]}),
+        ScoreQuery("amy", 3, (1,)),
+    ]
+    assert isinstance(probes[1], UnknownQueryType)
+    cluster.router.execute_batch([RecordEvent("amy", 5, 1, (2,))])
+    cluster.reference.execute_batch([RecordEvent("amy", 5, 1, (2,))])
+    assert_wire_identical(cluster.router.execute_batch(probes),
+                          cluster.reference.execute_batch(probes))

@@ -9,11 +9,12 @@ import pytest
 
 from repro.core import RCKT, RCKTConfig
 from repro.data import (SimulationConfig, StudentSimulator, build_dataset)
-from repro.serve import (BatchEnvelope, CandidateQuestion, EmptyHistory,
-                         ExplainQuery, HistoryEdit, InferenceEngine,
-                         InvalidConcept, InvalidEdit, InvalidQuestion,
-                         MalformedQuery, ModelNotLoaded, RecommendQuery,
-                         RecordEvent, ScoreQuery, Service, ServiceClient,
+from repro.serve import (PROTOCOL_VERSION, BatchEnvelope,
+                         CandidateQuestion, EmptyHistory, ExplainQuery,
+                         HistoryEdit, InferenceEngine, InvalidConcept,
+                         InvalidEdit, InvalidQuestion, MalformedQuery,
+                         ModelNotLoaded, RecommendQuery, RecordEvent,
+                         RecourseQuery, ScoreQuery, Service, ServiceClient,
                          UnknownStudent, WhatIfQuery, start_http_thread,
                          to_wire)
 from repro.serve.http_gateway import MAX_BODY_BYTES
@@ -115,8 +116,14 @@ class TestWireParity:
     def test_health_and_models(self, stack):
         client = stack[3]
         health = client.health()
-        assert health["status"] == "ok" and health["protocol"] == 1
+        assert health["status"] == "ok"
+        assert health["protocol"] == PROTOCOL_VERSION
         assert health["models"] == ["default"]
+        capabilities = health["capabilities"]
+        assert capabilities["protocol_versions"] == [1, 2]
+        assert "recourse" in capabilities["query_types"]
+        assert "recourse" not in \
+            capabilities["query_types_by_version"]["1"]
         models = client.models()["models"]
         assert models[0]["num_questions"] == NUM_QUESTIONS
 
@@ -193,7 +200,7 @@ class TestGatewayPlumbing:
         _, _, server, _ = stack
         status, payload = raw_post(server, "/v1/query",
                                    b'{"v": 1, "type": "teleport"}')
-        assert status == 400 and payload["code"] == "malformed_query"
+        assert status == 400 and payload["code"] == "unknown_query_type"
 
     def test_unknown_route_is_404(self, stack):
         _, _, server, _ = stack
@@ -251,6 +258,75 @@ class TestGatewayPlumbing:
                 lambda q: client.query(q).score, queries))
         local = [service.execute(q).score for q in queries]
         np.testing.assert_allclose(wire_scores, local, rtol=0, atol=ATOL)
+
+
+class TestVersionNegotiationOverHTTP:
+    """Replies are stamped with the version the request declared."""
+
+    def test_reply_echoes_the_request_version(self, stack, dataset):
+        _, _, server, _ = stack
+        student = list(dataset)[0].student_id
+        for version in (1, 2):
+            body = json.dumps(to_wire(ScoreQuery(student, 3, (1,)),
+                                      version=version)).encode()
+            status, payload = raw_post(server, "/v1/query", body)
+            assert status == 200
+            assert payload["v"] == version
+            status, batch = raw_post(
+                server, "/v1/batch",
+                json.dumps(to_wire(BatchEnvelope(
+                    (ScoreQuery(student, 3, (1,)),)),
+                    version=version)).encode())
+            assert batch["v"] == version
+
+    def test_unsupported_version_is_a_value(self, stack):
+        _, _, server, _ = stack
+        status, payload = raw_post(
+            server, "/v1/query",
+            b'{"v": 99, "type": "score", "student_id": "amy", '
+            b'"question_id": 3, "concept_ids": [1]}')
+        assert status == 400
+        assert payload["code"] == "unsupported_version"
+        # No version to echo: the server answers at its own.
+        assert payload["v"] == PROTOCOL_VERSION
+
+    def test_recourse_under_v1_is_rejected_in_v1(self, stack, dataset):
+        _, _, server, _ = stack
+        student = list(dataset)[0].student_id
+        payload = to_wire(RecourseQuery(
+            student, 3, (1,), candidates=(CandidateQuestion(4, (1,)),)))
+        payload["v"] = 1
+        status, reply = raw_post(server, "/v1/query",
+                                 json.dumps(payload).encode())
+        assert status == 400
+        assert reply["code"] == "unknown_query_type"
+        assert reply["v"] == 1   # the rejection itself speaks v1
+
+    def test_recourse_round_trips_through_the_client(self, stack,
+                                                     dataset):
+        _, service, _, client = stack
+        student = next(s for s in dataset if len(s) >= 6).student_id
+        query = RecourseQuery(
+            student, 9, (2,), threshold=0.95, max_edits=2, beam_width=2,
+            candidates=(CandidateQuestion(4, (1,)),
+                        CandidateQuestion(11, (2,))))
+        wire = client.query(query)
+        local = service.execute(query)
+        assert to_wire(wire) == to_wire(local)
+        assert wire.ok and len(wire.trajectory) == len(wire.steps) + 1
+
+    def test_v1_pinned_client_still_works(self, stack, dataset):
+        _, _, server, _ = stack
+        client = ServiceClient(f"http://127.0.0.1:{server.server_port}",
+                               timeout=10.0, protocol_version=1)
+        student = list(dataset)[0].student_id
+        assert client.query(ScoreQuery(student, 3, (1,))).ok
+        # A v2-only query through a v1-pinned client gets exactly the
+        # rejection a genuine v1-only server would have produced.
+        reply = client.query(RecourseQuery(
+            student, 3, (1,), candidates=(CandidateQuestion(4, (1,)),)))
+        assert reply.code == "unknown_query_type"
+        client.close()
 
 
 class TestKeepAliveClient:

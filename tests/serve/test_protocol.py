@@ -1,20 +1,25 @@
-"""Wire codec and typed-value semantics of the v1 query protocol."""
+"""Wire codec and typed-value semantics of the query protocol (v2+v1)."""
 
 import json
 
 import pytest
 
 from repro.serve import protocol
-from repro.serve.protocol import (PROTOCOL_VERSION, BatchEnvelope,
-                                  CandidateQuestion, ExplainReply,
-                                  HistoryEdit, InfluenceItem,
+from repro.serve.protocol import (PROTOCOL_VERSION,
+                                  SUPPORTED_PROTOCOL_VERSIONS,
+                                  BatchEnvelope, CandidateQuestion,
+                                  ExplainReply, HistoryEdit, InfluenceItem,
                                   InvalidQuestion, MalformedQuery,
                                   RecommendQuery, RecommendReply,
                                   RecommendationItem, RecordEvent,
-                                  RecordReply, ScoreQuery, ScoreReply,
-                                  UnknownStudent, WhatIfQuery, WhatIfReply,
-                                  is_error, query_from_wire,
-                                  reply_from_wire, to_wire)
+                                  RecordReply, RecourseQuery, RecourseReply,
+                                  RecourseStep, ScoreQuery, ScoreReply,
+                                  UnknownQueryType, UnknownStudent,
+                                  UnsupportedVersion, WhatIfQuery,
+                                  WhatIfReply, capabilities, is_error,
+                                  negotiated_version, query_from_wire,
+                                  query_types_for, reply_from_wire,
+                                  to_wire)
 
 QUERIES = [
     ScoreQuery("amy", 7, (3, 4)),
@@ -26,6 +31,11 @@ QUERIES = [
     RecommendQuery("amy", (CandidateQuestion(4, (1,)),
                            CandidateQuestion(9, (2, 5))),
                    top_k=3, target_success=0.7, horizon=2),
+    RecourseQuery("amy", 7, (3,), threshold=0.8, max_edits=2,
+                  beam_width=2,
+                  candidates=(CandidateQuestion(4, (1,)),
+                              CandidateQuestion(9, (2, 5))),
+                  allow_history_edits=False),
     RecordEvent("amy", 3, 1, (2,)),
 ]
 
@@ -36,6 +46,15 @@ REPLIES = [
     ExplainReply("amy", 3, 1, 0.5,
                  (InfluenceItem(0, 4, 1, 0.01), InfluenceItem(1, 5, 0, -0.02))),
     RecommendReply("amy", (RecommendationItem(4, (1,), 0.6, 0.1, 0.7),)),
+    RecourseReply("amy", 7, achieved=True, threshold=0.8,
+                  baseline_score=0.55, final_score=0.82,
+                  steps=(RecourseStep("fix_history", 4, 0.61, position=2,
+                                      concept_ids=(1,)),
+                         RecourseStep("practice", 9, 0.82,
+                                      concept_ids=(2, 5),
+                                      lowered_score=False)),
+                  monotonic=True, generations=2, worlds_scored=7,
+                  history_length=9),
 ]
 
 ERRORS = [
@@ -43,6 +62,9 @@ ERRORS = [
     InvalidQuestion("bad question", details={"question_id": 999,
                                              "valid_range": (1, 50)}),
     MalformedQuery("nonsense"),
+    UnsupportedVersion("bad version", details={"version": 99}),
+    UnknownQueryType("what is recourse", details={"type": "recourse",
+                                                  "requires": 2}),
 ]
 
 
@@ -89,7 +111,11 @@ class TestWireRoundTrip:
 class TestDecodeFailuresAreValues:
     def test_unknown_type(self):
         decoded = query_from_wire({"v": 1, "type": "teleport"})
+        # The specific value is UnknownQueryType; it stays a
+        # MalformedQuery subclass so pre-v2 handlers keep matching.
+        assert isinstance(decoded, UnknownQueryType)
         assert isinstance(decoded, MalformedQuery)
+        assert decoded.code == "unknown_query_type"
         assert "teleport" in decoded.message
 
     def test_missing_field(self):
@@ -100,8 +126,12 @@ class TestDecodeFailuresAreValues:
 
     def test_version_mismatch(self):
         decoded = query_from_wire({"v": 99, "type": "score"})
+        assert isinstance(decoded, UnsupportedVersion)
         assert isinstance(decoded, MalformedQuery)
+        assert decoded.code == "unsupported_version"
         assert "version" in decoded.message
+        assert decoded.detail("supported") == \
+            list(SUPPORTED_PROTOCOL_VERSIONS)
 
     def test_non_object_payload(self):
         assert isinstance(query_from_wire([1, 2]), MalformedQuery)
@@ -131,3 +161,87 @@ class TestLocalOnlyFields:
     def test_is_error_discriminates(self):
         assert is_error(ERRORS[0]) and not is_error(REPLIES[0])
         assert not ERRORS[0].ok and REPLIES[0].ok
+
+
+# ---------------------------------------------------------------------------
+# Protocol v2: version negotiation
+# ---------------------------------------------------------------------------
+class TestVersionNegotiation:
+    RECOURSE = QUERIES[5]
+
+    def test_current_version_is_two_and_one_still_supported(self):
+        assert PROTOCOL_VERSION == 2
+        assert SUPPORTED_PROTOCOL_VERSIONS == (1, 2)
+
+    @pytest.mark.parametrize("query", [q for q in QUERIES
+                                       if not isinstance(q, RecourseQuery)],
+                             ids=lambda q: type(q).__name__)
+    def test_v1_envelopes_still_round_trip(self, query):
+        payload = json.loads(json.dumps(to_wire(query, version=1)))
+        assert payload["v"] == 1
+        assert query_from_wire(payload) == query
+
+    def test_recourse_round_trips_at_v2(self):
+        payload = json.loads(json.dumps(to_wire(self.RECOURSE)))
+        assert payload["v"] == 2
+        assert query_from_wire(payload) == self.RECOURSE
+
+    def test_recourse_under_v1_is_unknown_query_type(self):
+        payload = to_wire(self.RECOURSE)
+        payload["v"] = 1
+        decoded = query_from_wire(payload)
+        assert isinstance(decoded, UnknownQueryType)
+        assert decoded.detail("requires") == 2
+        assert "v1" in decoded.message
+
+    def test_batch_threads_the_outer_version_into_nested_slots(self):
+        # Nested queries carry no "v": the envelope's version gates
+        # them, so a v1 batch cannot smuggle a v2-only query in.
+        payload = to_wire(BatchEnvelope((QUERIES[0], self.RECOURSE)))
+        for nested in payload["queries"]:
+            nested.pop("v", None)
+        v2 = query_from_wire(json.loads(json.dumps(payload)))
+        assert v2.queries[1] == self.RECOURSE
+        payload["v"] = 1
+        v1 = query_from_wire(json.loads(json.dumps(payload)))
+        assert v1.queries[0] == QUERIES[0]
+        assert isinstance(v1.queries[1], UnknownQueryType)
+
+    def test_missing_version_defaults_to_current(self):
+        payload = to_wire(self.RECOURSE)
+        del payload["v"]
+        assert query_from_wire(payload) == self.RECOURSE
+
+    def test_to_wire_rejects_unsupported_versions(self):
+        with pytest.raises(ValueError, match="version"):
+            to_wire(QUERIES[0], version=99)
+
+    def test_negotiated_version(self):
+        assert negotiated_version({"v": 1, "type": "score"}) == 1
+        assert negotiated_version({"v": 2, "type": "score"}) == 2
+        assert negotiated_version({"type": "score"}) == PROTOCOL_VERSION
+        assert negotiated_version({"v": 99}) == PROTOCOL_VERSION
+        assert negotiated_version("garbage") == PROTOCOL_VERSION
+
+    def test_query_types_per_version(self):
+        assert "recourse" not in query_types_for(1)
+        assert "recourse" in query_types_for(2)
+        assert set(query_types_for(1)) | {"recourse"} == \
+            set(query_types_for(2))
+
+    def test_capabilities_enumerates_versions_and_codes(self):
+        caps = capabilities()
+        assert caps["protocol_version"] == PROTOCOL_VERSION
+        assert caps["protocol_versions"] == \
+            list(SUPPORTED_PROTOCOL_VERSIONS)
+        assert caps["query_types"] == list(query_types_for(2))
+        assert caps["query_types_by_version"]["1"] == \
+            list(query_types_for(1))
+        assert "unsupported_version" in caps["error_codes"]
+        assert "unknown_query_type" in caps["error_codes"]
+        # Health replies are JSON: the whole dict must serialize.
+        json.dumps(caps)
+
+    def test_trajectory_property(self):
+        reply = REPLIES[5]
+        assert reply.trajectory == (0.55, 0.61, 0.82)

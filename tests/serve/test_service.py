@@ -477,6 +477,43 @@ class TestDeprecationShims:
         # the same scheduler instead of spawning a parallel facade.
         assert service.engine().service is service
 
+    def test_every_shim_announces_its_replacement(self, service, dataset):
+        """Each legacy entry point warns once per call, names the typed
+        replacement, and points at the published removal schedule — all
+        while returning the same values as before."""
+        engine = service.engine()
+        student = next(s for s in dataset if len(s) >= 4).student_id
+        candidates = [ScoreRequest(student, q, (1 + q % NUM_CONCEPTS,))
+                      for q in (3, 11)]
+        calls = [
+            (lambda: engine.submit(ScoreRequest(student, 5, (1,))),
+             "Service.execute_batch"),
+            (lambda: engine.flush(), "Service.execute_batch"),
+            (lambda: engine.score_batch(
+                [ScoreRequest(student, 5, (1,))]), "ScoreQuery"),
+            (lambda: engine.score(student, 5, (1,)),
+             "Service.execute(ScoreQuery"),
+            (lambda: engine.influences(student), "ExplainQuery"),
+            (lambda: engine.recommend(student, candidates, top_k=2),
+             "RecommendQuery"),
+        ]
+        for call, replacement in calls:
+            with pytest.warns(DeprecationWarning) as captured:
+                call()
+            messages = [str(w.message) for w in captured]
+            assert any(replacement in m for m in messages)
+            assert all("docs/API.md" in m and "Deprecation schedule" in m
+                       for m in messages)
+
+    def test_shim_warning_points_at_the_caller(self, service, dataset):
+        # stacklevel=2: the warning blames the deprecated call site in
+        # user code, not the adapter inside engine.py.
+        engine = service.engine()
+        student = list(dataset)[0].student_id
+        with pytest.warns(DeprecationWarning) as captured:
+            engine.score(student, 5, (1,))
+        assert captured[0].filename == __file__
+
 
 # ---------------------------------------------------------------------------
 # Registry + hot swap
