@@ -74,6 +74,24 @@ And one for the PR 7 counterfactual recourse API:
   ``max_abs_score_diff`` rescores each returned path's edited timeline
   from scratch, so the drift gate covers the search's answers.
 
+And one for the PR 8 continual-learning loop:
+
+* **online** — the closed serve→train loop of ``repro.online``: the
+  durable record journal doubles as the load generator (append the
+  live stream, cold-boot, ``replay_records``), the replayed stream is
+  scored prequentially (test-then-train) on the incumbent, converted
+  to training batches via ``dataset_from_records``, fine-tuned one
+  round by ``OnlineTrainer``, and shipped back through a drift-gated
+  warm ``Service.rollout``.  Reported: replay and prequential
+  throughput (events/s), the prequential AUC, fine-tune and gated
+  rollout wall time, and the gate's verdict.  There is deliberately
+  no ``speedup`` ratio — the loop has no legacy arm to race — so only
+  its ``max_abs_score_diff`` is gated: the max of (a) the golden
+  round trip (journal-replayed training batches must be bit-identical
+  to batches built from the original sequences; 1.0 when broken) and
+  (b) post-rollout parity (the rolled-out service must score exactly
+  like a fresh service booted from the refreshed checkpoint).
+
 Emits ``BENCH_inference.json`` (top-level ``speedup`` = serving-workload
 throughput ratio for the default encoder) to start the perf trajectory::
 
@@ -718,6 +736,133 @@ def bench_recourse(model: RCKT, dataset, rounds: int) -> dict:
     }
 
 
+def bench_online(model: RCKT, dataset, epochs: int = 1) -> dict:
+    """Closed serve→train loop: journal replay -> prequential ->
+    fine-tune -> drift-gated warm rollout.
+
+    The journal replayer is the load generator: the stream is appended
+    to a durable journal, cold-booted, and replayed — everything
+    downstream (scoring, training, the gate) consumes the replay, not
+    the original sequences.  ``max_abs_score_diff`` gates the two
+    bit-exactness contracts of the loop (see module docstring).
+    """
+    import tempfile
+
+    from repro.cluster import RecordJournal
+    from repro.data import StudentSequence, dataset_from_records
+    from repro.online import DriftGate, auto_rollout, prequential_run
+    from repro.online import OnlineTrainer
+    from repro.serve import RecordEvent, ScoreQuery, Service
+    from repro.serve.protocol import to_wire
+
+    sequences = list(dataset)[:32]
+    events = [RecordEvent(sequence.student_id, interaction.question_id,
+                          interaction.correct, interaction.concept_ids)
+              for sequence in sequences for interaction in sequence]
+    # The gate re-scores its stream twice (incumbent + candidate), so
+    # it watches a held-out tail rather than the whole corpus.
+    gate_students = {s.student_id for s in sequences[-8:]}
+
+    with tempfile.TemporaryDirectory(prefix="rckt-bench-online-") as tmp:
+        checkpoint = Path(tmp) / "incumbent.npz"
+        refreshed = Path(tmp) / "refreshed.npz"
+        InferenceEngine(model).save(checkpoint)
+
+        # Load generator: journal the live stream, cold boot, replay.
+        journal = RecordJournal(directory=Path(tmp) / "journal",
+                                fsync="off")
+        positions = {}
+        for event in events:
+            positions[event.student_id] = \
+                positions.get(event.student_id, 0) + 1
+            journal.append(0, to_wire(event),
+                           positions[event.student_id])
+        journal.close()
+        start = time.perf_counter()
+        replayer = RecordJournal(directory=Path(tmp) / "journal")
+        records = replayer.replay_records()
+        replay_seconds = time.perf_counter() - start
+        replayer.close()
+
+        # Golden round trip: journal-replayed training batches must be
+        # bit-identical to batches built from the original sequences.
+        streamed = dataset_from_records(records, dataset.num_questions,
+                                        dataset.num_concepts)
+        direct = {s.student_id: s for s in sequences}
+        roundtrip = 0.0
+        for sequence in streamed:
+            reference = collate([direct[sequence.student_id]])
+            mine = collate([StudentSequence(sequence.student_id,
+                                            list(sequence.interactions))])
+            for field in ("questions", "responses", "concepts",
+                          "concept_counts", "mask"):
+                if getattr(mine, field).tobytes() \
+                        != getattr(reference, field).tobytes():
+                    roundtrip = 1.0
+
+        # Prequential test-then-train sweep on the incumbent (also
+        # builds the service histories the rollout below warm-swaps).
+        service = Service.from_checkpoint(checkpoint)
+        start = time.perf_counter()
+        baseline = prequential_run(service, records)
+        prequential_seconds = time.perf_counter() - start
+
+        # One incremental fine-tune round on the replayed stream.
+        start = time.perf_counter()
+        with OnlineTrainer(checkpoint, epochs=epochs,
+                           seed=123) as trainer:
+            summary = trainer.fine_tune(streamed)
+            trainer.save(refreshed)
+        fine_tune_seconds = time.perf_counter() - start
+
+        # Drift-gated warm rollout back into the serving tier.
+        gate = DriftGate([r for r in records
+                          if r.student_id in gate_students],
+                         max_auc_drop=0.5, min_events=10)
+        start = time.perf_counter()
+        verdict = auto_rollout(service, refreshed, gate)
+        rollout_seconds = time.perf_counter() - start
+        from repro.serve import is_error
+        if is_error(verdict):
+            raise RuntimeError(f"online benchmark rollout refused: "
+                               f"{verdict}")
+
+        # Post-rollout parity: the rolled-out service must answer
+        # exactly like a fresh service booted from the refreshed
+        # checkpoint and fed the same replay.
+        probes = [ScoreQuery(s.student_id, 1 + k % dataset.num_questions,
+                             (1 + k % dataset.num_concepts,))
+                  for k, s in enumerate(sequences)]
+        reference = Service.from_checkpoint(refreshed)
+        reference.execute_batch(records)
+        ours = [reply.score for reply in service.execute_batch(probes)]
+        theirs = [reply.score
+                  for reply in reference.execute_batch(probes)]
+        reference.close()
+        service.close()
+        parity = float(np.max(np.abs(np.array(ours) - np.array(theirs))))
+
+    decision = gate.last_decision
+    return {
+        "events": len(records),
+        "students": len(sequences),
+        "replay_seconds": round(replay_seconds, 4),
+        "replay_events_per_sec": round(len(records) / replay_seconds, 1),
+        "prequential_seconds": round(prequential_seconds, 4),
+        "prequential_events_per_sec": round(
+            len(records) / prequential_seconds, 1),
+        "prequential_auc": (None if baseline.auc is None
+                            else round(baseline.auc, 4)),
+        "fine_tune_seconds": round(fine_tune_seconds, 4),
+        "fine_tune_batches": summary["batches"],
+        "gated_rollout_seconds": round(rollout_seconds, 4),
+        "gate_allowed": decision.allowed,
+        "gate_delta": (None if decision.delta is None
+                       else round(decision.delta, 4)),
+        "max_abs_score_diff": max(roundtrip, parity),
+    }
+
+
 def bench_journal(num_entries: int) -> dict:
     """Durable record journal: append throughput and cold-boot replay.
 
@@ -862,6 +1007,7 @@ def main() -> None:
         "cluster": {},
         "journal": {},
         "recourse": {},
+        "online": {},
     }
     for encoder in encoders:
         model = build_model(dataset, encoder, args.dim, args.layers)
@@ -875,6 +1021,7 @@ def main() -> None:
         service_layer = bench_service_layer(model, dataset, args.rounds)
         cluster = bench_cluster(model, dataset, max(args.rounds, 3))
         recourse = bench_recourse(model, dataset, args.rounds)
+        online = bench_online(model, dataset)
         results["eval_sweep"][encoder] = sweep
         results["serving"][encoder] = serving
         results["serving_incremental"][encoder] = incremental
@@ -883,6 +1030,7 @@ def main() -> None:
         results["service_layer"][encoder] = service_layer
         results["cluster"][encoder] = cluster
         results["recourse"][encoder] = recourse
+        results["online"][encoder] = online
         print(f"{encoder}: eval sweep {sweep['speedup']}x "
               f"({sweep['legacy_targets_per_sec']} -> "
               f"{sweep['fast_targets_per_sec']} targets/s, "
@@ -925,6 +1073,15 @@ def main() -> None:
               f"{recourse['worlds_per_sec']} worlds/s, "
               f"{recourse['worlds_per_forward_call']} worlds/forward "
               f"(rescore diff {recourse['max_abs_score_diff']:.2e})")
+        print(f"{encoder}: online loop {online['events']} events | "
+              f"replay {online['replay_events_per_sec']} ev/s, "
+              f"prequential {online['prequential_events_per_sec']} ev/s "
+              f"(auc {online['prequential_auc']}) | fine-tune "
+              f"{online['fine_tune_seconds']}s, gated rollout "
+              f"{online['gated_rollout_seconds']}s "
+              f"(allowed={online['gate_allowed']}, "
+              f"roundtrip+parity diff "
+              f"{online['max_abs_score_diff']:.2e})")
 
     journal = bench_journal(1000 if args.quick else 5000)
     results["journal"]["wal"] = journal

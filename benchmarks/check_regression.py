@@ -44,6 +44,7 @@ SECTIONS = (
     "cluster",
     "journal",
     "recourse",
+    "online",
 )
 
 # sweep_workers measures hardware parallelism, not an algorithmic win:
@@ -75,6 +76,14 @@ SECTIONS = (
 # path's final score must match a from-scratch rescore of the edited
 # timeline; worlds_per_forward_call is reported for eyeballing the
 # coalescing ratio (the exact batching contract is pinned by tests).
+# The online section (the serve->train continual loop) likewise emits
+# no speedup — there is no legacy arm to race, only absolute replay /
+# prequential throughput that would gate the runner's hardware — so
+# only its drift entry is gated.  That entry is the loop's bit-exactness
+# contract twice over: journal-replayed training batches identical to
+# batches built from the original sequences (1.0 when broken), and the
+# drift-gate-approved rolled-out service scoring exactly like a fresh
+# service booted from the refreshed checkpoint.
 THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental",
                     "long_context", "service_layer")
 

@@ -319,6 +319,38 @@ class RecordJournal:
             combined = [] if state is None else state.combined()
         return [payload for _, _, payload in replay_order(combined)]
 
+    def replay_records(self, shard: Optional[int] = None
+                       ) -> List[RecordEvent]:
+        """The journal-consumer API: decoded acknowledged records.
+
+        Every journaled payload of ``shard`` (or, with ``None``, of
+        every shard in ascending shard order) decoded back into typed
+        :class:`~repro.serve.protocol.RecordEvent` values, in replay
+        order — per-student worker-acknowledged sequence order with
+        ``(student, sequence)`` duplicates dropped, identical to what
+        :meth:`envelopes` feeds a restarted worker.  Cross-shard
+        concatenation order is unobservable by construction: the ring
+        places each student on exactly one shard, so no student's
+        events ever span shards.
+
+        This is the contract the ``repro.online`` continual trainer
+        consumes (``docs/ONLINE.md``): append-time validation
+        (:func:`validate_entry`) guarantees everything here decodes,
+        so a failure to decode is corruption and raises ``ValueError``
+        rather than silently dropping an acknowledged record.
+        """
+        shards = self.shards() if shard is None else [shard]
+        records: List[RecordEvent] = []
+        for index in shards:
+            for payload in self._replay_payloads(index):
+                decoded = query_from_wire(payload)
+                if not isinstance(decoded, RecordEvent):
+                    raise ValueError(
+                        f"shard {index} journal entry does not replay "
+                        f"as a record event: {decoded!r}")
+                records.append(decoded)
+        return records
+
     def envelopes(self, shard: int,
                   batch_size: int = 256) -> Iterator[dict]:
         """The shard's journal as replayable batch-envelope wire dicts.

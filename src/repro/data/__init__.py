@@ -10,6 +10,7 @@ from .io import load_csv, save_csv
 from .profiles import (DATASET_FACTORIES, PAPER_TABLE2, make_assist09,
                        make_assist12, make_dataset, make_eedi, make_slepemapy)
 from .stats import DatasetStats, compute_stats
+from .streaming import EventAccumulator, dataset_from_records
 from .synthetic import (QuestionBank, SimulationConfig, StudentSimulator,
                         build_concept_graph, build_question_bank,
                         leaf_concepts)
@@ -27,4 +28,5 @@ __all__ = [
     "make_assist09", "make_assist12", "make_slepemapy", "make_eedi",
     "make_dataset", "DATASET_FACTORIES", "PAPER_TABLE2",
     "DatasetStats", "compute_stats",
+    "EventAccumulator", "dataset_from_records",
 ]

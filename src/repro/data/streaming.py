@@ -1,0 +1,101 @@
+"""Event-stream accumulation: journaled records back into training data.
+
+The serve→train loop (``repro.online``, ``docs/ONLINE.md``) consumes the
+cluster's durable record journal — per-student streams of acknowledged
+``(student, question, correct, concepts)`` events in worker-acknowledged
+order — and needs them as the exact :class:`KTDataset` shape the
+training stack eats.  The conversion must be *golden*: events replayed
+from a WAL directory have to produce bit-identical training batches to
+the same interactions loaded directly, or the online trainer silently
+trains on a different corpus than it serves.  Two invariants pin this:
+
+* **Order** — students keep their first-appearance order in the stream
+  (the journal's :func:`repro.cluster.journal.replay_order` already
+  guarantees per-student event order), and within a student events
+  append in arrival order.  Batch collation is order-sensitive, so the
+  accumulator never re-sorts.
+* **Preprocessing parity** — :func:`dataset_from_records` feeds the
+  accumulated sequences through the same
+  :func:`~repro.data.dataset.build_dataset` split-then-filter pipeline
+  (≤ ``max_length`` chunks, < ``min_length`` dropped) as any offline
+  loader, so a student's journaled lifetime and their offline log yield
+  the same subsequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .dataset import (MAX_SUBSEQUENCE_LENGTH, MIN_SUBSEQUENCE_LENGTH,
+                      KTDataset, build_dataset)
+from .events import Interaction, StudentSequence
+
+
+class EventAccumulator:
+    """Grow per-student :class:`StudentSequence` timelines from a stream.
+
+    Accepts anything shaped like a record event — the typed
+    :class:`repro.serve.protocol.RecordEvent`, or any object with
+    ``student_id`` / ``question_id`` / ``correct`` / ``concept_ids``
+    attributes.  Students are kept in first-appearance order;
+    ``timestamp`` is the per-student step counter (the simulator's
+    convention — the models ignore it).
+    """
+
+    def __init__(self):
+        self._sequences: Dict[object, StudentSequence] = {}
+        self._events = 0
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    def add(self, student_id, question_id: int, correct: int,
+            concept_ids) -> None:
+        """Append one event (validated by :class:`Interaction` itself)."""
+        sequence = self._sequences.get(student_id)
+        if sequence is None:
+            sequence = StudentSequence(student_id)
+            self._sequences[student_id] = sequence
+        sequence.append(Interaction(int(question_id), int(correct),
+                                    tuple(int(c) for c in concept_ids),
+                                    timestamp=len(sequence)))
+        self._events += 1
+
+    def extend(self, records: Iterable[object]) -> int:
+        """Append every record-event-shaped object; returns the count."""
+        added = 0
+        for record in records:
+            self.add(record.student_id, record.question_id, record.correct,
+                     record.concept_ids)
+            added += 1
+        return added
+
+    def sequences(self) -> List[StudentSequence]:
+        """The accumulated full timelines, first-appearance order."""
+        return list(self._sequences.values())
+
+
+def dataset_from_records(records: Iterable[object], num_questions: int,
+                         num_concepts: int, name: str = "online",
+                         max_length: int = MAX_SUBSEQUENCE_LENGTH,
+                         min_length: int = MIN_SUBSEQUENCE_LENGTH,
+                         **metadata) -> KTDataset:
+    """A validated training dataset straight from an event stream.
+
+    The one-call form of the journal→dataset conversion: accumulate
+    per-student timelines, then run the standard
+    :func:`~repro.data.dataset.build_dataset` preprocessing over them.
+    ``records`` is typically
+    :meth:`repro.cluster.RecordJournal.replay_records` output; the
+    golden round-trip suite (``tests/online``) pins the resulting
+    batches bit-identical to loading the same interactions directly.
+    """
+    accumulator = EventAccumulator()
+    accumulator.extend(records)
+    return build_dataset(name, accumulator.sequences(), num_questions,
+                         num_concepts, max_length=max_length,
+                         min_length=min_length, **metadata)

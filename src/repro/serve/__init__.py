@@ -61,7 +61,7 @@ from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION,
                        RecommendReply,
                        RecommendationItem, RecordEvent, RecordReply,
                        RecourseQuery, RecourseReply, RecourseStep,
-                       ScoreQuery, ScoreReply, ServiceError,
+                       RolloutRefused, ScoreQuery, ScoreReply, ServiceError,
                        ShardUnavailable, UnknownQueryType, UnknownStudent,
                        UnsupportedVersion, WhatIfQuery,
                        WhatIfReply, capabilities, is_error,
@@ -90,7 +90,7 @@ __all__ = [
     "RecordReply", "BatchReply", "InfluenceItem", "RecommendationItem",
     "ServiceError", "UnknownStudent", "InvalidQuestion", "InvalidConcept",
     "EmptyHistory", "InvalidEdit", "ModelNotLoaded", "MalformedQuery",
-    "UnsupportedVersion", "UnknownQueryType",
+    "UnsupportedVersion", "UnknownQueryType", "RolloutRefused",
     "ShardUnavailable", "NotFound", "InternalError", "is_error", "to_wire",
     "query_from_wire", "reply_from_wire", "capabilities",
     "negotiated_version", "query_types_for",

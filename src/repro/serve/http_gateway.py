@@ -193,6 +193,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send_reply(MalformedQuery(
                 f"rollout rejected: {error}"))
             return
+        if is_error(summary):
+            # A gated Service returns the refusal (e.g. rollout_refused
+            # from a drift monitor) as a value; forward it in-protocol.
+            self._send_reply(summary)
+            return
         self._send_json(200, {"status": "ok", **summary})
 
 

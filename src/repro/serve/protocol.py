@@ -543,6 +543,23 @@ class UnknownQueryType(MalformedQuery):
 
 
 @dataclass(frozen=True)
+class RolloutRefused(ServiceError):
+    """A drift gate vetoed a checkpoint rollout (the rollout did not run).
+
+    Produced by :meth:`repro.serve.Service.rollout` when its ``gate``
+    callback rejects the candidate (and by the ``repro.online``
+    auto-rollout path) — a *refusal*, not a failure: the incumbent keeps
+    serving untouched, and the decision details (prequential AUCs,
+    threshold) ride in ``details``.  Like every taxonomy member it is
+    returned as a value, never raised — CI-gate semantics, exactly how
+    ``check_regression.py`` fails a benchmark run without crashing it.
+    """
+
+    code: ClassVar[str] = "rollout_refused"
+    http_status: ClassVar[int] = 409
+
+
+@dataclass(frozen=True)
 class ShardUnavailable(ServiceError):
     """The shard owning this query's student cannot be reached.
 
@@ -576,7 +593,7 @@ class InternalError(ServiceError):
 ERROR_TYPES = {cls.code: cls for cls in
                (UnknownStudent, InvalidQuestion, InvalidConcept,
                 EmptyHistory, InvalidEdit, ModelNotLoaded, MalformedQuery,
-                UnsupportedVersion, UnknownQueryType,
+                UnsupportedVersion, UnknownQueryType, RolloutRefused,
                 ShardUnavailable, NotFound, InternalError)}
 
 REPLY_TYPES = {cls.TYPE: cls for cls in

@@ -214,7 +214,7 @@ class Service:
     # Warm blue/green rollout
     # ------------------------------------------------------------------
     def rollout(self, path, name: str = DEFAULT_MODEL,
-                warm_top: int = 64) -> dict:
+                warm_top: int = 64, gate=None):
         """Blue/green checkpoint rollout with a warm standby.
 
         Builds a *standby* engine from ``path`` (the green side), hands
@@ -229,11 +229,23 @@ class Service:
         cold afterwards), the hot working set scores warm from the first
         post-swap request.
 
-        Returns a summary dict (model, warmed count, encoder, students).
-        In-process administration errors raise — ``KeyError`` for an
-        unknown name, ``ValueError`` for an id-space mismatch — exactly
-        like :meth:`ModelRegistry.swap`; the HTTP gateway's
-        ``/v1/admin/rollout`` route maps them onto the error taxonomy.
+        ``gate``, when given, is a callable ``(incumbent_engine,
+        standby_engine) -> Optional[ServiceError]`` consulted after the
+        standby is built and id-space-validated but *before* any live
+        state is adopted.  A returned error value (typically
+        :class:`~repro.serve.protocol.RolloutRefused` from a
+        ``repro.online`` drift monitor) aborts the rollout and is
+        **returned as that value, never raised** — the incumbent keeps
+        serving and the standby is discarded.  This is the serve-side
+        half of the continual-learning loop's auto-rollout gate
+        (``docs/ONLINE.md``).
+
+        Returns a summary dict (model, warmed count, encoder, students)
+        on success.  In-process administration errors raise —
+        ``KeyError`` for an unknown name, ``ValueError`` for an
+        id-space mismatch — exactly like :meth:`ModelRegistry.swap`;
+        the HTTP gateway's ``/v1/admin/rollout`` route maps them onto
+        the error taxonomy.
         """
         old = self.registry.get(name)
         if old is None:
@@ -252,6 +264,10 @@ class Service:
                 f"{standby.num_concepts} concepts vs "
                 f"{old.num_questions} / {old.num_concepts}); recorded "
                 f"histories cannot migrate onto it")
+        if gate is not None:
+            verdict = gate(old, standby)
+            if is_error(verdict):
+                return verdict
         # Adopt the live serving state: histories are ground-truth
         # observations shared across model versions, and sharing the
         # *lock* keeps blue-side records serialized against the green

@@ -1,0 +1,174 @@
+"""Prequential harness: streaming metrics, interleaving, k-step sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core import RCKT, RCKTConfig
+from repro.data import SimulationConfig, StudentSimulator, build_dataset
+from repro.eval import accuracy_score, auc_score
+from repro.online import (StreamingMetrics, multi_step_sweep,
+                          prequential_run, round_robin)
+from repro.serve import RecordEvent, Service
+
+NUM_QUESTIONS = 20
+NUM_CONCEPTS = 5
+
+
+@pytest.fixture(scope="module")
+def records():
+    simulator = StudentSimulator(SimulationConfig(
+        num_students=10, num_questions=NUM_QUESTIONS,
+        num_concepts=NUM_CONCEPTS, sequence_length=(6, 12)), seed=5)
+    return [RecordEvent(f"s-{sequence.student_id}",
+                        interaction.question_id, interaction.correct,
+                        interaction.concept_ids)
+            for sequence in simulator.simulate()
+            for interaction in sequence]
+
+
+def tiny_service() -> Service:
+    return Service(RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                        RCKTConfig(encoder="dkt", dim=8, layers=1, seed=1)))
+
+
+class TestStreamingMetrics:
+    def test_auc_undefined_until_both_classes(self):
+        metrics = StreamingMetrics()
+        assert metrics.auc is None and metrics.accuracy is None
+        metrics.update(1, 0.9)
+        metrics.update(1, 0.4)
+        assert metrics.auc is None          # single class: undefined
+        assert metrics.accuracy is not None
+        metrics.update(0, 0.2)
+        assert metrics.auc is not None
+
+    def test_matches_batch_metrics(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        metrics = StreamingMetrics()
+        for label, score in zip(labels, scores):
+            metrics.update(int(label), float(score))
+        assert metrics.auc == pytest.approx(auc_score(labels, scores))
+        assert metrics.accuracy \
+            == pytest.approx(accuracy_score(labels, scores))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            StreamingMetrics().update(2, 0.5)
+
+
+class TestRoundRobin:
+    def test_one_event_per_student_per_round(self, records):
+        rounds = list(round_robin(records))
+        for round_events in rounds:
+            students = [event.student_id for event in round_events]
+            assert len(students) == len(set(students))
+        assert sum(len(r) for r in rounds) == len(records)
+
+    def test_per_student_order_is_preserved(self, records):
+        replayed = {}
+        for round_events in round_robin(records):
+            for event in round_events:
+                replayed.setdefault(event.student_id, []).append(event)
+        grouped = {}
+        for event in records:
+            grouped.setdefault(event.student_id, []).append(event)
+        assert replayed == grouped
+
+
+class TestPrequentialRun:
+    def test_scores_every_event_and_records_them(self, records):
+        service = tiny_service()
+        try:
+            report = prequential_run(service, records, checkpoint_every=40)
+            assert report.events == len(records)
+            assert report.auc is not None
+            assert 0.0 <= report.accuracy <= 1.0
+            # trajectory is cumulative and ends on the final totals
+            counts = [point.events for point in report.trajectory]
+            assert counts == sorted(counts)
+            assert report.trajectory[-1].events == report.events
+            assert report.trajectory[-1].auc == report.auc
+            # the run leaves the service holding every full history
+            engine = service.engine()
+            for student, events in _grouped(records).items():
+                assert engine.history_length(student) == len(events)
+        finally:
+            service.close()
+
+    def test_interleaving_does_not_change_the_metrics(self, records):
+        """Per-event scores depend only on that student's prior history,
+        so the final metrics are invariant to the round-robin shuffle."""
+        interleaved_service, grouped_service = tiny_service(), tiny_service()
+        try:
+            interleaved = prequential_run(interleaved_service, records,
+                                          interleave=True)
+            grouped = prequential_run(grouped_service, records,
+                                      interleave=False)
+            assert interleaved.events == grouped.events
+            assert interleaved.auc == pytest.approx(grouped.auc, abs=1e-12)
+            assert interleaved.accuracy \
+                == pytest.approx(grouped.accuracy, abs=1e-12)
+        finally:
+            interleaved_service.close()
+            grouped_service.close()
+
+    def test_rejects_nonpositive_checkpoint_interval(self, records):
+        service = tiny_service()
+        try:
+            with pytest.raises(ValueError):
+                prequential_run(service, records, checkpoint_every=0)
+        finally:
+            service.close()
+
+
+class TestMultiStepSweep:
+    def test_horizon_structure_and_target_counts(self, records):
+        simulator = StudentSimulator(SimulationConfig(
+            num_students=8, num_questions=NUM_QUESTIONS,
+            num_concepts=NUM_CONCEPTS, sequence_length=(6, 10)), seed=9)
+        dataset = build_dataset("sweep", simulator.simulate(),
+                                NUM_QUESTIONS, NUM_CONCEPTS)
+        model = RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                     RCKTConfig(encoder="dkt", dim=8, layers=1, seed=3))
+        min_history = 2
+        sweep = multi_step_sweep(model, dataset, horizons=(1, 2, 3),
+                                 min_history=min_history)
+        assert sorted(sweep) == [1, 2, 3]
+        for horizon, entry in sweep.items():
+            expected = sum(
+                max(0, len(sequence) - min_history - horizon + 1)
+                for sequence in dataset)
+            assert entry["targets"] == expected
+            if entry["auc"] is not None:
+                assert 0.0 <= entry["auc"] <= 1.0
+
+    def test_horizon_one_matches_cold_next_step_scores(self):
+        """k=1 must reproduce the standard next-step protocol exactly."""
+        simulator = StudentSimulator(SimulationConfig(
+            num_students=4, num_questions=NUM_QUESTIONS,
+            num_concepts=NUM_CONCEPTS, sequence_length=(6, 8)), seed=2)
+        dataset = build_dataset("next", simulator.simulate(),
+                                NUM_QUESTIONS, NUM_CONCEPTS)
+        model = RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                     RCKTConfig(encoder="dkt", dim=8, layers=1, seed=3))
+        labels, scores = model.predict_dataset(dataset)
+        sweep = multi_step_sweep(model, dataset, horizons=(1,),
+                                 min_history=model.config.min_history)
+        assert sweep[1]["targets"] == len(labels)
+        assert sweep[1]["auc"] == pytest.approx(auc_score(labels, scores))
+
+    def test_rejects_nonpositive_horizon(self, records):
+        model = RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                     RCKTConfig(encoder="dkt", dim=8, layers=1, seed=3))
+        dataset = build_dataset("empty", [], NUM_QUESTIONS, NUM_CONCEPTS)
+        with pytest.raises(ValueError):
+            multi_step_sweep(model, dataset, horizons=(0,))
+
+
+def _grouped(records):
+    grouped = {}
+    for event in records:
+        grouped.setdefault(event.student_id, []).append(event)
+    return grouped

@@ -109,8 +109,9 @@ class TestWireParity:
         )))
         assert [reply.ok for reply in replies] == [True] * 4
         assert replies[1].history_length == 2
-        direct = engine.score("wire-student", 7, (3,))
-        assert abs(replies[2].score - direct) < ATOL
+        direct = engine.service.execute(
+            ScoreQuery("wire-student", 7, (3,)))
+        assert abs(replies[2].score - direct.score) < ATOL
         assert len(replies[3].items) == 2
 
     def test_health_and_models(self, stack):

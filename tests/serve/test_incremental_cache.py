@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.core import ENCODERS, RCKT, RCKTConfig
 from repro.data import (SimulationConfig, StudentSimulator, build_dataset)
-from repro.serve import InferenceEngine, ScoreRequest
+from repro.serve import InferenceEngine, ScoreQuery, ScoreRequest, is_error
 
 ATOL = 1e-10
 
@@ -45,6 +45,26 @@ def paired_engines(model, **cached_kwargs):
     """(cached, cache-disabled) engines over the same model."""
     return (InferenceEngine(model, **cached_kwargs),
             InferenceEngine(model, stream_cache_bytes=0))
+
+
+def score(engine, student, question_id, concept_ids) -> float:
+    """Single score through the typed facade; errors surface as the
+    legacy ValueError (same message — both paths share _id_error)."""
+    reply = engine.service.execute(ScoreQuery(student, question_id,
+                                              tuple(concept_ids)))
+    if is_error(reply):
+        raise ValueError(reply.message)
+    return reply.score
+
+
+def score_many(engine, requests) -> np.ndarray:
+    replies = engine.service.execute_batch(
+        [ScoreQuery(r.student_id, r.question_id, tuple(r.concept_ids))
+         for r in requests])
+    for reply in replies:
+        if is_error(reply):
+            raise ValueError(reply.message)
+    return np.array([reply.score for reply in replies])
 
 
 # Each event: (student, question, correct, concept, is_score_probe)
@@ -88,16 +108,16 @@ class TestInterleavedParityProperty:
         warm, cold = paired_engines(model, **cached_kwargs)
         for student, question, correct, concept, is_probe in events:
             if is_probe:
-                got = warm.score(student, question, (concept,))
-                expected = cold.score(student, question, (concept,))
+                got = score(warm, student, question, (concept,))
+                expected = score(cold, student, question, (concept,))
                 assert abs(got - expected) < ATOL
             else:
                 warm.record(student, question, correct, (concept,))
                 cold.record(student, question, correct, (concept,))
         # Final sweep: every student's next-step probe must agree too.
         requests = [ScoreRequest(s, 5, (2,)) for s in range(4)]
-        np.testing.assert_allclose(warm.score_batch(requests),
-                                   cold.score_batch(requests),
+        np.testing.assert_allclose(score_many(warm, requests),
+                                   score_many(cold, requests),
                                    rtol=0, atol=ATOL)
 
 
@@ -107,8 +127,8 @@ class TestCacheLifecycle:
         engine = InferenceEngine(make_model(encoder))
         for step in range(4):
             engine.record("s", 1 + step, step % 2, (1 + step % 5,))
-        engine.score("s", 7, (3,))   # cold: builds the cache
-        engine.score("s", 9, (2,))   # warm: must hit
+        score(engine, "s", 7, (3,))   # cold: builds the cache
+        score(engine, "s", 9, (2,))   # warm: must hit
         stats = engine.stream_cache_stats()
         assert stats["entries"] == 1
         assert stats["hits"] >= 1 and stats["misses"] >= 1
@@ -116,10 +136,10 @@ class TestCacheLifecycle:
     def test_record_extends_instead_of_rebuilding(self, encoder):
         engine = InferenceEngine(make_model(encoder))
         engine.record("s", 3, 1, (1,))
-        engine.score("s", 7, (3,))
+        score(engine, "s", 7, (3,))
         misses_after_build = engine.stream_cache_stats()["misses"]
         engine.record("s", 4, 0, (2,))
-        engine.score("s", 7, (3,))
+        score(engine, "s", 7, (3,))
         assert engine.stream_cache_stats()["misses"] == misses_after_build
 
     def test_eviction_mid_stream_recovers(self, encoder):
@@ -130,8 +150,8 @@ class TestCacheLifecycle:
                 warm.record(student, 1 + step, step % 2, (1 + step,))
                 cold.record(student, 1 + step, step % 2, (1 + step,))
         requests = [ScoreRequest(s, 6, (2,)) for s in range(3)]
-        np.testing.assert_allclose(warm.score_batch(requests),
-                                   cold.score_batch(requests),
+        np.testing.assert_allclose(score_many(warm, requests),
+                                   score_many(cold, requests),
                                    rtol=0, atol=ATOL)
         stats = warm.stream_cache_stats()
         assert stats["evictions"] >= 1
@@ -144,11 +164,11 @@ class TestCacheLifecycle:
         warm.load_dataset(dataset)
         cold.load_dataset(dataset)
         student = list(dataset)[0].student_id
-        warm.score(student, 5, (1,))          # builds a cache
+        score(warm, student, 5, (1,))          # builds a cache
         warm.load_dataset(dataset)            # appends: cache is stale
         cold.load_dataset(dataset)
-        assert abs(warm.score(student, 5, (1,))
-                   - cold.score(student, 5, (1,))) < ATOL
+        assert abs(score(warm, student, 5, (1,))
+                   - score(cold, student, 5, (1,))) < ATOL
 
 
 class TestCheckpointReload:
@@ -166,12 +186,12 @@ class TestCheckpointReload:
         for step in range(5):
             engine.record("s", 1 + step, step % 2, (1 + step % 5,))
             fresh.record("s", 1 + step, step % 2, (1 + step % 5,))
-        stale_score = engine.score("s", 8, (4,))   # warms the cache
+        stale_score = score(engine, "s", 8, (4,))   # warms the cache
         assert engine.stream_cache_stats()["entries"] == 1
         engine.reload_checkpoint(path)
         assert engine.stream_cache_stats()["entries"] == 0
-        reloaded_score = engine.score("s", 8, (4,))
-        assert abs(reloaded_score - fresh.score("s", 8, (4,))) < ATOL
+        reloaded_score = score(engine, "s", 8, (4,))
+        assert abs(reloaded_score - score(fresh, "s", 8, (4,))) < ATOL
         assert reloaded_score != stale_score
 
     def test_reload_mid_stream_then_extend(self, tmp_path):
@@ -181,17 +201,17 @@ class TestCheckpointReload:
         for step in range(3):
             engine.record("s", 1 + step, 1, (1,))
             fresh.record("s", 1 + step, 1, (1,))
-        engine.score("s", 2, (1,))
+        score(engine, "s", 2, (1,))
         engine.reload_checkpoint(path)
         # Post-reload records must extend a rebuilt cache, not the stale
         # one.
         engine.record("s", 9, 0, (2,))
         fresh.record("s", 9, 0, (2,))
-        engine.score("s", 2, (1,))   # rebuild under new weights
+        score(engine, "s", 2, (1,))   # rebuild under new weights
         engine.record("s", 10, 1, (3,))
         fresh.record("s", 10, 1, (3,))
-        assert abs(engine.score("s", 2, (1,))
-                   - fresh.score("s", 2, (1,))) < ATOL
+        assert abs(score(engine, "s", 2, (1,))
+                   - score(fresh, "s", 2, (1,))) < ATOL
 
     def test_reload_rejects_mismatched_config(self, tmp_path):
         engine = InferenceEngine(make_model(dim=8))
@@ -206,7 +226,7 @@ class TestValidationHardening:
     def test_record_rejects_out_of_vocab_without_poisoning(self):
         engine = InferenceEngine(make_model())
         engine.record("s", 1, 1, (1,))
-        before = engine.score("s", 3, (1,))
+        before = score(engine, "s", 3, (1,))
         with pytest.raises(ValueError, match="question_id"):
             engine.record("s", NUM_QUESTIONS + 1, 1, (1,))
         with pytest.raises(ValueError, match="concept id"):
@@ -216,9 +236,9 @@ class TestValidationHardening:
         with pytest.raises(ValueError, match="non-empty"):
             engine.record("s", 1, 1, ())
         with pytest.raises(ValueError, match="non-empty"):
-            engine.score("s", 3, ())
+            score(engine, "s", 3, ())
         assert engine.history_length("s") == 1
-        assert engine.score("s", 3, (1,)) == before
+        assert score(engine, "s", 3, (1,)) == before
 
     def test_load_dataset_validates_before_loading_anything(self):
         # A model with a smaller vocabulary than the dataset was built
@@ -236,7 +256,7 @@ class TestValidationHardening:
         with pytest.raises(ValueError) as record_error:
             engine.record("s", NUM_QUESTIONS + 7, 1, (1,))
         with pytest.raises(ValueError) as score_error:
-            engine.score("s", NUM_QUESTIONS + 7, (1,))
+            score(engine, "s", NUM_QUESTIONS + 7, (1,))
         assert str(record_error.value) == str(score_error.value)
 
 
@@ -251,8 +271,8 @@ class TestWorkers:
         requests = [ScoreRequest(s.student_id, 1 + k % NUM_QUESTIONS,
                                  (1 + k % NUM_CONCEPTS,))
                     for k, s in enumerate(dataset)]
-        np.testing.assert_allclose(threaded.score_batch(requests),
-                                   sequential.score_batch(requests),
+        np.testing.assert_allclose(score_many(threaded, requests),
+                                   score_many(sequential, requests),
                                    rtol=0, atol=0)
 
     def test_workers_must_be_positive(self):
@@ -273,8 +293,8 @@ def test_long_interleaving_parity_slow(encoder):
         if rng.random() < 0.35:
             question = int(rng.integers(1, NUM_QUESTIONS + 1))
             concept = int(rng.integers(1, NUM_CONCEPTS + 1))
-            got = warm.score(student, question, (concept,))
-            expected = cold.score(student, question, (concept,))
+            got = score(warm, student, question, (concept,))
+            expected = score(cold, student, question, (concept,))
             assert abs(got - expected) < ATOL, f"step {step}"
         else:
             question = int(rng.integers(1, NUM_QUESTIONS + 1))

@@ -19,7 +19,8 @@ import pytest
 from repro.core import ENCODERS, RCKT, RCKTConfig, score_batch_targets
 from repro.core.masking import window_start
 from repro.data import Interaction, StudentSequence, collate
-from repro.serve import InferenceEngine, ScoreRequest
+from repro.serve import (CandidateQuestion, ExplainQuery, InferenceEngine,
+                         RecommendQuery, ScoreQuery, ScoreRequest, is_error)
 from repro.tensor import no_grad
 
 ATOL = 1e-10
@@ -57,6 +58,22 @@ def truncated_recompute(model, events, probe, window, hop):
                                    np.array([len(interactions) - 1]))[0]
 
 
+def score(engine, student, question_id, concept_ids) -> float:
+    """Single score through the typed facade (the non-deprecated path)."""
+    reply = engine.service.execute(ScoreQuery(student, question_id,
+                                              tuple(concept_ids)))
+    assert not is_error(reply), reply
+    return reply.score
+
+
+def score_many(engine, requests) -> np.ndarray:
+    replies = engine.service.execute_batch(
+        [ScoreQuery(r.student_id, r.question_id, tuple(r.concept_ids))
+         for r in requests])
+    assert not any(is_error(reply) for reply in replies), replies
+    return np.array([reply.score for reply in replies])
+
+
 @pytest.mark.parametrize("encoder", ENCODERS)
 def test_thousand_step_student_scores_to_parity(encoder):
     """The acceptance workload: record 1000+ steps, score windowed."""
@@ -68,7 +85,7 @@ def test_thousand_step_student_scores_to_parity(encoder):
     for step, (question, answer, concepts) in enumerate(events, start=1):
         engine.record("s", question, answer, concepts)
         if step in probes:
-            got = engine.score("s", 7, (2,))
+            got = score(engine, "s", 7, (2,))
             want = truncated_recompute(model, events[:step], (7, (2,)),
                                        window, hop)
             assert abs(got - want) < ATOL
@@ -89,8 +106,8 @@ def test_window_boundary_lengths(encoder):
         cached.record("s", question, answer, concepts)
         uncached.record("s", question, answer, concepts)
         if step in boundary:
-            got_cached = cached.score("s", 9, (3,))
-            got_uncached = uncached.score("s", 9, (3,))
+            got_cached = score(cached, "s", 9, (3,))
+            got_uncached = score(uncached, "s", 9, (3,))
             want = truncated_recompute(model, events[:step], (9, (3,)),
                                        window, hop)
             assert abs(got_cached - want) < ATOL
@@ -113,8 +130,8 @@ def test_eviction_straddling_the_window_boundary():
             tiny.record(student, question, answer, concepts)
             reference.record(student, question, answer, concepts)
             if window - 2 <= step <= window + hop + 1 or step % 9 == 0:
-                got = tiny.score(student, 4, (1,))
-                want = reference.score(student, 4, (1,))
+                got = score(tiny, student, 4, (1,))
+                want = score(reference, student, 4, (1,))
                 assert abs(got - want) < ATOL
     assert tiny.stream_cache_stats()["evictions"] > 0
 
@@ -135,8 +152,8 @@ def test_interleaved_record_score_windowed_parity(encoder):
         if rng.random() < 0.3 and logs[student]:
             probe = (int(rng.integers(1, NUM_QUESTIONS + 1)),
                      (int(rng.integers(1, NUM_CONCEPTS + 1)),))
-            got = cached.score(student, probe[0], probe[1])
-            alt = uncached.score(student, probe[0], probe[1])
+            got = score(cached, student, probe[0], probe[1])
+            alt = score(uncached, student, probe[0], probe[1])
             want = truncated_recompute(model, logs[student], probe,
                                        window, hop)
             assert abs(got - want) < ATOL
@@ -147,8 +164,8 @@ def test_interleaved_record_score_windowed_parity(encoder):
             cached.record(student, *event)
             uncached.record(student, *event)
     requests = [ScoreRequest(student, 5, (2,)) for student in range(3)]
-    np.testing.assert_allclose(cached.score_batch(requests),
-                               uncached.score_batch(requests), atol=ATOL)
+    np.testing.assert_allclose(score_many(cached, requests),
+                               score_many(uncached, requests), atol=ATOL)
 
 
 @pytest.mark.parametrize("encoder", ["sakt", "akt"])
@@ -163,8 +180,8 @@ def test_past_initial_positional_capacity_without_window(encoder):
     for question, answer, concepts in events:
         cached.record("s", question, answer, concepts)
         uncached.record("s", question, answer, concepts)
-    got = cached.score("s", 3, (2,))
-    alt = uncached.score("s", 3, (2,))
+    got = score(cached, "s", 3, (2,))
+    alt = score(uncached, "s", 3, (2,))
     want = truncated_recompute(model, events, (3, (2,)), None, None)
     assert abs(got - want) < ATOL
     assert abs(alt - want) < ATOL
@@ -176,14 +193,17 @@ def test_windowed_influences_and_recommend_cover_the_window():
     engine = InferenceEngine(model, window=window, window_hop=hop)
     for question, answer, concepts in synthetic_events(30, seed=21):
         engine.record("s", question, answer, concepts)
-    influence = engine.influences("s")
+    reply = engine.service.execute(ExplainQuery("s"))
+    assert not is_error(reply), reply
+    influence = reply.computation
     # The influence readout conditions on the windowed context only.
     assert influence.history_lengths[0] <= window
     assert influence.history_lengths[0] > window - hop - 1
-    recommendations = engine.recommend(
-        "s", [ScoreRequest("s", 4, (1,)), ScoreRequest("s", 9, (2,))],
-        top_k=2)
-    assert len(recommendations) == 2
+    recommended = engine.service.execute(RecommendQuery(
+        "s", (CandidateQuestion(4, (1,)), CandidateQuestion(9, (2,))),
+        top_k=2))
+    assert not is_error(recommended), recommended
+    assert len(recommended.items) == 2
 
 
 def test_window_validation():
@@ -214,5 +234,5 @@ def test_windowed_checkpoint_roundtrip(tmp_path):
                                                window_hop=hop)
     for question, answer, concepts in events:
         reloaded.record("s", question, answer, concepts)
-    assert abs(engine.score("s", 5, (2,))
-               - reloaded.score("s", 5, (2,))) < ATOL
+    assert abs(score(engine, "s", 5, (2,))
+               - score(reloaded, "s", 5, (2,))) < ATOL

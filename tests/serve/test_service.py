@@ -45,6 +45,13 @@ def seed_idiom_score(model, interactions, question_id, concept_ids):
                                       np.array([len(sequence) - 1]))[0])
 
 
+
+def legacy(method, *args, **kwargs):
+    """Exercise a deprecated engine shim, asserting it still warns."""
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        return method(*args, **kwargs)
+
+
 @pytest.fixture(scope="module")
 def dataset():
     return make_dataset()
@@ -436,7 +443,7 @@ class TestDeprecationShims:
         requests = [ScoreRequest(s.student_id, 1 + k % NUM_QUESTIONS,
                                  (1 + k % NUM_CONCEPTS,))
                     for k, s in enumerate(dataset)]
-        via_shim = engine.score_batch(requests)
+        via_shim = legacy(engine.score_batch, requests)
         via_facade = [service.execute(ScoreQuery(
             r.student_id, r.question_id, r.concept_ids)).score
             for r in requests]
@@ -446,7 +453,7 @@ class TestDeprecationShims:
                                                         dataset):
         engine = service.engine()
         student = next(s for s in dataset if len(s) >= 4).student_id
-        computation = engine.influences(student)
+        computation = legacy(engine.influences, student)
         reply = service.execute(ExplainQuery(student))
         assert float(computation.scores[0]) == reply.score
 
@@ -455,7 +462,7 @@ class TestDeprecationShims:
         student = next(s for s in dataset if len(s) >= 6).student_id
         candidates = [ScoreRequest(student, q, (1 + q % NUM_CONCEPTS,))
                       for q in (3, 11, 27)]
-        shim = engine.recommend(student, candidates, top_k=3)
+        shim = legacy(engine.recommend, student, candidates, top_k=3)
         facade = service.execute(RecommendQuery(
             student, tuple(CandidateQuestion(c.question_id, c.concept_ids)
                            for c in candidates), top_k=3))
@@ -468,9 +475,9 @@ class TestDeprecationShims:
     def test_shim_errors_keep_legacy_exception_contract(self, service):
         engine = service.engine()
         with pytest.raises(ValueError, match="question_id 9999"):
-            engine.score("amy", 9999, (1,))
+            legacy(engine.score, "amy", 9999, (1,))
         with pytest.raises(ValueError, match="at least two"):
-            engine.influences("ghost")
+            legacy(engine.influences, "ghost")
 
     def test_engine_service_is_canonical(self, service):
         # The facade installs itself on its engines: shims route back to
@@ -572,11 +579,11 @@ class TestRegistry:
         engine.load_dataset(dataset)
         service = Service(engine)          # binds under 'default'
         student = list(dataset)[0].student_id
-        before = engine.score(student, 3, (1,))
+        before = legacy(engine.score, student, 3, (1,))
         other = ModelRegistry()
         other.register("canary", engine)
         assert engine.name == "default"
-        assert engine.score(student, 3, (1,)) == before   # shims intact
+        assert legacy(engine.score, student, 3, (1,)) == before   # shims intact
         # The alias serves the same engine, echoing the addressed name.
         aliased = Service(registry=other).execute(
             ScoreQuery(student, 3, (1,), model="canary"))

@@ -47,7 +47,8 @@ def expected_scores(students, probe, seed):
     """Per-student probe score under one checkpoint's weights."""
     engine = InferenceEngine(make_model(seed))
     load_records(engine, students)
-    scores = {student: engine.score(student, *probe)
+    scores = {student: engine.service.execute(
+                  ScoreQuery(student, probe[0], tuple(probe[1]))).score
               for student in students}
     engine.close()
     return scores
