@@ -21,7 +21,7 @@ def test_fig5_proficiency(benchmark, save_artifact):
 
     assert len(figure.traces) >= 1
     steps = len(figure.student)
-    for concept_id, trace in figure.traces.items():
+    for _concept_id, trace in figure.traces.items():
         assert trace.proficiencies.shape == (steps,)
         assert np.all((trace.proficiencies >= 0.0)
                       & (trace.proficiencies <= 1.0))

@@ -18,7 +18,7 @@ def test_table5_ablation(benchmark, save_artifact):
     save_artifact("table5_ablation", result.render())
 
     assert set(result.metrics) == set(ABLATIONS)
-    for variant, cells in result.metrics.items():
+    for _variant, cells in result.metrics.items():
         assert set(cells) == {("dkt", "assist09"), ("akt", "assist09")}
         for metrics in cells.values():
             assert 0.0 <= metrics["auc"] <= 1.0

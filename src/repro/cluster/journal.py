@@ -60,6 +60,7 @@ The full on-disk lifecycle is documented in ``docs/CLUSTER.md``.
 
 from __future__ import annotations
 
+import os
 import re
 import threading
 from pathlib import Path
@@ -438,7 +439,13 @@ class RecordJournal:
                         f"written with different cluster parameters: "
                         f"{conflicts} (journal vs requested)")
                 return existing
-            path.write_bytes(wire_json_bytes(dict(meta)))
+            with open(path, "wb") as handle:
+                # fsync the bytes themselves: a dir-entry fsync alone
+                # does not make the file *contents* durable, and a
+                # half-written meta file would wedge every cold boot.
+                handle.write(wire_json_bytes(dict(meta)))
+                handle.flush()
+                os.fsync(handle.fileno())
             wal.fsync_directory(self._directory)
             return dict(meta)
 
@@ -449,6 +456,7 @@ class RecordJournal:
         directory.mkdir(parents=True, exist_ok=True)
         return directory
 
+    # invariant: holds-lock
     def _shard(self, shard: int) -> _ShardLog:
         state = self._shards.get(shard)
         if state is None:
@@ -477,6 +485,9 @@ class RecordJournal:
             state.writer = writer
         return writer
 
+    # Called from __init__ only, before any other thread can hold a
+    # reference to this journal — construction-time exclusivity.
+    # invariant: holds-lock
     def _recover(self) -> None:
         """Cold boot: rebuild every shard's state from its directory.
 

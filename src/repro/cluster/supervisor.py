@@ -137,7 +137,11 @@ class Supervisor:
     def attach_router(self, router) -> None:
         """Bind a router created after the workers booted (the usual
         order: supervise -> wait healthy -> route)."""
-        self.router = router
+        with self._lock:
+            # restart/rollout read self.router under the lock; binding
+            # it unlocked could hand a half-attached router to a
+            # concurrently restarting worker.
+            self.router = router
         router.rollout_hook = self.rollout
 
     # ------------------------------------------------------------------

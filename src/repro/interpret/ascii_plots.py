@@ -27,7 +27,7 @@ def line_chart(series: Dict[str, Sequence[float]],
     span = (hi - lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for index, (name, values) in enumerate(arrays.items()):
+    for index, (_name, values) in enumerate(arrays.items()):
         glyph = glyphs[index % len(glyphs)]
         for x, value in enumerate(values):
             y = int(round((value - lo) / span * (height - 1)))

@@ -318,14 +318,18 @@ class InferenceEngine:
     def save(self, path) -> None:
         """Persist model weights plus the config/id-space metadata needed
         to rebuild the engine without the original constructor call."""
-        embedder = self.model.generator.embedder
+        with self._lock:
+            # One capture: metadata and weights must describe the same
+            # model even if a reload swaps self.model mid-save.
+            model = self.model
+        embedder = model.generator.embedder
         metadata = {
-            "config": self.model.config.__dict__,
+            "config": model.config.__dict__,
             # Embedding tables carry a +1 row for the padding id.
             "num_questions": embedder.question_embedding.weight.shape[0] - 1,
             "num_concepts": embedder.concept_embedding.weight.shape[0] - 1,
         }
-        save_checkpoint(path, self.model.state_dict(), metadata)
+        save_checkpoint(path, model.state_dict(), metadata)
 
     @classmethod
     def from_checkpoint(cls, path, max_batch: int = 64,
@@ -370,13 +374,18 @@ class InferenceEngine:
         old/new) parameter set.
         """
         state, metadata = load_checkpoint(path)
+        with self._lock:
+            # The config is immutable across reloads (validated below),
+            # so one captured reference serves both checks and the
+            # fresh-model construction.
+            current = self.model
         config = metadata.get("config")
         if config is not None:
             # The init seed is not architecture: a retrained checkpoint
             # may legitimately carry a different one.
             theirs = {k: v for k, v in
                       RCKTConfig(**config).__dict__.items() if k != "seed"}
-            ours = {k: v for k, v in self.model.config.__dict__.items()
+            ours = {k: v for k, v in current.config.__dict__.items()
                     if k != "seed"}
             if theirs != ours:
                 raise ValueError(f"checkpoint at {path} was trained with a "
@@ -391,7 +400,7 @@ class InferenceEngine:
             # Parameter registration must see gradients enabled even if
             # a scoring thread's no_grad scope is ambient here.
             model = RCKT(self.num_questions, self.num_concepts,
-                         self.model.config)
+                         current.config)
         model.load_state_dict(state)
         model.eval()
         with self._lock:
@@ -429,6 +438,7 @@ class InferenceEngine:
             self._extend_stream_cache(student_id, history, question_id,
                                       correct, concept_ids)
 
+    # invariant: holds-lock
     def _extend_stream_cache(self, student_id, history, question_id: int,
                              correct: int, concept_ids) -> None:
         """Advance a warm cache by the step just recorded (lock held)."""
@@ -572,6 +582,7 @@ class InferenceEngine:
             scores[index] = reply.score
         return scores
 
+    # invariant: holds-lock
     def _assemble_rows(self, rows: Sequence[_ContextRow],
                        local_entries: Optional[Dict[int, object]] = None,
                        built_out: Optional[Dict[int, object]] = None
@@ -609,6 +620,7 @@ class InferenceEngine:
                                               built_out)
         return self._assemble_rows_raw(rows)
 
+    # invariant: holds-lock
     def _assemble_rows_cached(self, rows: Sequence[_ContextRow],
                               local_entries: Optional[Dict[int, object]]
                               = None,
@@ -729,6 +741,7 @@ class InferenceEngine:
                                      forward_streams=streams)
         return context, cols
 
+    # invariant: holds-lock
     def _assemble_rows_raw(self, rows: Sequence[_ContextRow]
                            ) -> Tuple[MultiTargetContext, np.ndarray]:
         """Cache-disabled fallback: raw batch, context-encoded streams.
@@ -883,6 +896,10 @@ class InferenceEngine:
         exactly (per-row scores are independent of batch composition),
         so the values are bit-identical to the pre-coalescing ones.
         """
+        with self._lock:
+            # Pin the model once: a concurrent reload must not mix two
+            # weight sets across this method's stacked pass.
+            model = self.model
         q_hist, r_hist, c_hist, k_hist = snapshot
         n = len(q_hist)
         history_width = c_hist.shape[1] if n else 1
@@ -930,7 +947,7 @@ class InferenceEngine:
 
         batch = Batch(questions, responses, concepts, counts, mask)
         with no_grad():
-            scores = score_batch_targets(self.model, batch, cols,
+            scores = score_batch_targets(model, batch, cols,
                                          target_batch=self.target_batch,
                                          workers=self.workers,
                                          executor=self._executor)

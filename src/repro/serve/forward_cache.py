@@ -224,7 +224,7 @@ def build_stream_caches(model, histories) -> List[StudentStreamCache]:
         interactions, mask=stacked_mask)
 
     caches = []
-    for row, history in enumerate(histories):
+    for row, _history in enumerate(histories):
         n = lengths[row]
         rows_idx = [b * count + row for b in range(bases)]
         state = encoder.state_from_capture(capture, rows_idx, n)

@@ -32,10 +32,12 @@ class ModelRegistry:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._engines)
+        with self._lock:
+            return len(self._engines)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._engines
+        with self._lock:
+            return name in self._engines
 
     def names(self) -> List[str]:
         with self._lock:

@@ -1,0 +1,151 @@
+"""Negative-path coverage for ``tools/check_docs.py``.
+
+``tests/test_docs.py`` proves the checker passes on this repository and
+fails on vanished symbols/files/links; this suite covers the parts it
+does not: the in-process check functions themselves and the
+protocol-surface cross-check against ``docs/API.md`` (class mentions,
+error-table codes and HTTP statuses, both drift directions).
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+PROTOCOL = """
+    class ScoreQuery:
+        TYPE = "score"
+
+    class RecordEvent:
+        TYPE = "record"
+
+    class BatchEnvelope:
+        TYPE = "batch"
+
+    class ScoreReply:
+        TYPE = "score_reply"
+
+    class ServiceError:
+        code = "internal_error"
+        http_status = 500
+
+    class UnknownStudent(ServiceError):
+        code = "unknown_student"
+        http_status = 404
+
+    class InternalError(ServiceError):
+        pass
+
+    QUERY_TYPES = {cls.TYPE: cls for cls in (ScoreQuery, RecordEvent)}
+    REPLY_TYPES = {cls.TYPE: cls for cls in (ScoreReply,)}
+    ERROR_TYPES = {cls.code: cls for cls in (UnknownStudent,
+                                             InternalError)}
+"""
+
+API_DOC = """
+    # API
+
+    Queries: `ScoreQuery`, `RecordEvent`, `BatchEnvelope`.
+    Replies: `ScoreReply`.
+
+    | Class | `code` | HTTP | Raised when |
+    | --- | --- | --- | --- |
+    | `UnknownStudent` | `unknown_student` | 404 | no history |
+    | `InternalError` | `internal_error` | 500 | catch-all |
+"""
+
+
+def write_tree(root: Path, protocol: str = PROTOCOL,
+               api: str = API_DOC) -> Path:
+    module = root / "src" / "repro" / "serve" / "protocol.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(textwrap.dedent(protocol))
+    doc = root / "docs" / "API.md"
+    doc.parent.mkdir(parents=True)
+    doc.write_text(textwrap.dedent(api))
+    return root
+
+
+def surface_failures(root: Path) -> list:
+    failures: list = []
+    check_docs.check_protocol_surface(root, failures)
+    return failures
+
+
+def test_protocol_surface_extraction(tmp_path):
+    write_tree(tmp_path)
+    surface = check_docs.protocol_surface(
+        tmp_path / "src" / "repro" / "serve" / "protocol.py")
+    assert surface["queries"] == ["BatchEnvelope", "RecordEvent",
+                                  "ScoreQuery"]
+    assert surface["replies"] == ["ScoreReply"]
+    # InternalError inherits code/status from the ServiceError base.
+    assert surface["errors"] == {
+        "UnknownStudent": ("unknown_student", 404),
+        "InternalError": ("internal_error", 500)}
+
+
+def test_protocol_surface_accepts_a_synced_doc(tmp_path):
+    write_tree(tmp_path)
+    assert surface_failures(tmp_path) == []
+
+
+def test_protocol_surface_skips_trees_without_the_protocol(tmp_path):
+    assert surface_failures(tmp_path) == []
+
+
+def test_protocol_surface_flags_an_undocumented_query(tmp_path):
+    write_tree(tmp_path, api=API_DOC.replace("`RecordEvent`", "records"))
+    failures = surface_failures(tmp_path)
+    assert any("`RecordEvent`" in f and "not documented" in f
+               for f in failures)
+
+
+def test_protocol_surface_flags_a_missing_error_row(tmp_path):
+    api = "\n".join(line for line in textwrap.dedent(API_DOC).splitlines()
+                    if "UnknownStudent" not in line)
+    write_tree(tmp_path, api=api)
+    failures = surface_failures(tmp_path)
+    assert any("no row for `UnknownStudent`" in f for f in failures)
+
+
+def test_protocol_surface_flags_a_drifted_code_and_status(tmp_path):
+    api = API_DOC.replace("`unknown_student` | 404",
+                          "`missing_student` | 400")
+    write_tree(tmp_path, api=api)
+    failures = surface_failures(tmp_path)
+    assert any("`missing_student`" in f for f in failures)
+    assert any("HTTP 400" in f for f in failures)
+
+
+def test_protocol_surface_flags_a_phantom_documented_error(tmp_path):
+    api = API_DOC + "| `GhostError` | `ghost` | 410 | never |\n"
+    write_tree(tmp_path, api=api)
+    failures = surface_failures(tmp_path)
+    assert any("`GhostError`" in f and "does not register" in f
+               for f in failures)
+
+
+def test_code_ref_check_reports_missing_symbols(tmp_path):
+    (tmp_path / "mod.py").write_text("def real():\n    pass\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("see `mod.py:real` and `mod.py:imaginary`\n")
+    failures: list = []
+    checked = check_docs.check_code_refs(doc, tmp_path, failures)
+    assert checked == 2
+    assert len(failures) == 1 and "imaginary" in failures[0]
+
+
+def test_link_check_reports_broken_relative_links(tmp_path):
+    (tmp_path / "real.md").write_text("hi\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("[ok](real.md) [bad](gone.md) "
+                   "[web](https://example.com)\n")
+    failures: list = []
+    checked = check_docs.check_links(doc, tmp_path, failures)
+    assert checked == 2   # the external URL is skipped
+    assert len(failures) == 1 and "gone.md" in failures[0]

@@ -1,0 +1,1 @@
+"""Repo tooling: documentation checker and the invariant lint suite."""

@@ -16,6 +16,13 @@ every ``docs/*.md`` it verifies:
 * **Required equations** — ``docs/ARCHITECTURE.md`` exists and its
   table still covers the paper's load-bearing equations (Eq. 12, 13,
   23, 25), each with at least one code reference on the same line.
+* **Protocol surface** — the query/reply registries and the error
+  taxonomy extracted from ``src/repro/serve/protocol.py`` (via AST)
+  must match ``docs/API.md``: every registered query/reply class is
+  mentioned, every taxonomy error has a table row whose ``code`` and
+  HTTP status match the class, and the table documents no class the
+  protocol does not define.  Skipped for trees without the protocol
+  module (the synthetic fixtures in the test suite).
 
 Usage::
 
@@ -37,6 +44,13 @@ MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 # The acceptance-critical rows of the ARCHITECTURE.md equation table.
 REQUIRED_EQUATIONS = ("Eq. 12", "Eq. 13", "Eq. 23", "Eq. 25")
+
+# Wire-protocol module + the doc that tabulates its surface.
+PROTOCOL_REL = Path("src") / "repro" / "serve" / "protocol.py"
+API_DOC_REL = Path("docs") / "API.md"
+
+# Error-taxonomy table row: | `Class` | `code` | HTTP | ...
+ERROR_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|\s*`(\w+)`\s*\|\s*(\d+)\s*\|")
 
 
 def module_symbols(path: Path) -> set:
@@ -100,6 +114,115 @@ def check_links(doc: Path, root: Path, failures: list) -> int:
     return checked
 
 
+def _registry_class_names(value: ast.AST) -> list:
+    """Class names referenced by a ``{cls.TYPE: cls for cls in (...)}``
+    registry assignment (robust to literal-dict forms too)."""
+    return sorted({node.id for node in ast.walk(value)
+                   if isinstance(node, ast.Name)
+                   and node.id[:1].isupper()})
+
+
+def protocol_surface(path: Path) -> dict:
+    """Query/reply class names and the error taxonomy, extracted from
+    the protocol module without importing it.
+
+    Returns ``{"queries": [...], "replies": [...], "errors": {name:
+    (code, http_status)}}``.  Error ``code``/``http_status`` resolve
+    through the (single-inheritance) base chain, mirroring ClassVar
+    inheritance at runtime.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    classes = {}
+    registries = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in (
+                        "QUERY_TYPES", "REPLY_TYPES", "ERROR_TYPES"):
+                    registries[target.id] = \
+                        _registry_class_names(node.value)
+
+    def class_var(name: str, attr: str):
+        seen = set()
+        while name in classes and name not in seen:
+            seen.add(name)
+            node = classes[name]
+            for item in node.body:
+                target = None
+                if isinstance(item, ast.AnnAssign):
+                    target = item.target
+                elif isinstance(item, ast.Assign) and item.targets:
+                    target = item.targets[0]
+                if isinstance(target, ast.Name) and target.id == attr \
+                        and isinstance(item.value, ast.Constant):
+                    return item.value.value
+            bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+            name = bases[0] if bases else None
+        return None
+
+    queries = list(registries.get("QUERY_TYPES", []))
+    if "BatchEnvelope" in classes and "BatchEnvelope" not in queries:
+        queries.append("BatchEnvelope")   # rides outside the registry
+    errors = {name: (class_var(name, "code"),
+                     class_var(name, "http_status"))
+              for name in registries.get("ERROR_TYPES", [])}
+    return {"queries": sorted(queries),
+            "replies": list(registries.get("REPLY_TYPES", [])),
+            "errors": errors}
+
+
+def check_protocol_surface(root: Path, failures: list) -> int:
+    """docs/API.md must track the protocol module's typed surface."""
+    protocol = root / PROTOCOL_REL
+    if not protocol.is_file():
+        return 0   # synthetic fixture trees have no protocol module
+    api_doc = root / API_DOC_REL
+    if not api_doc.is_file():
+        failures.append(f"{API_DOC_REL}: missing, but the protocol "
+                        f"module {PROTOCOL_REL} exists")
+        return 0
+    surface = protocol_surface(protocol)
+    text = api_doc.read_text(encoding="utf-8")
+    checked = 0
+
+    for kind in ("queries", "replies"):
+        for name in surface[kind]:
+            checked += 1
+            if f"`{name}`" not in text:
+                failures.append(f"{API_DOC_REL}: protocol "
+                                f"{kind[:-1]} type `{name}` is not "
+                                f"documented")
+
+    documented = {}
+    for line in text.splitlines():
+        match = ERROR_ROW.match(line.strip())
+        if match:
+            documented[match.group(1)] = (match.group(2),
+                                          int(match.group(3)))
+    for name, (code, status) in sorted(surface["errors"].items()):
+        checked += 1
+        if name not in documented:
+            failures.append(f"{API_DOC_REL}: error taxonomy table has "
+                            f"no row for `{name}`")
+            continue
+        doc_code, doc_status = documented[name]
+        if doc_code != code:
+            failures.append(f"{API_DOC_REL}: `{name}` documents code "
+                            f"`{doc_code}` but the protocol says "
+                            f"`{code}`")
+        if doc_status != status:
+            failures.append(f"{API_DOC_REL}: `{name}` documents HTTP "
+                            f"{doc_status} but the protocol says "
+                            f"{status}")
+    for name in sorted(set(documented) - set(surface["errors"])):
+        failures.append(f"{API_DOC_REL}: error taxonomy table "
+                        f"documents `{name}`, which the protocol does "
+                        f"not register")
+    return checked
+
+
 def check_required_equations(root: Path, failures: list) -> None:
     architecture = root / "docs" / "ARCHITECTURE.md"
     if not architecture.is_file():
@@ -136,6 +259,7 @@ def main() -> int:
         refs += check_code_refs(doc, root, failures)
         links += check_links(doc, root, failures)
     check_required_equations(root, failures)
+    protocol = check_protocol_surface(root, failures)
 
     if failures:
         print(f"check_docs: {len(failures)} failure(s)")
@@ -143,7 +267,7 @@ def main() -> int:
             print(f"  FAIL {failure}")
         return 1
     print(f"check_docs: ok ({len(docs)} files, {refs} code references, "
-          f"{links} relative links)")
+          f"{links} relative links, {protocol} protocol surface checks)")
     return 0
 
 

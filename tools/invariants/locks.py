@@ -1,0 +1,209 @@
+"""INV001 — lock discipline for classes that own a ``self._lock``.
+
+The serving stack's concurrency contract is conventional, not
+structural: state shared across request threads is only touched inside
+``with self._lock:`` (or from a helper the locked caller invokes — see
+the ``# invariant: holds-lock`` annotation).  This rule learns the
+contract per class instead of hardcoding attribute lists:
+
+1. A class participates iff its ``__init__`` binds an attribute to
+   ``threading.Lock()`` / ``threading.RLock()``.
+2. An attribute is **guarded** iff it is accessed at least once inside
+   a ``with self.<lock>:`` body *and* mutated somewhere in the class
+   outside ``__init__`` (reads of immutable-after-init configuration
+   therefore never count, which keeps the rule quiet on real code).
+3. Every access — read or write — to a guarded attribute outside a
+   lock scope is a finding, unless the enclosing method is annotated
+   ``# invariant: holds-lock`` (callers own the locking; the docstring
+   convention "(lock held)" becomes machine-checked) or is ``__init__``
+   (construction is single-threaded by definition).
+
+Mutation means: assignment / augmented assignment / deletion through
+``self.X`` (including ``self.X[k] = v`` and ``self.X.attr = v``), or a
+call of a known mutator method (``self.X.append(...)`` etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .common import Finding, Module, dotted_name, self_attribute
+
+CODE = "INV001"
+
+#: Method names whose invocation mutates the receiver.  Extend as the
+#: codebase grows mutator vocabulary; a miss only costs sensitivity
+#: (the attribute stays unguarded), never a false positive.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "remove", "pop", "popitem",
+    "clear", "update", "discard", "setdefault", "move_to_end", "put",
+    "record", "load_sequence", "invalidate", "note_growth",
+})
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def _chain_base_self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when the Attribute/Subscript chain bottoms out at
+    ``self.X`` (e.g. ``self.X[k]``, ``self.X.y.z``), else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        base = self_attribute(node)
+        if base is not None:
+            return base
+        node = node.value
+    return None
+
+
+def _lock_names(cls: ast.ClassDef) -> Set[str]:
+    """Attributes ``__init__`` binds to a threading lock."""
+    names: Set[str] = set()
+    for item in cls.body:
+        if not (isinstance(item, ast.FunctionDef)
+                and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            called = dotted_name(value.func)
+            if called is None \
+                    or called.rsplit(".", 1)[-1] not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    names.add(attr)
+    return names
+
+
+class _Access:
+    __slots__ = ("attr", "line", "write", "locked", "method")
+
+    def __init__(self, attr, line, write, locked, method):
+        self.attr = attr
+        self.line = line
+        self.write = write
+        self.locked = locked
+        self.method = method
+
+
+def _is_lock_item(item: ast.withitem, locks: Set[str]) -> bool:
+    attr = self_attribute(item.context_expr)
+    return attr is not None and attr in locks
+
+
+def _collect(method: ast.AST, locks: Set[str],
+             accesses: List[_Access]) -> None:
+    name = method.name
+
+    def record(attr: str, line: int, write: bool, locked: bool) -> None:
+        if attr in locks:
+            return
+        accesses.append(_Access(attr, line, write, locked, name))
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(_is_lock_item(item, locks)
+                                  for item in node.items)
+            for item in node.items:
+                visit(item.context_expr, locked)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, locked)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = self_attribute(node)
+            if attr is not None:
+                record(attr, node.lineno,
+                       isinstance(node.ctx, (ast.Store, ast.Del)), locked)
+            elif isinstance(node.ctx, (ast.Store, ast.Del)):
+                # self.X.y = v mutates the object behind self.X
+                base = _chain_base_self_attr(node.value)
+                if base is not None:
+                    record(base, node.lineno, True, locked)
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            base = _chain_base_self_attr(node.value)
+            if base is not None:
+                record(base, node.lineno, True, locked)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            base = _chain_base_self_attr(node.func.value)
+            if base is not None:
+                record(base, node.lineno, True, locked)
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for child in method.body:
+        visit(child, False)
+
+
+def _check_class(module: Module, cls: ast.ClassDef) -> List[Finding]:
+    locks = _lock_names(cls)
+    if not locks:
+        return []
+    methods = [item for item in cls.body
+               if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    annotated = {m.name for m in methods if module.is_holds_lock(m)}
+
+    accesses: List[_Access] = []
+    for method in methods:
+        _collect(method, locks, accesses)
+
+    locked_attrs = {a.attr for a in accesses if a.locked}
+    mutated = {a.attr for a in accesses
+               if a.write and a.method != "__init__"}
+    guarded = locked_attrs & mutated
+
+    lock_label = sorted(locks)[0]
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for access in accesses:
+        if access.locked or access.attr not in guarded:
+            continue
+        if access.method == "__init__" or access.method in annotated:
+            continue
+        key = (access.method, access.line, access.attr)
+        if key in seen:
+            continue
+        seen.add(key)
+        verb = "writes" if access.write else "reads"
+        findings.append(Finding(
+            CODE, module.rel, access.line, f"{cls.name}.{access.method}",
+            f"{verb} lock-guarded attribute '{access.attr}' outside "
+            f"'with self.{lock_label}' (annotate the helper with "
+            f"'# invariant: holds-lock' if a locked caller owns it)"))
+    return findings
+
+
+def check_module(module: Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_check_class(module, node))
+    return findings
+
+
+def guarded_attributes(module: Module) -> Dict[str, Set[str]]:
+    """Class name -> guarded attribute set (introspection/debugging)."""
+    result: Dict[str, Set[str]] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        locks = _lock_names(node)
+        if not locks:
+            continue
+        accesses: List[_Access] = []
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _collect(item, locks, accesses)
+        locked_attrs = {a.attr for a in accesses if a.locked}
+        mutated = {a.attr for a in accesses
+                   if a.write and a.method != "__init__"}
+        result[node.name] = locked_attrs & mutated
+    return result
