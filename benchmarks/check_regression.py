@@ -14,6 +14,14 @@ committed ``BENCH_inference.json`` baseline and fails (exit 1) when:
   same machine in the same process, so they transfer across hardware
   the way absolute requests/sec never could; a collapsing ratio means
   the optimized path itself got slower relative to its reference.
+* **observability overhead** — the ``obs`` section's ``overhead_pct``
+  (wall-time cost of the enabled metrics registry vs a disabled one on
+  interleaved identical batches) exceeds ``--max-obs-overhead``
+  (default 2%, the budget ``docs/OBSERVABILITY.md`` commits to).  Like
+  the speedups this is a same-machine ratio, so it travels across
+  hardware; unlike them it is gated absolutely, not against the
+  baseline — creeping instrumentation cost is a regression even if the
+  baseline already paid it.
 
 Usage (what ``.github/workflows/ci.yml`` runs after the smoke step)::
 
@@ -45,6 +53,7 @@ SECTIONS = (
     "journal",
     "recourse",
     "online",
+    "obs",
 )
 
 # sweep_workers measures hardware parallelism, not an algorithmic win:
@@ -84,6 +93,13 @@ SECTIONS = (
 # batches built from the original sequences (1.0 when broken), and the
 # drift-gate-approved rolled-out service scoring exactly like a fresh
 # service booted from the refreshed checkpoint.
+# The obs section has no speedup either — its headline is
+# ``overhead_pct``, the wall-time cost of the enabled metrics registry
+# over a disabled one on interleaved identical batches, which gets its
+# own absolute gate below (``--max-obs-overhead``, default 2%: the
+# budget docs/OBSERVABILITY.md commits to).  Its drift entry is gated
+# like the rest at literal-zero tolerance in spirit: telemetry must
+# never perturb scores, so both arms are compared bit-for-bit.
 THROUGHPUT_GATED = ("eval_sweep", "serving", "serving_incremental",
                     "long_context", "service_layer")
 
@@ -117,6 +133,13 @@ def main() -> int:
         type=float,
         default=1e-9,
         help="maximum tolerated max_abs_score_diff in the fresh run",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=2.0,
+        help="maximum tolerated obs-section overhead_pct (metrics "
+             "registry wall-time cost over a disabled registry)",
     )
     args = parser.parse_args()
 
@@ -168,6 +191,21 @@ def main() -> int:
                     f"(baseline {reference['speedup']:.2f}x "
                     f"- {args.max_regression:.0%})"
                 )
+
+    for encoder, entry in iter_entries(fresh, "obs"):
+        overhead = entry.get("overhead_pct")
+        if overhead is None:
+            continue
+        status = "ok" if overhead <= args.max_obs_overhead else "REGRESSION"
+        print(
+            f"obs/{encoder}: instrumentation overhead {overhead:.2f}% "
+            f"(budget {args.max_obs_overhead:.1f}%) {status}"
+        )
+        if status != "ok":
+            failures.append(
+                f"obs/{encoder}: instrumentation overhead {overhead:.2f}% "
+                f"exceeds the {args.max_obs_overhead:.1f}% budget"
+            )
 
     if failures:
         print(f"\ncheck_regression: {len(failures)} failure(s)")

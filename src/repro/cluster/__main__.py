@@ -267,6 +267,39 @@ def _selfcheck(args) -> int:
                 failures += _compare("wire envelope",
                                      client.batch(mixed),
                                      local.execute_batch(mixed))
+                # Trace propagation: the envelope ID the router minted
+                # for that batch must appear in the router's own span
+                # log *and* in at least one worker's (the router→worker
+                # hop carries it via protocol v2's request_id field).
+                router_spans = client.metrics().get("spans", [])
+                batch_ids = [span["request_id"] for span in router_spans
+                             if span["name"] == "router.batch"
+                             and span["request_id"]]
+                if not batch_ids:
+                    print(f"selfcheck: router span log has no "
+                          f"router.batch span: {router_spans}")
+                    failures += 1
+                else:
+                    rid = batch_ids[-1]
+                    fanned = {span["name"] for span in router_spans
+                              if span["request_id"] == rid}
+                    worker_hits = 0
+                    for shard_client in router.clients:
+                        worker_spans = shard_client.metrics() \
+                            .get("spans", [])
+                        worker_hits += sum(
+                            1 for span in worker_spans
+                            if span["request_id"] == rid
+                            and span["name"] == "worker.batch")
+                    if len(fanned) < 2 or worker_hits == 0:
+                        print(f"selfcheck: request id {rid} did not "
+                              f"propagate (router stages {fanned}, "
+                              f"worker.batch hits {worker_hits})")
+                        failures += 1
+                    else:
+                        print(f"selfcheck: request id {rid} traced "
+                              f"across {len(fanned)} router stages and "
+                              f"{worker_hits} worker span(s)")
                 client.close()
             finally:
                 server.shutdown()

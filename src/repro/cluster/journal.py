@@ -66,6 +66,8 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.serve.protocol import (PROTOCOL_VERSION, MalformedQuery,
                                   RecordEvent, query_from_wire,
                                   wire_json_bytes, wire_json_loads)
@@ -468,6 +470,8 @@ class RecordJournal:
         writer = state.writer
         if writer is not None and writer.size >= self._segment_max_bytes:
             writer.close()   # seal: flush + fsync (policy permitting)
+            obs.get_registry().counter(
+                metric_names.WAL_SEGMENT_ROLLS_TOTAL).inc()
             writer = None
             state.writer = None
         if writer is None:

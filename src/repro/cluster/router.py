@@ -37,11 +37,14 @@ the error *messages* match the single-process facade byte for byte.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from http.server import ThreadingHTTPServer
 from typing import Dict, List, Optional
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.serve.http_gateway import ServiceClient, _GatewayHandler
 from repro.serve.protocol import (PROTOCOL_VERSION, BatchEnvelope,
                                   BatchReply, ExplainQuery, InternalError,
@@ -100,6 +103,7 @@ class ScatterGatherRouter:
         self.journal = journal if journal is not None else RecordJournal()
         self._draining = set()
         self._lock = threading.Lock()
+        self._obs = obs.get_registry()
         # Leaf fan-out tasks only (no nested submits), so a bounded
         # shared pool cannot deadlock — concurrent envelopes just queue.
         self._pool = ThreadPoolExecutor(
@@ -141,6 +145,8 @@ class ScatterGatherRouter:
             client.close()
 
     def _unavailable(self, shard: int, reason: str) -> ShardUnavailable:
+        self._obs.counter(metric_names.ROUTER_SHARD_UNAVAILABLE_TOTAL,
+                          shard=str(shard)).inc()
         return ShardUnavailable(
             f"shard {shard} ({self.shard_urls[shard]}) is unavailable: "
             f"{reason}",
@@ -156,8 +162,15 @@ class ScatterGatherRouter:
         return self.execute_batch([query])[0]
 
     def execute_batch(self, queries) -> List[object]:
-        """Scatter a batch by shard, gather replies in input order."""
+        """Scatter a batch by shard, gather replies in input order.
+
+        A :class:`BatchEnvelope` carrying a ``request_id`` has that ID
+        propagated on every router→worker sub-envelope, so the worker's
+        span log shows the same ID the gateway minted.
+        """
+        request_id = None
         if isinstance(queries, BatchEnvelope):
+            request_id = queries.request_id
             queries = queries.queries
         queries = list(queries)
         replies: List[object] = [None] * len(queries)
@@ -183,19 +196,26 @@ class ScatterGatherRouter:
                 continue
             sub = [queries[index] for index in indices]
             if len(groups) == 1:
-                self._gather(shard, indices, sub, replies)
+                self._gather(shard, indices, sub, replies, request_id)
             else:
                 futures[self._pool.submit(
-                    self._gather, shard, indices, sub, replies)] = shard
+                    self._gather, shard, indices, sub, replies,
+                    request_id)] = shard
         for future in futures:
             future.result()   # _gather never raises; propagate bugs only
         return replies
 
     def _gather(self, shard: int, indices: List[int], sub: List[object],
-                replies: List[object]) -> None:
+                replies: List[object],
+                request_id: Optional[str] = None) -> None:
         """One shard's sub-envelope round-trip (fills reply slots)."""
+        envelope = BatchEnvelope(tuple(sub), request_id=request_id)
+        fanout = self._obs.histogram(metric_names.ROUTER_FANOUT_SECONDS,
+                                     shard=str(shard))
         try:
-            shard_replies = self.clients[shard].batch(sub)
+            with obs.Span(f"router.fanout.shard{shard}", request_id,
+                          histogram=fanout):
+                shard_replies = self.clients[shard].batch(envelope)
         except Exception as error:  # noqa: BLE001 — fan-out boundary
             failure = self._unavailable(
                 shard, f"{type(error).__name__}: {error}")
@@ -324,20 +344,27 @@ class _RouterHandler(_GatewayHandler):
 
     server_version = "rckt-cluster/1"
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_get(self, path: str, query: str) -> None:
         router = self.server.router
-        if self.path == "/v1/health":
-            self._send_json(200, router.health())
-        elif self.path == "/v1/models":
+        if path == "/v1/health":
+            payload = router.health()
+            payload["uptime_s"] = obs.clock() - self.server.started
+            payload["served_requests"] = \
+                self.server.obs_registry.counter_total(
+                    metric_names.HTTP_REQUESTS_TOTAL)
+            self._send_json(200, payload)
+        elif path == "/v1/models":
             models = router.models()
             if is_error(models):
                 self._send_reply(models)
             else:
                 self._send_json(200, models)
+        elif path == "/v1/metrics":
+            self._serve_metrics(query)
         else:
             self._send_reply(NotFound(f"no such route: GET {self.path}"))
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_post(self, path: str) -> None:
         router = self.server.router
         payload = self._read_body()
         if is_error(payload):
@@ -348,20 +375,28 @@ class _RouterHandler(_GatewayHandler):
         # byte-identical JSON from either surface.
         version = negotiated_version(payload)
         try:
-            if self.path == "/v1/query":
+            if path == "/v1/query":
                 self._send_reply(router.execute(query_from_wire(payload)),
                                  version=version)
-            elif self.path == "/v1/batch":
+            elif path == "/v1/batch":
                 envelope = query_from_wire(payload)
                 if is_error(envelope):
                     self._send_reply(envelope, version=version)
                     return
                 if not isinstance(envelope, BatchEnvelope):
                     envelope = BatchEnvelope((envelope,))
-                replies = router.execute_batch(envelope)
+                # Same admission tracing as the worker gateway: mint
+                # when absent, echo on X-Request-Id, and let
+                # execute_batch propagate it on the worker hop.
+                if envelope.request_id is None:
+                    envelope = dataclasses.replace(
+                        envelope, request_id=obs.new_request_id())
+                self._request_id = envelope.request_id
+                with obs.Span("router.batch", envelope.request_id):
+                    replies = router.execute_batch(envelope)
                 self._send_json(200, to_wire(BatchReply(tuple(replies)),
                                              version=version))
-            elif self.path == "/v1/admin/rollout":
+            elif path == "/v1/admin/rollout":
                 self._admin_rollout(router, payload)
             else:
                 self._send_reply(NotFound(
@@ -398,6 +433,9 @@ class RouterHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _RouterHandler)
         self.router = router
         self.verbose = verbose
+        self.role = "router"
+        self.obs_registry = obs.get_registry()
+        self.started = obs.clock()
 
 
 def serve_router(router: ScatterGatherRouter, host: str = "127.0.0.1",

@@ -34,11 +34,11 @@ import socket
 import subprocess
 import sys
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import repro
+from repro import obs
 from repro.serve.http_gateway import ServiceClient
 from repro.serve.protocol import DEFAULT_MODEL, is_error, query_from_wire
 
@@ -207,8 +207,8 @@ class Supervisor:
 
     def _wait_healthy(self, handle: WorkerHandle) -> None:
         client = self.clients[handle.spec.shard_id]
-        deadline = time.monotonic() + self.boot_timeout
-        while time.monotonic() < deadline:
+        deadline = obs.clock() + self.boot_timeout
+        while obs.clock() < deadline:
             if not handle.alive:
                 raise RuntimeError(
                     f"worker {handle.spec.shard_id} exited with code "
@@ -220,7 +220,7 @@ class Supervisor:
                     return
             except Exception:  # noqa: BLE001 — boot probe
                 pass
-            time.sleep(0.05)
+            obs.sleep(0.05)
         raise RuntimeError(f"worker {handle.spec.shard_id} did not become "
                            f"healthy within {self.boot_timeout}s")
 

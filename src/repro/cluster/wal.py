@@ -51,6 +51,8 @@ import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.serve.protocol import wire_json_bytes, wire_json_loads
 
 #: Supported fsync policies, strongest first (see module docstring).
@@ -185,6 +187,11 @@ class SegmentWriter:
                              f"{FSYNC_POLICIES}, got {fsync!r}")
         self.path = Path(path)
         self.fsync = fsync
+        registry = obs.get_registry()
+        self._obs_append = registry.histogram(
+            metric_names.WAL_APPEND_SECONDS)
+        self._obs_fsync = registry.histogram(
+            metric_names.WAL_FSYNC_SECONDS)
         existed = self.path.exists()
         self._size = self.path.stat().st_size if existed else 0
         self._file = open(self.path, "ab")
@@ -199,20 +206,26 @@ class SegmentWriter:
 
     def append(self, entry: dict) -> int:
         """Frame + write one entry; returns the frame's byte length."""
+        started = obs.clock()
         frame = encode_entry(entry)
         self._file.write(frame)
         self._file.flush()   # visible to readers/crash-of-this-process
         self._size += len(frame)
         if self.fsync == "record":
+            fsync_started = obs.clock()
             os.fsync(self._file.fileno())
+            self._obs_fsync.observe(obs.clock() - fsync_started)
         else:
             self._dirty = True
+        self._obs_append.observe(obs.clock() - started)
         return len(frame)
 
     def sync(self) -> None:
         """Batch-policy durability point (no-op for record/off)."""
         if self.fsync == "batch" and self._dirty:
+            started = obs.clock()
             os.fsync(self._file.fileno())
+            self._obs_fsync.observe(obs.clock() - started)
             self._dirty = False
 
     def close(self) -> None:

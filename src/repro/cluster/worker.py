@@ -25,6 +25,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.serve.__main__ import build_parser as build_serve_parser
 from repro.serve.__main__ import _engine_kwargs
 from repro.serve.http_gateway import serve_http
@@ -61,9 +62,14 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"loaded model '{name}' from {path} "
               f"({engine.num_questions} questions, "
               f"{engine.num_concepts} concepts)", flush=True)
+    # Spans this process records are labelled as worker-side, and any
+    # request ID it should ever mint (direct traffic bypassing the
+    # router) is distinguishable from router/gateway-minted ones.
+    shard_tag = "" if args.shard_id is None else str(args.shard_id)
+    obs.set_id_prefix(f"w{shard_tag or '0'}")
     service = Service(registry=registry, max_batch=args.max_batch)
     server = serve_http(service, host=args.host, port=args.port,
-                        verbose=args.verbose)
+                        verbose=args.verbose, role="worker")
     print(f"[worker{'' if args.shard_id is None else args.shard_id}] "
           f"serving {registry.names()} on "
           f"http://{args.host}:{server.server_port}", flush=True)

@@ -1,0 +1,64 @@
+"""repro.obs — the serving stack's telemetry layer.
+
+Dependency-free metrics (:class:`Counter` / :class:`Gauge` /
+:class:`Histogram` in an injectable :class:`MetricsRegistry`) plus
+request-scoped tracing (:func:`new_request_id`, :class:`Span`).  See
+``docs/OBSERVABILITY.md`` for the metric catalogue and conventions, and
+``python -m repro.obs --url http://host:port`` for a terminal snapshot
+of a live gateway or router.
+
+This package is the only serve/cluster-side module allowed to import
+``time`` (INV005): everything else reads :func:`clock` / :func:`sleep`
+through here, which keeps wall-clock out of replay paths and lets tests
+pin a fake clock.
+"""
+
+from . import names
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    clock,
+    estimate_quantile,
+    get_registry,
+    render_prometheus,
+    set_clock,
+    set_registry,
+    sleep,
+)
+from .trace import (
+    SPAN_LOG_LIMIT,
+    Span,
+    clear_spans,
+    new_request_id,
+    recent_spans,
+    set_id_prefix,
+)
+
+__all__ = [
+    "names",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "clock",
+    "estimate_quantile",
+    "get_registry",
+    "render_prometheus",
+    "set_clock",
+    "set_registry",
+    "sleep",
+    "SPAN_LOG_LIMIT",
+    "Span",
+    "clear_spans",
+    "new_request_id",
+    "recent_spans",
+    "set_id_prefix",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.obs`` — terminal snapshot of a live metrics endpoint.
+
+Fetches ``GET /v1/metrics`` from a gateway, router, or worker and
+renders the registry as fixed-width tables (the
+``repro.interpret.ascii_plots`` renderer), plus the most recent spans:
+
+    python -m repro.obs --url http://127.0.0.1:8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+
+def fetch_snapshot(url: str, timeout: float = 10.0) -> dict:
+    endpoint = url.rstrip("/") + "/v1/metrics"
+    with urllib.request.urlopen(endpoint, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_snapshot(snapshot: dict) -> str:
+    from repro.interpret.ascii_plots import comparison_table
+
+    sections = []
+    counters = snapshot.get("counters", [])
+    if counters:
+        rows = [(e["name"], _label_str(e["labels"]), e["value"])
+                for e in counters]
+        sections.append(comparison_table(
+            ("counter", "labels", "value"), rows, title="counters"))
+    gauges = snapshot.get("gauges", [])
+    if gauges:
+        rows = [(e["name"], _label_str(e["labels"]), e["value"])
+                for e in gauges]
+        sections.append(comparison_table(
+            ("gauge", "labels", "value"), rows, title="gauges"))
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        rows = []
+        for e in histograms:
+            data = e["data"]
+            rows.append((e["name"], _label_str(e["labels"]),
+                         data["count"],
+                         data["p50"] if data["p50"] is not None else "-",
+                         data["p95"] if data["p95"] is not None else "-",
+                         data["p99"] if data["p99"] is not None else "-",
+                         data["max"] if data["max"] is not None else "-"))
+        sections.append(comparison_table(
+            ("histogram", "labels", "count", "p50", "p95", "p99", "max"),
+            rows, title="histograms"))
+    spans = snapshot.get("spans", [])
+    if spans:
+        rows = [(s["name"], s.get("request_id") or "-", s["elapsed_s"])
+                for s in spans[-20:]]
+        sections.append(comparison_table(
+            ("span", "request_id", "elapsed_s"), rows,
+            title="recent spans"))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Fetch and render /v1/metrics from a gateway, "
+                    "router, or worker.")
+    parser.add_argument("--url", required=True,
+                        help="base URL, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw JSON snapshot instead of "
+                             "tables")
+    args = parser.parse_args(argv)
+    try:
+        snapshot = fetch_snapshot(args.url)
+    except OSError as error:
+        print(f"error: could not fetch {args.url}/v1/metrics: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_snapshot(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

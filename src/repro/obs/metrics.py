@@ -1,0 +1,435 @@
+"""Dependency-free, thread-safe metrics primitives for the serving stack.
+
+Three instrument kinds — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` (fixed log-spaced latency buckets with p50/p95/p99
+estimation) — live in a :class:`MetricsRegistry` that is process-global
+by default (:func:`get_registry`) but injectable (:func:`set_registry`),
+so tests and the zero-overhead benchmark arm can swap in a fresh or
+disabled registry without touching instrumented code.
+
+Time discipline: everything here reads the injectable monotonic
+:func:`clock` (``time.perf_counter`` by default — never wall clock, so
+instrumenting INV003-scoped modules like ``repro.cluster.wal`` stays
+clean, and deterministic replay/tests can pin the clock).  This module
+is the *only* place the serving and cluster layers touch ``time``
+directly — INV005 (``tools/invariants``) enforces that.
+
+Every lock here follows the INV001 discipline: state shared across
+request threads is only touched inside ``with self._lock``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS", "SIZE_BUCKETS", "Counter", "Gauge",
+    "Histogram", "MetricsRegistry", "Timer", "clock", "set_clock",
+    "sleep", "get_registry", "set_registry", "render_prometheus",
+    "estimate_quantile",
+]
+
+#: Histogram upper bounds for latencies in seconds: log-spaced, three
+#: buckets per decade from 10µs to 100s (~2.15x resolution).  Fixed
+#: bounds keep observation O(log buckets) and make snapshots mergeable.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 3.0) for exponent in range(-15, 7))
+
+#: Histogram upper bounds for small counts (batch sizes, fan-out widths).
+SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                                   128.0, 256.0, 512.0, 1024.0)
+
+_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+# ---------------------------------------------------------------------------
+# Injectable monotonic clock (and the serving stack's only time import)
+# ---------------------------------------------------------------------------
+_clock: Callable[[], float] = time.perf_counter
+
+
+def clock() -> float:
+    """Monotonic seconds from the injectable obs clock."""
+    return _clock()
+
+
+def set_clock(fn: Callable[[], float]) -> Callable[[], float]:
+    """Swap the obs clock (returns the previous one).
+
+    Tests and deterministic replay pin a fake monotonic clock here; the
+    default is ``time.perf_counter`` — never wall time.
+    """
+    global _clock
+    previous, _clock = _clock, fn
+    return previous
+
+
+def sleep(seconds: float) -> None:
+    """``time.sleep`` behind the obs facade, so serve/cluster modules
+    that need to wait (the supervisor's boot poll) satisfy INV005
+    without importing ``time`` themselves."""
+    time.sleep(seconds)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+class Counter:
+    """Monotonically increasing count, safe across request threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (resident bytes, queue depth)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with quantile estimation.
+
+    Buckets are *upper bounds* in ascending order (defaults to the
+    log-spaced latency ladder); observations beyond the last bound land
+    in an implicit overflow bucket.  A snapshot is internally
+    consistent — count, sum, min/max, and per-bucket counts are read
+    under one lock acquisition — so ``sum(buckets) == count`` holds
+    even mid-traffic.
+    """
+
+    def __init__(self, buckets: Optional[Tuple[float, ...]] = None):
+        bounds = tuple(float(b) for b in
+                       (DEFAULT_LATENCY_BUCKETS if buckets is None
+                        else buckets))
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be strictly "
+                             "ascending upper bounds")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)   # +1: overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Bisect outside the lock: bounds are immutable.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self._counts[lo] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            data = {"count": self._count, "sum": self._sum,
+                    "min": self._min, "max": self._max}
+        data["buckets"] = [[bound, counts[i]]
+                           for i, bound in enumerate(self.bounds)]
+        data["overflow"] = counts[-1]
+        for q in _QUANTILES:
+            data[f"p{int(q * 100)}"] = estimate_quantile(data, q)
+        return data
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (``None`` before any observation)."""
+        return estimate_quantile(self.snapshot(), q)
+
+
+def estimate_quantile(snapshot: dict, q: float) -> Optional[float]:
+    """Bucket-interpolated quantile from a :meth:`Histogram.snapshot`.
+
+    Linear interpolation inside the bucket holding the target rank,
+    clamped to the observed min/max — an estimate with error bounded by
+    the bucket width, which the log-spaced defaults keep proportional.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    total = snapshot["count"]
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    lower = snapshot["min"]
+    for bound, bucket_count in snapshot["buckets"]:
+        if bucket_count:
+            upper = min(bound, snapshot["max"])
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                lower = min(lower, upper)
+                return lower + (upper - lower) * max(0.0, min(1.0,
+                                                              fraction))
+            cumulative += bucket_count
+            lower = max(lower, upper)
+    return snapshot["max"]   # target rank sits in the overflow bucket
+
+
+class Timer:
+    """Context-manager stopwatch on the obs clock.
+
+    The Table VI efficiency bench's instrument, folded into the obs
+    layer; optionally feeds a :class:`Histogram` on exit.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_ms >= 0
+    True
+    """
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self.elapsed_s = 0.0
+        self._histogram = histogram
+
+    def __enter__(self) -> "Timer":
+        self._start = clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = clock() - self._start
+        if self._histogram is not None:
+            self._histogram.observe(self.elapsed_s)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1000.0
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments (what a disabled registry hands out)
+# ---------------------------------------------------------------------------
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class MetricsRegistry:
+    """Named, labelled series with get-or-create semantics.
+
+    Series identity is ``(name, sorted labels)``; a name is pinned to
+    one instrument kind at first use and a later mismatch raises (a
+    programming error, not traffic).  ``enabled=False`` hands out
+    shared no-op instruments — the zero-overhead arm of the bench and
+    a cheap global kill switch.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._series: Dict[tuple, object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted((str(k), str(v))
+                                   for k, v in labels.items())))
+
+    def _get_or_create(self, kind: str, name: str, labels: dict,
+                       factory):
+        key = self._key(name, labels)
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                raise ValueError(f"metric '{name}' is a {known}, not a "
+                                 f"{kind}")
+            series = self._series.get(key)
+            if series is None:
+                series = factory()
+                self._series[key] = series
+                self._kinds[name] = kind
+            return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get_or_create("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get_or_create("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._get_or_create("histogram", name, labels,
+                                   lambda: Histogram(buckets))
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across all its label sets."""
+        with self._lock:
+            series = [s for (n, _), s in self._series.items()
+                      if n == name]
+        return sum(s.value for s in series)
+
+    def snapshot(self) -> dict:
+        """Every series, grouped by kind, JSON-ready.
+
+        Per-series values are read under each instrument's own lock
+        (each one internally consistent); the series listing itself is
+        copied under the registry lock, so a series registered
+        mid-snapshot is either fully present or fully absent.
+        """
+        with self._lock:
+            series = [(name, dict(labels), self._kinds[name], instrument)
+                      for (name, labels), instrument
+                      in sorted(self._series.items())]
+        result = {"counters": [], "gauges": [], "histograms": []}
+        for name, labels, kind, instrument in series:
+            entry = {"name": name, "labels": labels,
+                     "value" if kind != "histogram" else "data":
+                     instrument.snapshot()}
+            result[kind + "s"].append(entry)
+        return result
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.snapshot())
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (v0.0.4) of a registry snapshot."""
+    lines: List[str] = []
+    typed = set()
+
+    def label_str(labels: dict, extra: Optional[dict] = None) -> str:
+        merged = dict(labels)
+        if extra:
+            merged.update(extra)
+        if not merged:
+            return ""
+        body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+        return "{" + body + "}"
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot["counters"]:
+        declare(entry["name"], "counter")
+        lines.append(f"{entry['name']}{label_str(entry['labels'])} "
+                     f"{entry['value']}")
+    for entry in snapshot["gauges"]:
+        declare(entry["name"], "gauge")
+        lines.append(f"{entry['name']}{label_str(entry['labels'])} "
+                     f"{entry['value']}")
+    for entry in snapshot["histograms"]:
+        name, labels, data = entry["name"], entry["labels"], entry["data"]
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in data["buckets"]:
+            cumulative += count
+            lines.append(f"{name}_bucket"
+                         f"{label_str(labels, {'le': repr(bound)})} "
+                         f"{cumulative}")
+        lines.append(f"{name}_bucket{label_str(labels, {'le': '+Inf'})} "
+                     f"{data['count']}")
+        lines.append(f"{name}_sum{label_str(labels)} {data['sum']}")
+        lines.append(f"{name}_count{label_str(labels)} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The process-global (but injectable) registry
+# ---------------------------------------------------------------------------
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented components bind at construction."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process registry (returns the previous one).
+
+    Components capture their instrument handles when *they* are
+    constructed, so a swap affects components built afterwards — which
+    is exactly what the bench's instrumented-vs-disabled arms and
+    isolated tests need.
+    """
+    global _registry
+    previous, _registry = _registry, registry
+    return previous

@@ -1,0 +1,103 @@
+"""Request IDs and per-stage spans for cross-process tracing.
+
+The gateway stamps each :class:`~repro.serve.protocol.BatchEnvelope`
+with a request ID at admission; the router propagates it on the
+router→worker hop (protocol v2's optional ``request_id`` envelope
+field), and every stage wraps its work in a :class:`Span`.  Completed
+spans land in a bounded in-process log that ``/v1/metrics`` exposes, so
+one ID can be followed gateway → router → worker without any shared
+infrastructure.
+
+Determinism: IDs come from a process-local monotonic counter plus a
+configurable prefix — no wall clock, no ``uuid`` — and span durations
+read the injectable obs clock, so replayed traffic traces identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import List, Optional
+
+from .metrics import Histogram, clock
+
+__all__ = ["new_request_id", "set_id_prefix", "Span", "recent_spans",
+           "clear_spans", "SPAN_LOG_LIMIT"]
+
+#: Completed spans retained per process; old spans fall off the back.
+SPAN_LOG_LIMIT = 256
+
+_lock = threading.Lock()
+_prefix = "req"
+_counter = itertools.count(1)
+_spans: deque = deque(maxlen=SPAN_LOG_LIMIT)
+
+
+def set_id_prefix(prefix: str) -> str:
+    """Set the request-ID prefix (returns the previous one).
+
+    Each process in a cluster gets a distinct prefix (``gw``, ``rt``,
+    ``w0``…) so IDs minted by different processes cannot collide.
+    """
+    global _prefix
+    with _lock:
+        previous, _prefix = _prefix, prefix
+    return previous
+
+
+def new_request_id() -> str:
+    """Mint a process-unique request ID, e.g. ``gw-00000007``.
+
+    Monotonic-counter based: deterministic under replay (INV003), and
+    unique across processes via the per-process prefix.
+    """
+    with _lock:
+        prefix = _prefix
+    return f"{prefix}-{next(_counter):08d}"
+
+
+class Span:
+    """Context manager timing one named stage of one request.
+
+    On exit the completed span is appended to the process span log
+    (and, when given, its duration observed into a histogram).  Spans
+    are cheap enough for per-request use: one clock read on entry, one
+    on exit, one bounded-deque append.
+    """
+
+    __slots__ = ("name", "request_id", "elapsed_s", "_histogram",
+                 "_start")
+
+    def __init__(self, name: str, request_id: Optional[str] = None,
+                 histogram: Optional[Histogram] = None) -> None:
+        self.name = name
+        self.request_id = request_id
+        self.elapsed_s = 0.0
+        self._histogram = histogram
+
+    def __enter__(self) -> "Span":
+        self._start = clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = clock() - self._start
+        if self._histogram is not None:
+            self._histogram.observe(self.elapsed_s)
+        with _lock:
+            _spans.append({"name": self.name,
+                           "request_id": self.request_id,
+                           "elapsed_s": self.elapsed_s})
+
+
+def recent_spans(limit: int = SPAN_LOG_LIMIT) -> List[dict]:
+    """Most recent completed spans, oldest first."""
+    with _lock:
+        spans = list(_spans)
+    return spans[-limit:]
+
+
+def clear_spans() -> None:
+    """Drop the span log (test isolation)."""
+    with _lock:
+        _spans.clear()

@@ -22,6 +22,9 @@ from typing import Callable, Iterable, List, Optional
 from repro.serve import (DEFAULT_MODEL, InferenceEngine, RecordEvent,
                          RolloutRefused, Service)
 
+from repro import obs
+from repro.obs import names as metric_names
+
 from .prequential import PrequentialReport, prequential_run
 
 
@@ -121,6 +124,12 @@ class DriftGate:
                             f"(> {self.max_auc_drop:.4f}) over {events} "
                             f"events")
         self.last_decision = decision
+        # The decision's reason string is prefixed with its outcome —
+        # that prefix is the (bounded) metric label.
+        outcome = decision.reason.split(":", 1)[0]
+        obs.get_registry().counter(
+            metric_names.ONLINE_GATE_DECISIONS_TOTAL,
+            outcome=outcome).inc()
         return decision
 
     def service_gate(self) -> Callable:

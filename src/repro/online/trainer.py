@@ -24,8 +24,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.trainer import _bucketed_batches, _sample_targets
 from repro.data import KTDataset
+from repro.obs import names as metric_names
 from repro.optim import Adam, clip_grad_norm
 from repro.serve import InferenceEngine
 from repro.utils.seeding import derive_rng
@@ -92,6 +94,9 @@ class OnlineTrainer:
         tail since the last refresh.  The model is left in ``eval``
         mode (serving-ready) afterwards.
         """
+        started = obs.clock()
+        registry = obs.get_registry()
+        registry.counter(metric_names.ONLINE_ROUNDS_TOTAL).inc()
         config = self.model.config
         round_index = self.rounds
         self.rounds += 1
@@ -115,9 +120,13 @@ class OnlineTrainer:
                     losses.append(loss.item())
         finally:
             self.model.eval()
+        elapsed = obs.clock() - started
+        registry.histogram(
+            metric_names.ONLINE_FINE_TUNE_SECONDS).observe(elapsed)
         return {"round": round_index, "epochs": self.epochs,
                 "batches": len(losses), "sequences": len(dataset),
-                "mean_loss": float(np.mean(losses)) if losses else None}
+                "mean_loss": float(np.mean(losses)) if losses else None,
+                "seconds": elapsed}
 
     def save(self, path) -> None:
         """Write the refreshed checkpoint (rollout-ready format)."""

@@ -108,6 +108,29 @@ def _selfcheck(args) -> int:
             print(f"selfcheck: wire recourse {to_wire(wire)} != "
                   f"direct {to_wire(local)}")
             return 1
+        # The traffic above must have populated the core metric series
+        # (docs/OBSERVABILITY.md) — the CI smoke lane scrapes the same
+        # endpoint again after this run.
+        snapshot = client.metrics()
+        totals = {}
+        for entry in snapshot["counters"]:
+            totals[entry["name"]] = totals.get(entry["name"], 0) \
+                + entry["value"]
+        for entry in snapshot["histograms"]:
+            totals[entry["name"]] = totals.get(entry["name"], 0) \
+                + entry["data"]["count"]
+        missing = [name for name in ("service_requests_total",
+                                     "http_requests_total",
+                                     "service_batch_seconds",
+                                     "http_request_seconds")
+                   if totals.get(name, 0) <= 0]
+        if missing:
+            print(f"selfcheck: /v1/metrics has no live data for "
+                  f"{missing}")
+            return 1
+        if "# TYPE" not in client.metrics_text():
+            print("selfcheck: prometheus exposition looks empty")
+            return 1
     finally:
         server.shutdown()
         service.close()

@@ -52,6 +52,8 @@ from repro.data import PAD_ID, Batch, KTDataset
 from repro.tensor import enable_grad, no_grad
 from repro.utils import load_checkpoint, save_checkpoint
 
+from .. import obs
+from ..obs import names as metric_names
 from .forward_cache import (DEFAULT_STREAM_CACHE_BYTES, StreamCacheStore,
                             base_contents, build_stream_caches,
                             question_vector_for)
@@ -227,6 +229,11 @@ class InferenceEngine:
         embedder = model.generator.embedder
         self.num_questions = embedder.question_embedding.num_embeddings - 1
         self.num_concepts = embedder.concept_embedding.num_embeddings - 1
+        registry = obs.get_registry()
+        self._obs_forward_calls = registry.counter(
+            metric_names.ENGINE_FORWARD_CALLS_TOTAL)
+        self._obs_worker_tasks = registry.counter(
+            metric_names.ENGINE_WORKER_TASKS_TOTAL)
         model.eval()
 
     @property
@@ -772,9 +779,11 @@ class InferenceEngine:
         def score_chunk(chunk: np.ndarray) -> None:
             scores[chunk] = context.scores_for(rows[chunk], cols[chunk])
 
-        map_chunks(score_chunk,
-                   column_banded_chunks(cols, self.target_batch),
-                   self.workers, executor=self._executor)
+        chunks = column_banded_chunks(cols, self.target_batch)
+        self._obs_forward_calls.inc()
+        self._obs_worker_tasks.inc(len(chunks))
+        map_chunks(score_chunk, chunks, self.workers,
+                   executor=self._executor)
         return scores
 
     def _score_rows(self, rows: Sequence[_ContextRow],

@@ -38,6 +38,9 @@ from repro.core.multi_target import FORWARD_BASES
 from repro.data import PAD_ID, Batch
 from repro.tensor import Tensor
 
+from .. import obs
+from ..obs import names as metric_names
+
 # Default LRU budget: roughly 100k active students at dim=64, history 100.
 DEFAULT_STREAM_CACHE_BYTES = 256 * 1024 * 1024
 
@@ -190,6 +193,8 @@ def build_stream_caches(model, histories) -> List[StudentStreamCache]:
     histories = list(histories)
     if not histories:
         return []
+    obs.get_registry().counter(
+        metric_names.STREAM_CACHE_REBUILDS_TOTAL).inc(len(histories))
     embedder = model.generator.embedder
     encoder = model.generator.encoder
     use_monotonicity = model.config.use_monotonicity
@@ -253,6 +258,20 @@ class StreamCacheStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Obs mirrors of the plain-int stats above (the ints stay: they
+        # are per-store, the obs series aggregate across stores in one
+        # process).  Handles are captured at construction.
+        registry = obs.get_registry()
+        self._obs_hits = registry.counter(
+            metric_names.STREAM_CACHE_HITS_TOTAL)
+        self._obs_misses = registry.counter(
+            metric_names.STREAM_CACHE_MISSES_TOTAL)
+        self._obs_evictions = registry.counter(
+            metric_names.STREAM_CACHE_EVICTIONS_TOTAL)
+        self._obs_bytes = registry.gauge(
+            metric_names.STREAM_CACHE_RESIDENT_BYTES)
+        self._obs_entries = registry.gauge(
+            metric_names.STREAM_CACHE_ENTRIES)
 
     @property
     def enabled(self) -> bool:
@@ -265,9 +284,11 @@ class StreamCacheStore:
         entry = self._entries.get(student_id)
         if entry is None:
             self.misses += 1
+            self._obs_misses.inc()
             return None
         self._entries.move_to_end(student_id)
         self.hits += 1
+        self._obs_hits.inc()
         return entry
 
     def peek(self, student_id) -> Optional[StudentStreamCache]:
@@ -297,6 +318,11 @@ class StreamCacheStore:
         self._entries[student_id] = entry
         self._sizes[student_id] = entry.nbytes
         self.total_bytes += entry.nbytes
+        # Gauges move by delta, not set(): several stores (one per
+        # engine) share the process-wide series, so deltas aggregate
+        # while absolute sets would clobber each other.
+        self._obs_bytes.inc(entry.nbytes)
+        self._obs_entries.inc()
         self._evict_over_budget()
 
     def note_growth(self, student_id) -> None:
@@ -305,15 +331,21 @@ class StreamCacheStore:
         if entry is None:
             return
         self.total_bytes += entry.nbytes - self._sizes[student_id]
+        self._obs_bytes.inc(entry.nbytes - self._sizes[student_id])
         self._sizes[student_id] = entry.nbytes
         self._evict_over_budget()
 
     def discard(self, student_id) -> None:
         if self._entries.pop(student_id, None) is not None:
-            self.total_bytes -= self._sizes.pop(student_id)
+            size = self._sizes.pop(student_id)
+            self.total_bytes -= size
+            self._obs_bytes.dec(size)
+            self._obs_entries.dec()
 
     def invalidate(self) -> None:
         """Drop everything (checkpoint reload: states are stale)."""
+        self._obs_bytes.dec(self.total_bytes)
+        self._obs_entries.dec(len(self._entries))
         self._entries.clear()
         self._sizes.clear()
         self.total_bytes = 0
@@ -321,8 +353,12 @@ class StreamCacheStore:
     def _evict_over_budget(self) -> None:
         while self.total_bytes > self.budget_bytes and self._entries:
             student_id, _ = self._entries.popitem(last=False)
-            self.total_bytes -= self._sizes.pop(student_id)
+            size = self._sizes.pop(student_id)
+            self.total_bytes -= size
             self.evictions += 1
+            self._obs_evictions.inc()
+            self._obs_bytes.dec(size)
+            self._obs_entries.dec()
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -35,12 +35,15 @@ the facade ports to the wire by swapping the object.
 
 from __future__ import annotations
 
+import dataclasses
 import http.client
 import json
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .. import obs
+from ..obs import names as metric_names
 from .protocol import (DEFAULT_MODEL, PROTOCOL_VERSION, BatchEnvelope,
                        BatchReply, InternalError, MalformedQuery,
                        ModelNotLoaded, NotFound, capabilities, is_error,
@@ -51,6 +54,14 @@ from .service import Service
 #: Cap on request bodies: a serving query is bytes, not megabytes; the
 #: bound keeps a confused client from buffering unbounded JSON.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Routes that may appear as the ``endpoint`` label on HTTP metrics;
+#: anything else is folded into ``other`` so scans cannot explode the
+#: label cardinality.
+_KNOWN_ENDPOINTS = frozenset({
+    "/v1/query", "/v1/batch", "/v1/health", "/v1/models",
+    "/v1/metrics", "/v1/admin/rollout",
+})
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -72,12 +83,24 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: dict) -> None:
+        self._last_status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_request_id", None) is not None:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str) -> None:
+        self._last_status = status
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
 
     def _send_reply(self, reply, version: int = PROTOCOL_VERSION) -> None:
         status = reply.http_status if is_error(reply) else 200
@@ -112,23 +135,81 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                                   f"({error})")
 
     # ------------------------------------------------------------------
+    # Per-endpoint metrics
+    # ------------------------------------------------------------------
+    def _observe_http(self, path: str, started: float) -> None:
+        registry = self.server.obs_registry
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        registry.counter(metric_names.HTTP_REQUESTS_TOTAL,
+                         endpoint=endpoint).inc()
+        if getattr(self, "_last_status", 200) >= 400:
+            registry.counter(metric_names.HTTP_ERRORS_TOTAL,
+                             endpoint=endpoint).inc()
+        registry.histogram(metric_names.HTTP_REQUEST_SECONDS,
+                           endpoint=endpoint).observe(
+            obs.clock() - started)
+
+    def _serve_metrics(self, query: str) -> None:
+        """``GET /v1/metrics``: JSON snapshot, or Prometheus text when
+        the query string asks for ``format=prometheus``."""
+        registry = self.server.obs_registry
+        if "format=prometheus" in query:
+            self._send_text(200, registry.render_prometheus())
+            return
+        snapshot = registry.snapshot()
+        snapshot["role"] = self.server.role
+        snapshot["spans"] = obs.recent_spans()
+        self._send_json(200, snapshot)
+
+    def _health_payload(self, service) -> dict:
+        registry = self.server.obs_registry
+        stream_caches = {}
+        for name in service.registry.names():
+            try:
+                stream_caches[name] = service.engine(name) \
+                    .stream_cache_stats()
+            except KeyError:  # pragma: no cover - racing a rollout
+                continue
+        return {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "capabilities": capabilities(),
+            "models": service.registry.names(),
+            "uptime_s": obs.clock() - self.server.started,
+            "served_requests": registry.counter_total(
+                metric_names.HTTP_REQUESTS_TOTAL),
+            "stream_caches": stream_caches,
+        }
+
+    # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started = obs.clock()
+        self._request_id = None
+        path, _, query = self.path.partition("?")
+        self._route_get(path, query)
+        self._observe_http(path, started)
+
+    def _route_get(self, path: str, query: str) -> None:
         service = self.server.service
-        if self.path == "/v1/health":
-            self._send_json(200, {
-                "status": "ok",
-                "protocol": PROTOCOL_VERSION,
-                "capabilities": capabilities(),
-                "models": service.registry.names(),
-            })
-        elif self.path == "/v1/models":
+        if path == "/v1/health":
+            self._send_json(200, self._health_payload(service))
+        elif path == "/v1/models":
             self._send_json(200, {"models": service.describe_models()})
+        elif path == "/v1/metrics":
+            self._serve_metrics(query)
         else:
             self._send_reply(NotFound(f"no such route: GET {self.path}"))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started = obs.clock()
+        self._request_id = None
+        path, _, _query = self.path.partition("?")
+        self._route_post(path)
+        self._observe_http(path, started)
+
+    def _route_post(self, path: str) -> None:
         service = self.server.service
         payload = self._read_body()
         if is_error(payload):
@@ -139,20 +220,30 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         # is stamped with the version the caller declared.
         version = negotiated_version(payload)
         try:
-            if self.path == "/v1/query":
+            if path == "/v1/query":
                 query = query_from_wire(payload)
                 self._send_reply(service.execute(query), version=version)
-            elif self.path == "/v1/batch":
+            elif path == "/v1/batch":
                 envelope = query_from_wire(payload)
                 if is_error(envelope):
                     self._send_reply(envelope, version=version)
                     return
                 if not isinstance(envelope, BatchEnvelope):
                     envelope = BatchEnvelope((envelope,))
-                replies = service.execute_batch(envelope)
+                # Trace admission: honor a caller-supplied request ID
+                # (the router→worker hop), mint one otherwise.  The ID
+                # rides back on ``X-Request-Id`` and shows up in this
+                # process's span log (docs/OBSERVABILITY.md).
+                if envelope.request_id is None:
+                    envelope = dataclasses.replace(
+                        envelope, request_id=obs.new_request_id())
+                self._request_id = envelope.request_id
+                span_name = f"{self.server.role}.batch"
+                with obs.Span(span_name, envelope.request_id):
+                    replies = service.execute_batch(envelope)
                 self._send_json(200, to_wire(BatchReply(tuple(replies)),
                                              version=version))
-            elif self.path == "/v1/admin/rollout":
+            elif path == "/v1/admin/rollout":
                 self._admin_rollout(service, payload)
             else:
                 self._send_reply(NotFound(
@@ -202,18 +293,30 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """Thread-per-connection HTTP server bound to one Service."""
+    """Thread-per-connection HTTP server bound to one Service.
+
+    ``role`` names this process in spans and ``/v1/metrics`` output
+    (``gateway`` for a standalone server, ``worker`` when the cluster
+    boots one behind the router); the obs registry is captured at
+    construction, so a test swapping the process registry gets an
+    isolated server.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, service: Service, verbose: bool = False):
+    def __init__(self, address, service: Service, verbose: bool = False,
+                 role: str = "gateway"):
         super().__init__(address, _GatewayHandler)
         self.service = service
         self.verbose = verbose
+        self.role = role
+        self.obs_registry = obs.get_registry()
+        self.started = obs.clock()
 
 
 def serve_http(service: Service, host: str = "127.0.0.1", port: int = 0,
-               verbose: bool = False) -> ServiceHTTPServer:
+               verbose: bool = False,
+               role: str = "gateway") -> ServiceHTTPServer:
     """Bind a gateway (``port=0`` picks an ephemeral port).
 
     Returns the server without entering its loop — call
@@ -223,18 +326,19 @@ def serve_http(service: Service, host: str = "127.0.0.1", port: int = 0,
     >>> threading.Thread(target=server.serve_forever,
     ...                  daemon=True).start()           # doctest: +SKIP
     """
-    return ServiceHTTPServer((host, port), service, verbose=verbose)
+    return ServiceHTTPServer((host, port), service, verbose=verbose,
+                             role=role)
 
 
 def start_http_thread(service: Service, host: str = "127.0.0.1",
-                      port: int = 0):
+                      port: int = 0, role: str = "gateway"):
     """Gateway on a daemon thread; returns ``(server, thread)``.
 
     The in-process convenience the example and tests use: the server is
     already accepting connections when this returns (the socket binds in
     the constructor), and ``server.shutdown()`` stops the loop.
     """
-    server = serve_http(service, host=host, port=port)
+    server = serve_http(service, host=host, port=port, role=role)
     thread = threading.Thread(target=server.serve_forever,
                               name="rckt-http-gateway", daemon=True)
     thread.start()
@@ -323,8 +427,8 @@ class ServiceClient:
         for connection in idle:
             connection.close()
 
-    def _exchange(self, method: str, route: str,
-                  body: bytes = None) -> dict:
+    def _exchange(self, method: str, route: str, body: bytes = None,
+                  decode_json: bool = True):
         headers = {"Content-Type": "application/json"} if body else {}
         for attempt in (0, 1):
             connection, reused = self._checkout()
@@ -354,7 +458,7 @@ class ServiceClient:
                 connection.close()
             else:
                 self._checkin(connection)
-            return json.loads(raw)
+            return json.loads(raw) if decode_json else raw
         raise ConnectionError(f"unreachable: {self.base_url}{route}")
 
     # ------------------------------------------------------------------
@@ -392,6 +496,16 @@ class ServiceClient:
 
     def models(self) -> dict:
         return self._get("/v1/models")
+
+    def metrics(self) -> dict:
+        """The server's JSON metrics snapshot (``GET /v1/metrics``)."""
+        return self._get("/v1/metrics")
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the server's metrics."""
+        raw = self._exchange("GET", "/v1/metrics?format=prometheus",
+                             decode_json=False)
+        return raw.decode("utf-8")
 
     def rollout(self, checkpoint, model: str = None,
                 warm_top: int = None):

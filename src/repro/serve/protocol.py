@@ -215,11 +215,18 @@ class BatchEnvelope:
     observes the same post-record snapshot, and read queries for the
     same model are coalesced into shared forward-stream batches.
     Replies come back in envelope order regardless.
+
+    ``request_id`` is the optional trace ID the gateway stamps at
+    admission and the router propagates on the router→worker hop
+    (``docs/OBSERVABILITY.md``).  It is protocol-v2-only and omitted
+    from the wire when absent, so an envelope without one is
+    byte-identical between v1 and v2.
     """
 
     TYPE: ClassVar[str] = "batch"
 
     queries: Tuple[object, ...]
+    request_id: Optional[str] = None
 
     def __post_init__(self):
         object.__setattr__(self, "queries", tuple(self.queries))
@@ -612,6 +619,10 @@ def is_error(obj) -> bool:
 #: Fields that exist only in-process and never cross the wire.
 _LOCAL_FIELDS = {"computation"}
 
+#: Optional fields omitted from the wire when ``None``, so payloads
+#: that never set them stay byte-identical to pre-field builds.
+_OPTIONAL_WIRE_FIELDS = {"request_id"}
+
 
 def _jsonable(value):
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -632,6 +643,8 @@ def _dataclass_wire(obj) -> dict:
         if spec.name in _LOCAL_FIELDS:
             continue
         value = getattr(obj, spec.name)
+        if spec.name in _OPTIONAL_WIRE_FIELDS and value is None:
+            continue
         if spec.name == "details":
             payload[spec.name] = {k: _jsonable(v) for k, v in value}
         else:
@@ -651,6 +664,9 @@ def to_wire(obj, version: int = PROTOCOL_VERSION) -> dict:
         raise ValueError(f"cannot serialize protocol version {version!r} "
                          f"(supported: {SUPPORTED_PROTOCOL_VERSIONS})")
     payload = _dataclass_wire(obj)
+    if version < 2:
+        # request_id is a v2 addition; a v1 payload never carries it.
+        payload.pop("request_id", None)
     payload["v"] = version
     return payload
 
@@ -774,8 +790,21 @@ def query_from_wire(payload, default_version: Optional[int] = None) -> object:
         queries = payload.get("queries")
         if not isinstance(queries, list):
             return MalformedQuery("batch envelope needs a 'queries' list")
-        return BatchEnvelope(tuple(
-            query_from_wire(q, default_version=version) for q in queries))
+        request_id = payload.get("request_id")
+        if request_id is not None:
+            if version < 2:
+                return MalformedQuery(
+                    "batch field 'request_id' requires protocol version "
+                    f">= 2 (envelope is v{version})",
+                    details={"version": version, "requires": 2})
+            if not isinstance(request_id, str):
+                return MalformedQuery(
+                    "batch field 'request_id' must be a string",
+                    details={"request_id": request_id})
+        return BatchEnvelope(
+            tuple(query_from_wire(q, default_version=version)
+                  for q in queries),
+            request_id=request_id)
     cls = QUERY_TYPES.get(tag)
     if cls is None:
         return UnknownQueryType(

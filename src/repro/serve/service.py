@@ -46,6 +46,8 @@ import numpy as np
 
 from repro.tensor import no_grad
 
+from .. import obs
+from ..obs import names as metric_names
 from .engine import InferenceEngine, _ContextRow
 from .forward_cache import build_stream_caches
 from .history import ArrayHistory, StudentHistory
@@ -127,6 +129,9 @@ class PendingReply:
 
     query: object
     _reply: Optional[object] = field(default=None, repr=False)
+    #: obs-clock stamp taken at admission; the flush observes the
+    #: queue wait into ``service_admission_wait_seconds``.
+    _submitted: Optional[float] = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -172,6 +177,19 @@ class Service:
         self.max_batch = max_batch
         self._pending: List[PendingReply] = []
         self._lock = threading.Lock()
+        # Instrument handles are captured at construction (and never
+        # mutated afterwards): swapping the process registry affects
+        # services built later, not this one — what the bench's
+        # instrumented-vs-disabled arms rely on.
+        self._obs = obs.get_registry()
+        self._obs_batch_seconds = self._obs.histogram(
+            metric_names.SERVICE_BATCH_SECONDS)
+        self._obs_batch_size = self._obs.histogram(
+            metric_names.SERVICE_BATCH_SIZE, buckets=obs.SIZE_BUCKETS)
+        self._obs_admission_wait = self._obs.histogram(
+            metric_names.SERVICE_ADMISSION_WAIT_SECONDS)
+        self._obs_coalesced_reads = self._obs.counter(
+            metric_names.SERVICE_COALESCED_READS_TOTAL)
         # The facade is the canonical service of its engines: legacy
         # engine methods shim through `engine.service`, which must
         # resolve back here instead of spawning a parallel facade.
@@ -339,7 +357,7 @@ class Service:
 
     def submit(self, query) -> PendingReply:
         """Enqueue a query; auto-flushes once ``max_batch`` wait."""
-        pending = PendingReply(query)
+        pending = PendingReply(query, _submitted=obs.clock())
         with self._lock:
             self._pending.append(pending)
             ready = len(self._pending) >= self.max_batch
@@ -353,6 +371,11 @@ class Service:
             batch, self._pending = self._pending, []
         if not batch:
             return []
+        admitted = obs.clock()
+        for pending in batch:
+            if pending._submitted is not None:
+                self._obs_admission_wait.observe(
+                    admitted - pending._submitted)
         replies = self.execute_batch([p.query for p in batch])
         for pending, reply in zip(batch, replies):
             pending._reply = reply
@@ -366,6 +389,7 @@ class Service:
         wire decoding pass through as their own replies).  Never raises
         for a bad query — errors come back as values in its slot.
         """
+        started = obs.clock()
         if isinstance(queries, BatchEnvelope):
             queries = queries.queries
         queries = list(queries)
@@ -383,6 +407,8 @@ class Service:
                     f"not a protocol query: {type(query).__name__!s}")
             else:
                 groups.setdefault(query.model, []).append((index, query))
+                self._obs.counter(metric_names.SERVICE_REQUESTS_TOTAL,
+                                  type=query.TYPE).inc()
         for model_name, group in groups.items():
             engine = self.registry.get(model_name)
             if engine is None:
@@ -394,7 +420,17 @@ class Service:
                 for index, _ in group:
                     replies[index] = error
                 continue
+            group_started = obs.clock()
             self._execute_group(engine, model_name, group, replies)
+            group_elapsed = obs.clock() - group_started
+            # Per-type latency is the group latency each query actually
+            # experienced — reads of a batch resolve together, so
+            # per-query wall time *is* the shared-flush wall time.
+            for _index, query in group:
+                self._obs.histogram(metric_names.SERVICE_QUERY_SECONDS,
+                                    type=query.TYPE).observe(group_elapsed)
+        self._obs_batch_size.observe(len(queries))
+        self._obs_batch_seconds.observe(obs.clock() - started)
         return replies
 
     # ------------------------------------------------------------------
@@ -652,6 +688,7 @@ class Service:
             if len(explain_rows):
                 computation = context.influences_for(explain_rows,
                                                      cols[explain_rows])
+        self._obs_coalesced_reads.inc(len(rows))
         self._resolve_reads(engine, model_name, meta, scores, explain_rows,
                             computation, recommends, recourses, replies)
 

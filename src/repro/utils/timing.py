@@ -1,29 +1,12 @@
-"""Lightweight wall-clock timing used by the Table VI efficiency bench."""
+"""Timing shim: the bench's ``Timer`` now lives in :mod:`repro.obs`.
+
+The Table VI efficiency bench (and anything else) keeps importing
+``repro.utils.timing.Timer``; the implementation moved into the obs
+layer so one stopwatch serves benches, spans, and histograms alike.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.metrics import Timer
 
-
-class Timer:
-    """Context-manager stopwatch.
-
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
-    >>> t.elapsed_ms >= 0
-    True
-    """
-
-    def __init__(self) -> None:
-        self.elapsed_s = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.elapsed_s = time.perf_counter() - self._start
-
-    @property
-    def elapsed_ms(self) -> float:
-        return self.elapsed_s * 1000.0
+__all__ = ["Timer"]

@@ -1,0 +1,221 @@
+"""Instrumented-stack coverage: the serving hot paths emit the series
+``docs/OBSERVABILITY.md`` catalogues, increments survive concurrency,
+and the gateway surfaces everything at ``/v1/metrics``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core import RCKT, RCKTConfig
+from repro.data import SimulationConfig, StudentSimulator, build_dataset
+from repro.obs import names as metric_names
+from repro.serve import (BatchEnvelope, InferenceEngine, RecordEvent,
+                         ScoreQuery, Service, ServiceClient,
+                         start_http_thread)
+
+NUM_QUESTIONS = 25
+NUM_CONCEPTS = 4
+
+
+def build_service():
+    """A small service wired to a *fresh* registry (callers swap it in
+    before construction so instrument handles bind to it)."""
+    config = SimulationConfig(num_students=3, num_questions=NUM_QUESTIONS,
+                              num_concepts=NUM_CONCEPTS,
+                              sequence_length=(5, 8))
+    simulator = StudentSimulator(config, seed=11)
+    dataset = build_dataset("obs", simulator.simulate(seed=12),
+                            NUM_QUESTIONS, NUM_CONCEPTS)
+    model = RCKT(NUM_QUESTIONS, NUM_CONCEPTS,
+                 RCKTConfig(encoder="dkt", dim=8, layers=1, seed=3))
+    engine = InferenceEngine(model)
+    engine.load_dataset(dataset)
+    return Service(engine), dataset
+
+
+@pytest.fixture()
+def isolated(request):
+    """Swap in a fresh registry, build the stack, restore afterwards."""
+    registry = obs.MetricsRegistry()
+    previous = obs.set_registry(registry)
+    service, dataset = build_service()
+
+    def teardown():
+        service.close()
+        obs.set_registry(previous)
+
+    request.addfinalizer(teardown)
+    return registry, service, dataset
+
+
+class TestServiceInstrumentation:
+    def test_batch_emits_every_scheduler_series(self, isolated):
+        registry, service, dataset = isolated
+        students = [s.student_id for s in dataset]
+        queries = [ScoreQuery(sid, 1 + i % NUM_QUESTIONS, (1,))
+                   for i, sid in enumerate(students)]
+        queries.append(RecordEvent(students[0], 2, 1, (1,)))
+        replies = service.execute_batch(BatchEnvelope(tuple(queries)))
+        assert all(r.ok for r in replies if hasattr(r, "ok"))
+
+        snap = registry.snapshot()
+        counters = {(e["name"], tuple(sorted(e["labels"].items()))):
+                    e["value"] for e in snap["counters"]}
+        assert counters[(metric_names.SERVICE_REQUESTS_TOTAL,
+                         (("type", "score"),))] == len(students)
+        assert counters[(metric_names.SERVICE_REQUESTS_TOTAL,
+                         (("type", "record"),))] == 1
+        histograms = {e["name"] for e in snap["histograms"]}
+        assert metric_names.SERVICE_BATCH_SECONDS in histograms
+        assert metric_names.SERVICE_BATCH_SIZE in histograms
+        assert metric_names.SERVICE_QUERY_SECONDS in histograms
+        # The engine hot path reported too.
+        assert registry.counter_total(
+            metric_names.ENGINE_FORWARD_CALLS_TOTAL) >= 1
+
+    def test_submit_flush_observes_admission_wait(self, isolated):
+        registry, service, dataset = isolated
+        student = dataset[0].student_id
+        pending = service.submit(ScoreQuery(student, 1, (1,)))
+        service.flush()
+        assert pending.reply.ok
+        wait = registry.histogram(
+            metric_names.SERVICE_ADMISSION_WAIT_SECONDS)
+        assert wait.count == 1
+
+    def test_stream_cache_counters_mirror_store_stats(self, isolated):
+        registry, service, dataset = isolated
+        student = dataset[0].student_id
+        for _ in range(3):
+            service.execute(ScoreQuery(student, 1, (1,)))
+        stats = service.engine().stream_cache_stats()
+        assert registry.counter_total(
+            metric_names.STREAM_CACHE_HITS_TOTAL) == stats["hits"]
+        assert registry.counter_total(
+            metric_names.STREAM_CACHE_MISSES_TOTAL) == stats["misses"]
+
+    def test_concurrent_batches_lose_no_increments(self, isolated):
+        """N request threads through ``Service.execute_batch``: the
+        per-type counter equals exactly the number of admitted queries."""
+        registry, service, dataset = isolated
+        students = [s.student_id for s in dataset]
+        threads_n, per_thread = 8, 25
+        failures = []
+
+        def hammer(worker_index):
+            for i in range(per_thread):
+                student = students[(worker_index + i) % len(students)]
+                reply = service.execute(
+                    ScoreQuery(student, 1 + i % NUM_QUESTIONS, (1,)))
+                if not getattr(reply, "ok", False):
+                    failures.append(reply)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        total = threads_n * per_thread
+        assert registry.counter_total(
+            metric_names.SERVICE_REQUESTS_TOTAL) == total
+        batch_size = registry.histogram(metric_names.SERVICE_BATCH_SIZE,
+                                        buckets=obs.SIZE_BUCKETS)
+        batch_seconds = registry.histogram(
+            metric_names.SERVICE_BATCH_SECONDS)
+        assert batch_size.count == batch_seconds.count == total
+        snap = batch_seconds.snapshot()
+        assert sum(c for _, c in snap["buckets"]) + snap["overflow"] \
+            == snap["count"]
+
+
+class TestGatewaySurface:
+    @pytest.fixture()
+    def stack(self, isolated):
+        registry, service, dataset = isolated
+        server, thread = start_http_thread(service)
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_port}", timeout=10.0)
+        yield registry, server, client, dataset
+        server.shutdown()
+
+    def test_metrics_json_and_prometheus(self, stack):
+        registry, server, client, dataset = stack
+        student = dataset[0].student_id
+        assert client.query(ScoreQuery(student, 1, (1,))).ok
+
+        snapshot = client.metrics()
+        assert snapshot["role"] == "gateway"
+        names = {e["name"] for e in snapshot["counters"]}
+        assert metric_names.SERVICE_REQUESTS_TOTAL in names
+        assert metric_names.HTTP_REQUESTS_TOTAL in names
+        endpoint_counts = {
+            e["labels"]["endpoint"]: e["value"]
+            for e in snapshot["counters"]
+            if e["name"] == metric_names.HTTP_REQUESTS_TOTAL}
+        assert endpoint_counts["/v1/query"] == 1
+
+        text = client.metrics_text()
+        assert "# TYPE http_request_seconds histogram" in text
+        assert 'http_requests_total{endpoint="/v1/query"} 1' in text
+
+    def test_batch_mints_and_echoes_a_request_id(self, stack):
+        registry, server, client, dataset = stack
+        student = dataset[0].student_id
+        envelope = BatchEnvelope((ScoreQuery(student, 1, (1,)),))
+        from repro.serve import to_wire
+        body = json.dumps(to_wire(envelope)).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.server_port}/v1/batch", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            request_id = response.headers.get("X-Request-Id")
+            payload = json.loads(response.read())
+        assert payload["replies"]
+        assert request_id and request_id.startswith("req-")
+        # The span log ties the same ID to the gateway.batch stage.
+        spans = client.metrics()["spans"]
+        assert {"name": "gateway.batch", "request_id": request_id} \
+            in [{"name": s["name"], "request_id": s["request_id"]}
+                for s in spans]
+
+    def test_caller_supplied_request_id_is_honored(self, stack):
+        registry, server, client, dataset = stack
+        student = dataset[0].student_id
+        envelope = BatchEnvelope((ScoreQuery(student, 1, (1,)),),
+                                 request_id="rt-00000077")
+        replies = client.batch(envelope)
+        assert replies[0].ok
+        spans = client.metrics()["spans"]
+        assert any(s["request_id"] == "rt-00000077" for s in spans)
+
+    def test_health_reports_uptime_and_cache_occupancy(self, stack):
+        registry, server, client, dataset = stack
+        student = dataset[0].student_id
+        assert client.query(ScoreQuery(student, 1, (1,))).ok
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0.0
+        assert health["served_requests"] >= 1
+        caches = health["stream_caches"]["default"]
+        assert {"entries", "hits", "misses"} <= set(caches)
+
+    def test_unknown_endpoint_label_is_bounded(self, stack):
+        registry, server, client, dataset = stack
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.server_port}/v1/nope")
+        try:
+            urllib.request.urlopen(request, timeout=10.0)
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        snapshot = client.metrics()
+        labels = {e["labels"]["endpoint"]
+                  for e in snapshot["counters"]
+                  if e["name"] == metric_names.HTTP_ERRORS_TOTAL}
+        assert labels == {"other"}

@@ -1,0 +1,88 @@
+"""Request IDs and the span log (``repro.obs.trace``)."""
+
+import re
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_span_log():
+    obs.clear_spans()
+    yield
+    obs.clear_spans()
+
+
+class TestRequestIds:
+    def test_format_and_monotonicity(self):
+        first = obs.new_request_id()
+        second = obs.new_request_id()
+        assert re.fullmatch(r"req-\d{8}", first)
+        assert int(second.split("-")[1]) == int(first.split("-")[1]) + 1
+
+    def test_prefix_swap_marks_process_origin(self):
+        previous = obs.set_id_prefix("w3")
+        try:
+            assert obs.new_request_id().startswith("w3-")
+        finally:
+            obs.set_id_prefix(previous)
+        assert obs.new_request_id().startswith("req-")
+
+    def test_ids_are_unique_across_threads(self):
+        minted = []
+        lock = threading.Lock()
+
+        def mint():
+            ids = [obs.new_request_id() for _ in range(200)]
+            with lock:
+                minted.extend(ids)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(minted)) == len(minted) == 1600
+
+
+class TestSpans:
+    def test_span_records_name_id_and_duration(self):
+        ticks = iter((10.0, 10.25))
+        previous = obs.set_clock(lambda: next(ticks))
+        try:
+            with obs.Span("gateway.batch", "req-00000042") as span:
+                pass
+        finally:
+            obs.set_clock(previous)
+        assert span.elapsed_s == pytest.approx(0.25)
+        recorded = obs.recent_spans()[-1]
+        assert recorded == {"name": "gateway.batch",
+                            "request_id": "req-00000042",
+                            "elapsed_s": pytest.approx(0.25)}
+
+    def test_span_feeds_a_histogram(self):
+        histogram = obs.Histogram()
+        with obs.Span("router.fanout.shard0", histogram=histogram):
+            pass
+        assert histogram.count == 1
+        assert obs.recent_spans()[-1]["request_id"] is None
+
+    def test_span_log_is_bounded(self):
+        for index in range(trace.SPAN_LOG_LIMIT + 10):
+            with obs.Span(f"stage{index}"):
+                pass
+        spans = obs.recent_spans()
+        assert len(spans) == trace.SPAN_LOG_LIMIT
+        # Oldest fell off the back; the newest survives.
+        assert spans[-1]["name"] == f"stage{trace.SPAN_LOG_LIMIT + 9}"
+        assert spans[0]["name"] == "stage10"
+
+    def test_recent_spans_limit(self):
+        for index in range(5):
+            with obs.Span(f"s{index}"):
+                pass
+        assert [s["name"] for s in obs.recent_spans(limit=2)] \
+            == ["s3", "s4"]

@@ -149,3 +149,96 @@ def test_link_check_reports_broken_relative_links(tmp_path):
     checked = check_docs.check_links(doc, tmp_path, failures)
     assert checked == 2   # the external URL is skipped
     assert len(failures) == 1 and "gone.md" in failures[0]
+
+
+# ---------------------------------------------------------------------------
+# Metric catalogue: docs/OBSERVABILITY.md vs src/repro/obs/names.py
+# ---------------------------------------------------------------------------
+NAMES_MODULE = """
+    SERVICE_REQUESTS_TOTAL = "service_requests_total"
+    STREAM_CACHE_ENTRIES = "stream_cache_entries"
+    SERVICE_BATCH_SECONDS = "service_batch_seconds"
+
+    COUNTERS = (SERVICE_REQUESTS_TOTAL,)
+    GAUGES = (STREAM_CACHE_ENTRIES,)
+    HISTOGRAMS = (SERVICE_BATCH_SECONDS,)
+"""
+
+OBS_DOC = """
+    # Observability
+
+    | Metric | Kind | Meaning |
+    | --- | --- | --- |
+    | `service_requests_total` | counter | admitted queries |
+    | `stream_cache_entries` | gauge | resident entries |
+    | `service_batch_seconds` | histogram | batch latency |
+"""
+
+
+def write_obs_tree(root: Path, names: str = NAMES_MODULE,
+                   doc: str = OBS_DOC) -> Path:
+    module = root / "src" / "repro" / "obs" / "names.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(textwrap.dedent(names))
+    obs_doc = root / "docs" / "OBSERVABILITY.md"
+    obs_doc.parent.mkdir(parents=True, exist_ok=True)
+    obs_doc.write_text(textwrap.dedent(doc))
+    return root
+
+
+def catalogue_failures(root: Path) -> list:
+    failures: list = []
+    check_docs.check_metric_catalogue(root, failures)
+    return failures
+
+
+def test_metric_catalogue_extraction(tmp_path):
+    write_obs_tree(tmp_path)
+    catalogue = check_docs.metric_catalogue(
+        tmp_path / "src" / "repro" / "obs" / "names.py")
+    assert catalogue == {"service_requests_total": "counter",
+                         "stream_cache_entries": "gauge",
+                         "service_batch_seconds": "histogram"}
+
+
+def test_metric_catalogue_accepts_a_synced_doc(tmp_path):
+    write_obs_tree(tmp_path)
+    assert catalogue_failures(tmp_path) == []
+
+
+def test_metric_catalogue_skips_trees_without_the_names_module(tmp_path):
+    assert catalogue_failures(tmp_path) == []
+
+
+def test_metric_catalogue_requires_the_doc_when_names_exist(tmp_path):
+    write_obs_tree(tmp_path)
+    (tmp_path / "docs" / "OBSERVABILITY.md").unlink()
+    failures = catalogue_failures(tmp_path)
+    assert len(failures) == 1 and "missing" in failures[0]
+
+
+def test_metric_catalogue_flags_an_undocumented_metric(tmp_path):
+    names = NAMES_MODULE.replace(
+        "COUNTERS = (SERVICE_REQUESTS_TOTAL,)",
+        'COUNTERS = (SERVICE_REQUESTS_TOTAL, "wal_fsync_total")')
+    write_obs_tree(tmp_path, names=names)
+    failures = catalogue_failures(tmp_path)
+    assert any("no row for `wal_fsync_total`" in f for f in failures)
+
+
+def test_metric_catalogue_flags_a_drifted_kind(tmp_path):
+    doc = OBS_DOC.replace(
+        "| `stream_cache_entries` | gauge |",
+        "| `stream_cache_entries` | counter |")
+    write_obs_tree(tmp_path, doc=doc)
+    failures = catalogue_failures(tmp_path)
+    assert any("`stream_cache_entries`" in f and "gauge" in f
+               for f in failures)
+
+
+def test_metric_catalogue_flags_a_phantom_documented_metric(tmp_path):
+    doc = OBS_DOC + "| `ghost_total` | counter | never |\n"
+    write_obs_tree(tmp_path, doc=doc)
+    failures = catalogue_failures(tmp_path)
+    assert any("`ghost_total`" in f and "does not register" in f
+               for f in failures)

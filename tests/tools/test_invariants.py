@@ -16,7 +16,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT))
 
-from tools.invariants import determinism, durability, locks, raises  # noqa: E402
+from tools.invariants import (determinism, durability, locks,  # noqa: E402
+                              raises, timeimports)
 from tools.invariants.common import (Module, apply_suppressions,  # noqa: E402
                                      comment_map, suppression_findings)
 
@@ -325,6 +326,67 @@ def test_suppression_only_covers_the_codes_it_names():
 
 
 # ---------------------------------------------------------------------------
+# INV005 — the obs facade is the only serving clock
+# ---------------------------------------------------------------------------
+def test_timeimport_rule_accepts_the_obs_facade():
+    module = make_module("""
+        from repro import obs
+
+        def deadline(seconds):
+            return obs.clock() + seconds
+    """)
+    assert timeimports.check_module(module) == []
+
+
+def test_timeimport_rule_flags_each_banned_form():
+    module = make_module("""
+        import time
+        import datetime as dt
+        from time import perf_counter
+
+        def stamp():
+            import time.monotonic_ns
+            return perf_counter()
+    """)
+    findings = timeimports.check_module(module)
+    assert [f.code for f in findings] == ["INV005"] * 4
+    assert {f.line for f in findings} == {2, 3, 4, 7}
+    assert findings[-1].symbol == "stamp"   # nested import attributed
+
+
+def test_timeimport_rule_ignores_lookalike_modules():
+    module = make_module("""
+        import timeit
+        from datetime_utils import parse
+        from .timer import Timer
+    """)
+    assert timeimports.check_module(module) == []
+
+
+def test_timeimport_rule_suppression():
+    module = make_module("""
+        import time  # invariants: disable=INV005 -- legacy shim
+    """)
+    findings = timeimports.check_module(module)
+    findings.extend(suppression_findings(module))
+    kept, suppressed = apply_suppressions(module, findings)
+    assert kept == []
+    assert [f.code for f in suppressed] == ["INV005"]
+
+
+def test_timeimport_scope_excludes_obs_but_covers_serving():
+    """The runner's INV005 scope bans ``time`` from serve/cluster while
+    leaving ``repro.obs`` (the sanctioned importer) alone."""
+    from tools.invariants.runner import RULE_SCOPES
+    scope = RULE_SCOPES[timeimports.CODE]
+    assert "src/repro/serve/*.py" in scope
+    assert "src/repro/cluster/*.py" in scope
+    assert not any("obs" in pattern for pattern in scope)
+    # obs still answers to the lock rule: its registry is shared state.
+    assert "src/repro/obs/*.py" in RULE_SCOPES[locks.CODE]
+
+
+# ---------------------------------------------------------------------------
 # Runner: scoping, baseline round-trip, real repository
 # ---------------------------------------------------------------------------
 def write_tree(root: Path) -> None:
@@ -359,11 +421,14 @@ def write_tree(root: Path) -> None:
     (cluster / "wal.py").write_text(
         "def persist(path, payload):\n"
         "    path.write_bytes(payload)\n")
+    (cluster / "router.py").write_text(
+        "import time\n\n\ndef deadline():\n"
+        "    return time.monotonic() + 1.0\n")
 
 
 def test_runner_exits_nonzero_per_failing_rule(tmp_path):
     write_tree(tmp_path)
-    for rule in ("INV001", "INV002", "INV003", "INV004"):
+    for rule in ("INV001", "INV002", "INV003", "INV004", "INV005"):
         result = run_cli("--root", str(tmp_path), "--rules", rule,
                          "--format", "json")
         assert result.returncode == 1, (rule, result.stdout)

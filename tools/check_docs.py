@@ -23,6 +23,12 @@ every ``docs/*.md`` it verifies:
   HTTP status match the class, and the table documents no class the
   protocol does not define.  Skipped for trees without the protocol
   module (the synthetic fixtures in the test suite).
+* **Metric catalogue** — the ``COUNTERS`` / ``GAUGES`` / ``HISTOGRAMS``
+  kind registries extracted from ``src/repro/obs/names.py`` (via AST)
+  must match the catalogue table in ``docs/OBSERVABILITY.md``: every
+  registered metric has a row with the matching kind, and the table
+  documents no series the registry does not define.  Skipped for trees
+  without the names module.
 
 Usage::
 
@@ -51,6 +57,14 @@ API_DOC_REL = Path("docs") / "API.md"
 
 # Error-taxonomy table row: | `Class` | `code` | HTTP | ...
 ERROR_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|\s*`(\w+)`\s*\|\s*(\d+)\s*\|")
+
+# Metric-name module + the doc that tabulates its catalogue.
+METRICS_REL = Path("src") / "repro" / "obs" / "names.py"
+OBS_DOC_REL = Path("docs") / "OBSERVABILITY.md"
+
+# Metric-catalogue table row: | `metric_name` | kind | ...
+METRIC_ROW = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|\s*"
+                        r"(counter|gauge|histogram)\s*\|")
 
 
 def module_symbols(path: Path) -> set:
@@ -223,6 +237,71 @@ def check_protocol_surface(root: Path, failures: list) -> int:
     return checked
 
 
+def metric_catalogue(path: Path) -> dict:
+    """``{metric_name: kind}`` extracted from the names module's
+    ``COUNTERS`` / ``GAUGES`` / ``HISTOGRAMS`` registries (via AST:
+    constants resolve through the module-level string assignments)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    constants = {}
+    registries = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, str):
+                constants[target.id] = node.value.value
+            elif target.id in ("COUNTERS", "GAUGES", "HISTOGRAMS") \
+                    and isinstance(node.value, (ast.Tuple, ast.List)):
+                registries[target.id] = [
+                    constants.get(el.id) if isinstance(el, ast.Name)
+                    else el.value if isinstance(el, ast.Constant)
+                    else None
+                    for el in node.value.elts]
+    catalogue = {}
+    for registry, kind in (("COUNTERS", "counter"), ("GAUGES", "gauge"),
+                           ("HISTOGRAMS", "histogram")):
+        for name in registries.get(registry, []):
+            if name is not None:
+                catalogue[name] = kind
+    return catalogue
+
+
+def check_metric_catalogue(root: Path, failures: list) -> int:
+    """docs/OBSERVABILITY.md must track the registered metric names."""
+    names_module = root / METRICS_REL
+    if not names_module.is_file():
+        return 0   # synthetic fixture trees have no obs package
+    obs_doc = root / OBS_DOC_REL
+    if not obs_doc.is_file():
+        failures.append(f"{OBS_DOC_REL}: missing, but the metric-name "
+                        f"module {METRICS_REL} exists")
+        return 0
+    catalogue = metric_catalogue(names_module)
+    documented = {}
+    for line in obs_doc.read_text(encoding="utf-8").splitlines():
+        match = METRIC_ROW.match(line.strip())
+        if match:
+            documented[match.group(1)] = match.group(2)
+    checked = 0
+    for name, kind in sorted(catalogue.items()):
+        checked += 1
+        if name not in documented:
+            failures.append(f"{OBS_DOC_REL}: metric catalogue has no "
+                            f"row for `{name}`")
+        elif documented[name] != kind:
+            failures.append(f"{OBS_DOC_REL}: `{name}` documents kind "
+                            f"'{documented[name]}' but {METRICS_REL} "
+                            f"registers it as a {kind}")
+    for name in sorted(set(documented) - set(catalogue)):
+        failures.append(f"{OBS_DOC_REL}: metric catalogue documents "
+                        f"`{name}`, which {METRICS_REL} does not "
+                        f"register")
+    return checked
+
+
 def check_required_equations(root: Path, failures: list) -> None:
     architecture = root / "docs" / "ARCHITECTURE.md"
     if not architecture.is_file():
@@ -260,6 +339,7 @@ def main() -> int:
         links += check_links(doc, root, failures)
     check_required_equations(root, failures)
     protocol = check_protocol_surface(root, failures)
+    metrics = check_metric_catalogue(root, failures)
 
     if failures:
         print(f"check_docs: {len(failures)} failure(s)")
@@ -267,7 +347,8 @@ def main() -> int:
             print(f"  FAIL {failure}")
         return 1
     print(f"check_docs: ok ({len(docs)} files, {refs} code references, "
-          f"{links} relative links, {protocol} protocol surface checks)")
+          f"{links} relative links, {protocol} protocol surface checks, "
+          f"{metrics} metric catalogue checks)")
     return 0
 
 

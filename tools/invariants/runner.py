@@ -21,13 +21,17 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Sequence
 
-from . import determinism, durability, locks, raises
+from . import determinism, durability, locks, raises, timeimports
 from .common import (Finding, Module, apply_suppressions, load_module,
                      suppression_findings)
 
 #: Rule code -> source-scope globs relative to the repository root.
+#: ``repro.obs`` joins the lock-discipline scope (its registry and
+#: instruments are shared serving state) but is deliberately *outside*
+#: the INV005 scope — it is the one sanctioned ``time`` importer.
 RULE_SCOPES: Dict[str, Sequence[str]] = {
-    locks.CODE: ("src/repro/serve/*.py", "src/repro/cluster/*.py"),
+    locks.CODE: ("src/repro/serve/*.py", "src/repro/cluster/*.py",
+                 "src/repro/obs/*.py"),
     raises.CODE: ("src/repro/serve/*.py", "src/repro/cluster/*.py"),
     determinism.CODE: ("src/repro/core/*.py", "src/repro/online/*.py",
                        "src/repro/cluster/wal.py",
@@ -35,6 +39,7 @@ RULE_SCOPES: Dict[str, Sequence[str]] = {
     durability.CODE: ("src/repro/cluster/wal.py",
                       "src/repro/cluster/snapshot.py",
                       "src/repro/cluster/journal.py"),
+    timeimports.CODE: ("src/repro/serve/*.py", "src/repro/cluster/*.py"),
 }
 
 ALL_RULES = tuple(sorted(RULE_SCOPES))
@@ -79,6 +84,8 @@ def collect_findings(root: Path,
                 found = raises.check_module(module, taxonomy)
             elif code == determinism.CODE:
                 found = determinism.check_module(module)
+            elif code == timeimports.CODE:
+                found = timeimports.check_module(module)
             else:
                 found = durability.check_module(module)
             raw.setdefault(path, []).extend(found)

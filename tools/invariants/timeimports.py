@@ -1,0 +1,67 @@
+"""INV005 — the obs facade is the only serving clock.
+
+``repro.obs`` centralizes every clock read behind an injectable
+``clock()`` (``time.perf_counter`` underneath) plus a ``sleep()``
+wrapper, so replayed traffic traces deterministically and tests can pin
+a fake clock.  That only holds while no other serve/cluster module
+reaches for ``time`` itself — a direct ``time.perf_counter()`` in the
+router would silently escape clock injection, and a ``time.time()``
+would leak wall clock into the serving path (INV003's concern, but
+INV003's scope is the training/replay layer).
+
+This rule bans, inside the serving scope (``serve/``, ``cluster/``):
+
+* ``import time`` (any alias) and ``from time import ...``;
+* ``import datetime`` / ``from datetime import ...`` — wall-clock by
+  construction, nothing in the serving path needs calendars.
+
+``repro.obs`` itself lives outside the scope — it is the one sanctioned
+importer.  A deliberate exception takes an inline
+``# invariants: disable=INV005 -- reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .common import Finding, Module
+
+CODE = "INV005"
+
+_BANNED_MODULES = ("time", "datetime")
+
+
+def _symbol_of(tree: ast.AST, target: ast.AST) -> str:
+    symbol = ""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            for child in ast.walk(node):
+                if child is target:
+                    symbol = node.name
+    return symbol
+
+
+def check_module(module: Module) -> List[Finding]:
+    tree = module.tree
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, name: str) -> None:
+        findings.append(Finding(
+            CODE, module.rel, node.lineno, _symbol_of(tree, node),
+            f"imports '{name}' directly (serve/cluster modules read "
+            f"the injectable obs clock: repro.obs.clock / .sleep / "
+            f"Timer / Span)"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".", 1)[0]
+                if root in _BANNED_MODULES:
+                    flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module is not None \
+                    and node.module.split(".", 1)[0] in _BANNED_MODULES:
+                flag(node, node.module)
+    return findings
